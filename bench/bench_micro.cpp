@@ -1,0 +1,105 @@
+// google-benchmark micro suite for the performance-critical kernels:
+// gemm, FFT, conv2d, spectral conv, the FDM solve, and full-model
+// inference. Not a paper table — engineering validation that the
+// substrate's cost model (and therefore the speedup bench) is sane.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/conv_ops.h"
+#include "autograd/spectral_ops.h"
+#include "chip/chips.h"
+#include "common/rng.h"
+#include "fft/fft.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor_ops.h"
+#include "thermal/fdm_solver.h"
+#include "train/model_zoo.h"
+
+namespace {
+
+using namespace saufno;
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), n, n, n, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Fft2d(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  std::vector<cfloat> x(static_cast<std::size_t>(n * n));
+  for (auto& v : x) {
+    v = cfloat(static_cast<float>(rng.normal()), 0.f);
+  }
+  for (auto _ : state) {
+    auto y = x;
+    fft_2d(y.data(), 1, n, n, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fft2d)->Arg(16)->Arg(40)->Arg(64);  // 40 = Bluestein path
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  Var x(Tensor::randn({1, 16, n, n}, rng), false);
+  Var w(Tensor::randn({16, 16, 3, 3}, rng, 0.f, 0.1f), false);
+  Var b(Tensor::zeros({16}), false);
+  for (auto _ : state) {
+    Var y = ops::conv2d(x, w, b, 1, 1);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32);
+
+void BM_SpectralConvForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(4);
+  Var x(Tensor::randn({1, 16, n, n}, rng), false);
+  Var w(Tensor::randn({16, 16, 16, 8, 2}, rng, 0.f, 0.01f), false);
+  for (auto _ : state) {
+    Var y = ops::spectral_conv2d(x, w, 8, 8, 16);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_SpectralConvForward)->Arg(16)->Arg(32);
+
+void BM_FdmSolve(benchmark::State& state) {
+  const int res = static_cast<int>(state.range(0));
+  const auto spec = chip::make_chip1();
+  chip::PowerGenerator gen(spec);
+  Rng rng(5);
+  const auto pa = gen.sample(rng);
+  const auto grid = thermal::build_grid(spec, pa, res, res);
+  thermal::FdmSolver solver;
+  for (auto _ : state) {
+    auto sol = solver.solve(grid);
+    benchmark::DoNotOptimize(sol.temperature.data());
+  }
+}
+BENCHMARK(BM_FdmSolve)->Arg(16)->Arg(24)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_SauFnoInference(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto model = saufno::train::make_model("SAU-FNO", 4, 2, 6);
+  Rng rng(7);
+  Var x(Tensor::randn({1, 4, n, n}, rng), false);
+  for (auto _ : state) {
+    Var y = model->forward(x);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_SauFnoInference)->Arg(16)->Arg(24)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Reproduces the Section IV-D speed claim: SAU-FNO inference vs MTA
+// (FDM substitute) and HotSpot (compact RC substitute) per steady-state
+// prediction. The paper reports 0.27 s per SAU-FNO prediction vs 227.31 s
+// (MTA) and 98.47 s (HotSpot): 842x and 365x. Absolute numbers here differ
+// (CPU surrogate vs GPU, small meshes vs the authors' full meshes); the
+// reproduced SHAPE is the ordering surrogate << compact model, surrogate
+// << field solver, with the gap widening as the solver mesh refines.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/csv.h"
+#include "tensor/tensor_ops.h"
+#include "thermal/compact_rc.h"
+
+using namespace saufno;
+using namespace saufno::bench;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  print_header("Speedup: SAU-FNO vs solver per prediction (chip1)");
+  const BenchScale s = BenchScale::current();
+  const auto spec = chip::make_chip1();
+
+  auto [train_set, test_set] =
+      make_split(spec, s.res_high, s.n_train, s.n_test, /*seed=*/2024);
+  const auto norm =
+      data::Normalizer::fit(train_set, spec.num_device_layers());
+  auto model = train::make_model("SAU-FNO", train_set.in_channels(),
+                                 train_set.out_channels(), 5200, s.size_hint);
+  train::TrainConfig tc;
+  tc.epochs = std::max(1, s.epochs / 2);  // speed bench needs a model, not SOTA
+  tc.batch_size = s.batch;
+  tc.lr = s.lr;
+  train::Trainer tr(*model, norm, tc);
+  tr.fit(train_set);
+
+  // One representative power assignment.
+  chip::PowerGenerator pgen(spec);
+  Rng rng(5300);
+  const auto pa = pgen.sample(rng);
+
+  // SAU-FNO inference time (single sample).
+  auto [one_x, one_y] = test_set.gather({0});
+  const double t_model = tr.time_inference(one_x, 5);
+
+  // Solver times at increasing mesh refinement ("finest mesh" comparison).
+  thermal::FdmSolver solver;
+  CsvWriter csv("speedup_results.csv");
+  csv.row({"engine", "mesh", "seconds_per_prediction", "speedup_vs_engine"});
+  TablePrinter table({"Engine", "Mesh", "s/prediction", "SAU-FNO speedup"},
+                     {20, 16, 16, 18});
+  table.add_row({"SAU-FNO (ours)", std::to_string(s.res_high) + "^2",
+                 fmt(t_model, 5), "1x"});
+  csv.row({"SAU-FNO", std::to_string(s.res_high), fmt(t_model, 6), "1"});
+
+  for (int refine : {1, 2, 3}) {
+    Timer t;
+    const auto sol =
+        solver.solve(thermal::build_grid(spec, pa, s.res_high, s.res_high,
+                                         refine));
+    const double secs = t.seconds();
+    const std::string mesh = std::to_string(s.res_high * refine) + "^2 x" +
+                             std::to_string(refine);
+    table.add_row({refine == 1 ? "MTA* (FDM)" : "COMSOL*-like (FDM)", mesh,
+                   fmt(secs, 4), fmt(secs / t_model, 1) + "x"});
+    csv.row({refine == 1 ? "MTA" : "FDM-refined", mesh, fmt(secs, 6),
+             fmt(secs / t_model, 1)});
+    (void)sol;
+  }
+  {
+    // HotSpot block mode: tens of nodes, microseconds — faster than any
+    // surrogate but far less accurate (the Table IV bias).
+    thermal::CompactRcSolver rc(spec);
+    Timer t;
+    const int reps = 100;
+    for (int i = 0; i < reps; ++i) (void)rc.solve(pa);
+    const double secs = t.seconds() / reps;
+    table.add_row({"HotSpot* block mode", "block-level", fmt(secs, 6),
+                   fmt(secs / t_model, 2) + "x"});
+    csv.row({"HotSpot-block", "blocks", fmt(secs, 7),
+             fmt(secs / t_model, 2)});
+  }
+  {
+    // HotSpot grid mode: the configuration behind the paper's published
+    // 98 s — a per-voxel RC network relaxed with Gauss-Seidel.
+    thermal::CompactRcSolver rc(spec);
+    for (int gres : {s.res_high, 2 * s.res_high}) {
+      Timer t;
+      const auto gr = rc.solve_grid(pa, gres);
+      const double secs = t.seconds();
+      table.add_row({"HotSpot* grid mode", std::to_string(gres) + "^2 GS",
+                     fmt(secs, 4), fmt(secs / t_model, 1) + "x"});
+      csv.row({"HotSpot-grid", std::to_string(gres), fmt(secs, 6),
+               fmt(secs / t_model, 2)});
+      (void)gr;
+    }
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("* substitutes per DESIGN.md\n");
+  std::printf(
+      "paper reference: 0.27 s/prediction vs MTA 227.31 s (842x) and "
+      "HotSpot 98.47 s (365x)\n"
+      "expected shape: surrogate cost is resolution-flat; solver cost grows "
+      "superlinearly with mesh,\nso the speedup factor widens with "
+      "refinement (at the paper's full meshes it reaches the 100x-1000x "
+      "class)\n");
+  std::printf("rows also written to speedup_results.csv\n");
+  return 0;
+}

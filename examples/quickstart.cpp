@@ -1,0 +1,81 @@
+// Quickstart: the five-minute tour of the public API.
+//
+//   1. Pick a chip (the paper's Chip1).
+//   2. Generate a small supervised dataset with the built-in FDM solver.
+//   3. Train a SAU-FNO surrogate.
+//   4. Predict a thermal field and compare against the solver.
+//
+// Build & run:  ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "chip/chips.h"
+#include "common/ascii.h"
+#include "common/logging.h"
+#include "data/generator.h"
+#include "data/normalizer.h"
+#include "train/model_zoo.h"
+#include "train/trainer.h"
+
+using namespace saufno;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("SAU-FNO quickstart\n==================\n\n");
+
+  // 1. The chip: a two-device-layer single-core 3D IC (Table I / Fig. 3).
+  const auto spec = chip::make_chip1();
+  std::printf("chip: %s, %zu stack layers, %d device layers, die %.0fx%.0f mm\n",
+              spec.name.c_str(), spec.layers.size(), spec.num_device_layers(),
+              spec.die_w * 1e3, spec.die_h * 1e3);
+
+  // 2. Data: random block powers -> FDM steady-state temperature fields.
+  data::GenConfig gen;
+  gen.resolution = 16;
+  gen.n_samples = 48;
+  gen.seed = 42;
+  std::printf("generating %d samples at %dx%d (cached in ./dataset_cache)...\n",
+              gen.n_samples, gen.resolution, gen.resolution);
+  auto dataset = data::generate_dataset(spec, gen);
+  auto [train_set, test_set] = dataset.split(40);
+
+  // 3. Train the surrogate. The normalizer maps power maps and
+  //    temperature-rise fields to unit scale and back.
+  const auto norm = data::Normalizer::fit(train_set, spec.num_device_layers());
+  auto model = train::make_model("SAU-FNO", train_set.in_channels(),
+                                 train_set.out_channels(), /*seed=*/1);
+  std::printf("model: SAU-FNO with %lld parameters\n",
+              static_cast<long long>(model->num_parameters()));
+  train::TrainConfig tc;
+  tc.epochs = 12;
+  tc.batch_size = 8;
+  tc.lr = 2e-3;
+  tc.verbose = false;
+  train::Trainer trainer(*model, norm, tc);
+  const auto report = trainer.fit(train_set);
+  std::printf("trained %d epochs in %.1f s (loss %.4f -> %.4f)\n", tc.epochs,
+              report.seconds, report.epoch_loss.front(),
+              report.final_loss());
+
+  // 4. Evaluate and visualize one case.
+  const auto metrics = trainer.evaluate(test_set);
+  std::printf("\ntest metrics (kelvin): %s\n\n", metrics.to_string().c_str());
+
+  auto [x, y] = test_set.gather({0});
+  Tensor pred = trainer.predict(x);
+  const int res = gen.resolution;
+  const int64_t plane = static_cast<int64_t>(res) * res;
+  std::vector<float> truth(static_cast<std::size_t>(plane)),
+      guess(static_cast<std::size_t>(plane));
+  // Layer 2 (the core layer) is where the hotspot lives.
+  std::copy(y.data() + plane, y.data() + 2 * plane, truth.begin());
+  std::copy(pred.data() + plane, pred.data() + 2 * plane, guess.begin());
+  std::printf("core-layer ground truth (FDM):\n%s\n",
+              ascii_heatmap(truth, res, res).c_str());
+  std::printf("core-layer SAU-FNO prediction:\n%s\n",
+              ascii_heatmap(guess, res, res).c_str());
+  std::printf("junction temperature: truth %.2f K, predicted %.2f K\n",
+              *std::max_element(truth.begin(), truth.end()),
+              *std::max_element(guess.begin(), guess.end()));
+  return 0;
+}

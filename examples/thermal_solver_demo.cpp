@@ -1,0 +1,101 @@
+// Thermal-solver demo: use the simulation substrate directly, no ML.
+//
+// Defines a CUSTOM two-layer chip (not one of the built-ins), assigns an
+// asymmetric workload, solves the steady heat equation with the
+// finite-volume solver, cross-checks with the compact RC network, and
+// prints per-layer heatmaps — i.e., the library as a miniature MTA.
+
+#include <cstdio>
+
+#include "chip/floorplan.h"
+#include "common/ascii.h"
+#include "thermal/compact_rc.h"
+#include "thermal/fdm_solver.h"
+
+using namespace saufno;
+
+namespace {
+
+chip::ChipSpec make_custom_chip() {
+  using chip::BlockKind;
+  chip::ChipSpec c;
+  c.name = "custom-dual-core";
+  c.die_w = 8e-3;
+  c.die_h = 8e-3;
+
+  chip::LayerSpec cache;
+  cache.name = "cache-layer";
+  cache.thickness = 0.1e-3;
+  cache.material = chip::materials::device_silicon();
+  cache.is_device = true;
+  cache.floorplan.blocks = {
+      {"SRAM_L", BlockKind::kL2Cache, 0.0, 0.0, 0.5, 1.0},
+      {"SRAM_R", BlockKind::kL2Cache, 0.5, 0.0, 0.5, 1.0},
+  };
+
+  chip::LayerSpec cores;
+  cores.name = "core-layer";
+  cores.thickness = 0.1e-3;
+  cores.material = chip::materials::device_silicon();
+  cores.is_device = true;
+  cores.floorplan.blocks = {
+      {"BigCore", BlockKind::kCore, 0.00, 0.00, 0.55, 0.70},
+      {"LittleCore", BlockKind::kCore, 0.55, 0.00, 0.45, 0.45},
+      {"Uncore", BlockKind::kInterconnect, 0.00, 0.70, 1.00, 0.30},
+      {"IO", BlockKind::kL1Cache, 0.55, 0.45, 0.45, 0.25},
+  };
+
+  c.layers = {cache, cores};
+  c.layers.push_back({"TIM", 0.02e-3, chip::materials::tim(), false, {}});
+  c.layers.push_back(
+      {"heat-spreader", 1e-3, chip::materials::copper(), false, {}});
+  c.layers.push_back(
+      {"heat-sink-base", 6.9e-3, chip::materials::copper(), false, {}});
+  c.total_power_min = 20;
+  c.total_power_max = 60;
+  c.validate();
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("thermal solver demo: custom chip, no ML\n");
+  std::printf("=======================================\n\n");
+  const auto spec = make_custom_chip();
+
+  // An asymmetric workload: the big core is sprinting.
+  chip::PowerAssignment pa;
+  pa.power.resize(spec.layers.size());
+  pa.power[0] = {3.0, 3.0};              // SRAM_L, SRAM_R
+  pa.power[1] = {28.0, 5.0, 4.0, 1.0};   // BigCore sprint
+  std::printf("workload: %.1f W total, BigCore at 28 W\n\n", pa.total());
+
+  const int res = 24;
+  const auto grid = thermal::build_grid(spec, pa, res, res);
+  thermal::FdmSolver solver;
+  const auto sol = solver.solve(grid);
+  std::printf("FDM solve: %d CG iterations, residual %.1e, converged=%s\n",
+              sol.iterations, sol.residual, sol.converged ? "yes" : "no");
+  std::printf("field: max %.2f K, min %.2f K (ambient %.0f K)\n\n",
+              sol.max_temperature(), sol.min_temperature(), spec.ambient);
+
+  for (int layer = 0; layer < 2; ++layer) {
+    const auto map = sol.layer_map(grid, layer);
+    std::printf("%s temperature map:\n%s\n", spec.layers[static_cast<std::size_t>(layer)].name.c_str(),
+                ascii_heatmap(map, res, res).c_str());
+  }
+
+  // Cross-check with the compact RC network (HotSpot-class estimate).
+  thermal::CompactRcSolver rc(spec);
+  const auto rc_res = rc.solve(pa);
+  std::printf("compact RC block temperatures (fast estimate):\n");
+  for (const auto& b : rc_res.blocks) {
+    std::printf("  layer %d  %-14s %.2f K\n", b.layer, b.name.c_str(),
+                b.temperature);
+  }
+  std::printf(
+      "\nnote the RC model reads hotter than the field solver — the same "
+      "bias the paper's Table IV shows for HotSpot.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Transient thermal analysis: the time-dependent form of the heat
+// equation (Eq. 1-2 of the paper) that Section V names as future work.
+//
+// Simulates a power-state sequence on Chip1 — idle, sprint, throttle —
+// chaining the implicit-Euler transient solver phase to phase through the
+// full temperature field, and prints the junction-temperature trajectory.
+// The design question it answers: how long can the core sprint before Tj
+// crosses a thermal limit?
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "chip/chips.h"
+#include "thermal/transient.h"
+
+using namespace saufno;
+
+namespace {
+
+chip::PowerAssignment phase_power(const chip::ChipSpec& spec, double core_w,
+                                  double cache_w) {
+  chip::PowerAssignment pa;
+  pa.power.resize(spec.layers.size());
+  pa.power[0] = {cache_w, cache_w, cache_w};                  // L2 caches
+  pa.power[1] = {core_w, cache_w / 2, cache_w / 2, cache_w};  // core layer
+  return pa;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("transient thermal analysis (chip1 power-state sequence)\n");
+  std::printf("=======================================================\n\n");
+  const auto spec = chip::make_chip1();
+  const int res = 16;
+  const double dt = 0.05;  // 50 ms steps
+  const int steps = 40;    // 2 s per phase
+
+  thermal::TransientSolver::Options opt;
+  opt.dt = dt;
+  opt.steps = steps;
+  thermal::TransientSolver solver(opt);
+
+  struct Phase {
+    const char* name;
+    double core_w, cache_w;
+  } phases[] = {
+      {"idle", 15.0, 4.0},
+      {"sprint", 120.0, 10.0},
+      {"throttle", 45.0, 8.0},
+  };
+
+  std::vector<double> tj;       // junction temperature per step
+  std::vector<double> state;    // field carried across phases
+  for (const auto& ph : phases) {
+    const auto grid = thermal::build_grid(
+        spec, phase_power(spec, ph.core_w, ph.cache_w), res, res);
+    const auto result =
+        state.empty() ? solver.solve(grid)
+                      : solver.solve_from(grid, std::move(state));
+    tj.insert(tj.end(), result.max_temperature_history.begin(),
+              result.max_temperature_history.end());
+    state = result.final_state.temperature;
+    std::printf("phase %-9s core %5.1f W -> Tj %.2f K after %.1f s "
+                "(solve %.2f s)\n",
+                ph.name, ph.core_w, tj.back(), dt * steps,
+                result.total_seconds);
+  }
+
+  // ASCII strip chart of the Tj trajectory.
+  std::printf("\nTj trajectory (%.0f ms per column):\n", dt * 1e3);
+  const double lo = *std::min_element(tj.begin(), tj.end());
+  const double hi = *std::max_element(tj.begin(), tj.end());
+  const int rows = 12;
+  for (int r = rows; r >= 0; --r) {
+    const double level = lo + (hi - lo) * r / rows;
+    std::printf("%7.1fK |", level);
+    for (double v : tj) std::printf("%c", v >= level ? '#' : ' ');
+    std::printf("\n");
+  }
+  std::printf("          +");
+  for (std::size_t i = 0; i < tj.size(); ++i) std::printf("-");
+  std::printf("\n           0s%*s\n", static_cast<int>(tj.size()), "6s");
+
+  // Sprint budget: time into the sprint phase until Tj crosses 390 K.
+  const double limit = 390.0;
+  int cross = -1;
+  for (int i = steps; i < 2 * steps; ++i) {
+    if (tj[static_cast<std::size_t>(i)] >= limit) {
+      cross = i - steps;
+      break;
+    }
+  }
+  if (cross >= 0) {
+    std::printf("\nsprint budget at the %.0f K limit: %.2f s\n", limit,
+                (cross + 1) * dt);
+  } else {
+    std::printf("\nsprint stays below the %.0f K limit for the full phase\n",
+                limit);
+  }
+  return 0;
+}

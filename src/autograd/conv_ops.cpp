@@ -1,0 +1,153 @@
+#include "autograd/conv_ops.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor_ops.h"
+
+namespace saufno {
+namespace ops {
+namespace {
+using detail::Node;
+using detail::accumulate_grad;
+}  // namespace
+
+Var conv2d(const Var& x, const Var& w, const Var& b, int64_t stride,
+           int64_t pad) {
+  SAUFNO_CHECK(x.value().dim() == 4, "conv2d input must be [B,C,H,W]");
+  SAUFNO_CHECK(w.value().dim() == 4, "conv2d weight must be [Cout,Cin,kh,kw]");
+  const int64_t B = x.size(0), cin = x.size(1), h = x.size(2), w_in = x.size(3);
+  const int64_t cout = w.size(0), kh = w.size(2), kw = w.size(3);
+  SAUFNO_CHECK(w.size(1) == cin, "conv2d channel mismatch: input has " +
+                                     std::to_string(cin) + ", weight expects " +
+                                     std::to_string(w.size(1)));
+  const int64_t oh = conv_out_size(h, kh, stride, pad);
+  const int64_t ow = conv_out_size(w_in, kw, stride, pad);
+  SAUFNO_CHECK(oh > 0 && ow > 0, "conv2d output would be empty");
+  const int64_t ck = cin * kh * kw;
+  const int64_t plane = oh * ow;
+
+  Tensor out({B, cout, oh, ow});
+  std::vector<float> cols(static_cast<std::size_t>(ck * plane));
+  const bool has_bias = b.defined();
+  if (has_bias) {
+    SAUFNO_CHECK(b.value().dim() == 1 && b.size(0) == cout,
+                 "conv2d bias must be [Cout]");
+  }
+
+  for (int64_t n = 0; n < B; ++n) {
+    im2col(x.value().data() + n * cin * h * w_in, cols.data(), cin, h, w_in,
+           kh, kw, stride, pad);
+    float* dst = out.data() + n * cout * plane;
+    // out[n] = W[cout, ck] * cols[ck, plane]
+    gemm(w.value().data(), cols.data(), dst, cout, plane, ck,
+         /*accumulate=*/false);
+    if (has_bias) {
+      const float* bias = b.value().data();
+      for (int64_t co = 0; co < cout; ++co) {
+        float* row = dst + co * plane;
+        for (int64_t i = 0; i < plane; ++i) row[i] += bias[co];
+      }
+    }
+  }
+
+  if (!any_requires_grad({x, w, b.defined() ? b : Var()})) {
+    return Var(std::move(out));
+  }
+  std::vector<Var> inputs = {x, w};
+  if (has_bias) inputs.push_back(b);
+  auto node = std::make_shared<Node>();
+  node->name = "conv2d";
+  for (auto& v : inputs) node->inputs.push_back(v.impl());
+  auto ix = x.impl(), iw = w.impl();
+  auto ib = has_bias ? b.impl() : nullptr;
+  node->backward = [=](const Tensor& g) {
+    const int64_t ckl = ck, pl = plane;
+    Tensor gx = Tensor::zeros({B, cin, h, w_in});
+    Tensor gw = Tensor::zeros({cout, cin, kh, kw});
+    Tensor gb = has_bias ? Tensor::zeros({cout}) : Tensor();
+    std::vector<float> colbuf(static_cast<std::size_t>(ckl * pl));
+    std::vector<float> gcol(static_cast<std::size_t>(ckl * pl));
+    // wT: [ck, cout] used for gx = wT * gout
+    Tensor wt = transpose2d(iw->value.reshape({cout, ckl}));
+    for (int64_t n = 0; n < B; ++n) {
+      const float* gout = g.data() + n * cout * pl;
+      // Weight gradient: gW += gout[cout, plane] * cols^T[plane, ck].
+      im2col(ix->value.data() + n * cin * h * w_in, colbuf.data(), cin, h,
+             w_in, kh, kw, stride, pad);
+      // gw[cout, ck] += gout * colbuf^T  ==  gemm(gout, colbuf^T)
+      // colbuf^T computed on the fly: use gemm with B transposed by
+      // reinterpreting: we need C[co, c] = sum_p gout[co,p] colbuf[c,p].
+      // Transpose colbuf once into gcol (reused as scratch).
+      for (int64_t c = 0; c < ckl; ++c) {
+        for (int64_t p = 0; p < pl; ++p) {
+          gcol[static_cast<std::size_t>(p * ckl + c)] =
+              colbuf[static_cast<std::size_t>(c * pl + p)];
+        }
+      }
+      gemm(gout, gcol.data(), gw.data(), cout, ckl, pl, /*accumulate=*/true);
+      // Input gradient: gcols = wT[ck, cout] * gout[cout, plane].
+      gemm(wt.data(), gout, gcol.data(), ckl, pl, cout, /*accumulate=*/false);
+      col2im(gcol.data(), gx.data() + n * cin * h * w_in, cin, h, w_in, kh,
+             kw, stride, pad);
+      if (has_bias) {
+        float* gbp = gb.data();
+        for (int64_t co = 0; co < cout; ++co) {
+          const float* row = gout + co * pl;
+          double s = 0.0;
+          for (int64_t i = 0; i < pl; ++i) s += row[i];
+          gbp[co] += static_cast<float>(s);
+        }
+      }
+    }
+    accumulate_grad(ix, gx);
+    accumulate_grad(iw, gw);
+    if (has_bias) accumulate_grad(ib, gb);
+  };
+  return Var::from_op(std::move(out), node);
+}
+
+Var maxpool2d(const Var& x, int64_t kernel) {
+  SAUFNO_CHECK(x.value().dim() == 4, "maxpool2d input must be [B,C,H,W]");
+  const int64_t B = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  SAUFNO_CHECK(h >= kernel && w >= kernel,
+               "maxpool2d: input smaller than kernel");
+  const int64_t oh = conv_out_size(h, kernel, kernel, 0);
+  const int64_t ow = conv_out_size(w, kernel, kernel, 0);
+  Tensor out({B, c, oh, ow});
+  auto argmax = std::make_shared<std::vector<int64_t>>(
+      static_cast<std::size_t>(B * c * oh * ow));
+  for (int64_t n = 0; n < B; ++n) {
+    saufno::maxpool2d(x.value().data() + n * c * h * w,
+                      out.data() + n * c * oh * ow,
+                      argmax->data() + n * c * oh * ow, c, h, w, kernel,
+                      kernel);
+  }
+  if (!x.requires_grad()) return Var(std::move(out));
+  auto node = std::make_shared<Node>();
+  node->name = "maxpool2d";
+  node->inputs.push_back(x.impl());
+  auto ix = x.impl();
+  node->backward = [=](const Tensor& g) {
+    Tensor gx = Tensor::zeros({B, c, h, w});
+    const float* gp = g.data();
+    float* gxp = gx.data();
+    const int64_t pooled = oh * ow;
+    for (int64_t n = 0; n < B; ++n) {
+      for (int64_t ci = 0; ci < c; ++ci) {
+        const int64_t base = (n * c + ci);
+        const float* gplane = gp + base * pooled;
+        float* gxplane = gxp + base * h * w;
+        const int64_t* arg = argmax->data() + base * pooled;
+        for (int64_t i = 0; i < pooled; ++i) gxplane[arg[i]] += gplane[i];
+      }
+    }
+    accumulate_grad(ix, gx);
+  };
+  return Var::from_op(std::move(out), node);
+}
+
+}  // namespace ops
+}  // namespace saufno

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "autograd/variable.h"
+
+namespace saufno {
+namespace ops {
+
+/// Differentiable 2-D convolution.
+///   x: [B, Cin, H, W]
+///   w: [Cout, Cin, kh, kw]
+///   b: [Cout] (optional: pass an undefined Var to skip)
+/// Implemented as im2col + gemm per image; the backward recomputes the
+/// column buffer instead of caching it to keep activation memory flat
+/// (important for the U-Net encoder at training time on a small machine).
+Var conv2d(const Var& x, const Var& w, const Var& b, int64_t stride,
+           int64_t pad);
+
+/// Differentiable max pooling, kernel==stride (the U-Net uses 2x2).
+/// x: [B, C, H, W] -> [B, C, H/k, W/k]; backward scatters to the argmax.
+Var maxpool2d(const Var& x, int64_t kernel);
+
+}  // namespace ops
+}  // namespace saufno

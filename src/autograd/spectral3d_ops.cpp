@@ -1,0 +1,157 @@
+#include "autograd/spectral3d_ops.h"
+
+#include <complex>
+#include <vector>
+
+#include "common/logging.h"
+#include "fft/fft.h"
+
+namespace saufno {
+namespace ops {
+namespace {
+
+using detail::Node;
+using detail::accumulate_grad;
+
+/// (weight_index, spectrum_index) pairs for one signed-frequency axis:
+/// weight slots 0..m-1 hold positive frequencies, slots m..2m-1 negative
+/// ones; both clamped to the axis Nyquist limit n/2.
+std::vector<std::pair<int64_t, int64_t>> signed_axis_map(int64_t n,
+                                                         int64_t m) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  const int64_t me = std::min(m, n / 2);
+  out.reserve(static_cast<std::size_t>(2 * me));
+  for (int64_t r = 0; r < me; ++r) out.emplace_back(r, r);
+  for (int64_t s = 0; s < me; ++s) out.emplace_back(m + s, n - me + s);
+  return out;
+}
+
+}  // namespace
+
+Var spectral_conv3d(const Var& x, const Var& w, int64_t m1, int64_t m2,
+                    int64_t m3, int64_t cout) {
+  SAUFNO_CHECK(x.value().dim() == 5,
+               "spectral_conv3d input must be [B,C,D,H,W]");
+  SAUFNO_CHECK(w.value().dim() == 6,
+               "spectral_conv3d weight must be [Cin,Cout,2*m1,2*m2,m3,2]");
+  const int64_t B = x.size(0), cin = x.size(1), D = x.size(2),
+                H = x.size(3), W = x.size(4);
+  SAUFNO_CHECK(w.size(0) == cin && w.size(1) == cout &&
+                   w.size(2) == 2 * m1 && w.size(3) == 2 * m2 &&
+                   w.size(4) == m3 && w.size(5) == 2,
+               "spectral_conv3d weight shape mismatch");
+  const int64_t vol = D * H * W;
+  const auto map_d = signed_axis_map(D, m1);
+  const auto map_h = signed_axis_map(H, m2);
+  const int64_t m3e = std::min(m3, W / 2);
+
+  auto widx = [=](int64_t i, int64_t o, int64_t r, int64_t c, int64_t k) {
+    return ((((i * cout + o) * (2 * m1) + r) * (2 * m2) + c) * m3 + k) * 2;
+  };
+  auto koff = [=](int64_t kd, int64_t kh, int64_t kw) {
+    return (kd * H + kh) * W + kw;
+  };
+
+  std::vector<cfloat> xf(static_cast<std::size_t>(B * cin * vol));
+  {
+    const float* xp = x.value().data();
+    for (int64_t i = 0; i < B * cin * vol; ++i) {
+      xf[static_cast<std::size_t>(i)] = cfloat(xp[i], 0.f);
+    }
+    fft_3d(xf.data(), B * cin, D, H, W, /*inverse=*/false);
+  }
+
+  std::vector<cfloat> yf(static_cast<std::size_t>(B * cout * vol),
+                         cfloat(0.f, 0.f));
+  const float* wp = w.value().data();
+  for (int64_t b = 0; b < B; ++b) {
+    for (const auto& [wr, kd] : map_d) {
+      for (const auto& [wc, kh] : map_h) {
+        for (int64_t k = 0; k < m3e; ++k) {
+          const int64_t off = koff(kd, kh, k);
+          for (int64_t o = 0; o < cout; ++o) {
+            cfloat acc(0.f, 0.f);
+            for (int64_t i = 0; i < cin; ++i) {
+              const float* wcplx = wp + widx(i, o, wr, wc, k);
+              acc += cfloat(wcplx[0], wcplx[1]) *
+                     xf[static_cast<std::size_t>((b * cin + i) * vol + off)];
+            }
+            yf[static_cast<std::size_t>((b * cout + o) * vol + off)] = acc;
+          }
+        }
+      }
+    }
+  }
+  fft_3d(yf.data(), B * cout, D, H, W, /*inverse=*/true);
+  Tensor out({B, cout, D, H, W});
+  {
+    float* op = out.data();
+    for (int64_t i = 0; i < B * cout * vol; ++i) {
+      op[i] = yf[static_cast<std::size_t>(i)].real();
+    }
+  }
+
+  if (!any_requires_grad({x, w})) return Var(std::move(out));
+
+  auto node = std::make_shared<Node>();
+  node->name = "spectral_conv3d";
+  node->inputs = {x.impl(), w.impl()};
+  auto ix = x.impl(), iw = w.impl();
+  node->backward = [=](const Tensor& g) {
+    std::vector<cfloat> gf(static_cast<std::size_t>(B * cout * vol));
+    const float* gp = g.data();
+    for (int64_t i = 0; i < B * cout * vol; ++i) {
+      gf[static_cast<std::size_t>(i)] = cfloat(gp[i], 0.f);
+    }
+    fft_3d(gf.data(), B * cout, D, H, W, /*inverse=*/true);
+
+    std::vector<cfloat> xf2(static_cast<std::size_t>(B * cin * vol));
+    const float* xp = ix->value.data();
+    for (int64_t i = 0; i < B * cin * vol; ++i) {
+      xf2[static_cast<std::size_t>(i)] = cfloat(xp[i], 0.f);
+    }
+    fft_3d(xf2.data(), B * cin, D, H, W, /*inverse=*/false);
+
+    const float* wp2 = iw->value.data();
+    Tensor gw = Tensor::zeros(iw->value.shape());
+    float* gwp = gw.data();
+    std::vector<cfloat> z(static_cast<std::size_t>(B * cin * vol),
+                          cfloat(0.f, 0.f));
+    for (int64_t b = 0; b < B; ++b) {
+      for (const auto& [wr, kd] : map_d) {
+        for (const auto& [wc, kh] : map_h) {
+          for (int64_t k = 0; k < m3e; ++k) {
+            const int64_t off = koff(kd, kh, k);
+            for (int64_t o = 0; o < cout; ++o) {
+              const cfloat gk =
+                  gf[static_cast<std::size_t>((b * cout + o) * vol + off)];
+              for (int64_t i = 0; i < cin; ++i) {
+                const float* wcplx = wp2 + widx(i, o, wr, wc, k);
+                z[static_cast<std::size_t>((b * cin + i) * vol + off)] +=
+                    gk * cfloat(wcplx[0], wcplx[1]);
+                const cfloat gw_c =
+                    gk *
+                    xf2[static_cast<std::size_t>((b * cin + i) * vol + off)];
+                float* gwc = gwp + widx(i, o, wr, wc, k);
+                gwc[0] += gw_c.real();
+                gwc[1] -= gw_c.imag();
+              }
+            }
+          }
+        }
+      }
+    }
+    fft_3d(z.data(), B * cin, D, H, W, /*inverse=*/false);
+    Tensor gx({B, cin, D, H, W});
+    float* gxp = gx.data();
+    for (int64_t i = 0; i < B * cin * vol; ++i) {
+      gxp[i] = z[static_cast<std::size_t>(i)].real();
+    }
+    accumulate_grad(ix, gx);
+    accumulate_grad(iw, gw);
+  };
+  return Var::from_op(std::move(out), node);
+}
+
+}  // namespace ops
+}  // namespace saufno

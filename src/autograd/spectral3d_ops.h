@@ -1,0 +1,29 @@
+#pragma once
+
+#include "autograd/variable.h"
+
+namespace saufno {
+namespace ops {
+
+/// Differentiable 3-D Fourier-domain convolution — the volumetric kernel
+/// integral operator for models that predict the FULL 3-D temperature
+/// distribution (Section IV-A: "The model output is a three-dimensional
+/// temperature distribution").
+///
+///   x: [B, Cin, D, H, W] real
+///   w: [Cin, Cout, 2*m1, 2*m2, m3, 2] — complex kernel; the first two
+///      mode dims carry positive and negative frequencies along D and H
+///      (same row convention as the 2-D op), the third keeps k3 = 0..m3-1;
+///      the last dim is (re, im).
+///
+/// Forward: y = Re( IFFT3( W(k) * FFT3(x) ) ) on the kept mode set; the
+/// backward applies the same adjoints as the 2-D case extended to three
+/// axes (see DESIGN.md):
+///   gx = Re( FFT3( IFFT3(g) ⊙ W ) ),   gW = conj( IFFT3(g) ⊙ FFT3(x) ).
+/// Modes are clamped to each axis's Nyquist limit, so one parameter set
+/// serves every grid — including the thin z-axis of chip stacks.
+Var spectral_conv3d(const Var& x, const Var& w, int64_t m1, int64_t m2,
+                    int64_t m3, int64_t cout);
+
+}  // namespace ops
+}  // namespace saufno

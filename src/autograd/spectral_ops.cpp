@@ -1,0 +1,163 @@
+#include "autograd/spectral_ops.h"
+
+#include <complex>
+#include <vector>
+
+#include "common/logging.h"
+#include "fft/fft.h"
+
+namespace saufno {
+namespace ops {
+namespace {
+
+using detail::Node;
+using detail::accumulate_grad;
+
+/// Kept-mode row indices in the H-point spectrum for effective mode count
+/// m1e out of configured m1: weight row r < m1 maps to k1 = r (kept iff
+/// r < m1e), weight row m1 + s maps to k1 = H - m1e + s... see below.
+struct ModeMap {
+  // (weight_row, spectrum_row) pairs actually used at this resolution.
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  int64_t m2e = 0;  // columns 0..m2e-1 used
+};
+
+ModeMap make_mode_map(int64_t H, int64_t W, int64_t m1, int64_t m2) {
+  ModeMap mm;
+  const int64_t m1e = std::min(m1, H / 2);
+  mm.m2e = std::min(m2, W / 2);
+  mm.rows.reserve(static_cast<std::size_t>(2 * m1e));
+  // Positive frequencies: weight rows 0..m1e-1 -> spectrum rows 0..m1e-1.
+  for (int64_t r = 0; r < m1e; ++r) mm.rows.emplace_back(r, r);
+  // Negative frequencies: weight rows m1..m1+m1e-1 -> spectrum rows
+  // H-m1e..H-1. Indexing from m1 (not 2*m1-m1e) keeps a given weight row
+  // bound to the same frequency k1 at every resolution, which transfer
+  // learning across fidelities relies on.
+  for (int64_t s = 0; s < m1e; ++s) mm.rows.emplace_back(m1 + s, H - m1e + s);
+  return mm;
+}
+
+}  // namespace
+
+Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
+                    int64_t cout) {
+  SAUFNO_CHECK(x.value().dim() == 4, "spectral_conv2d input must be [B,C,H,W]");
+  SAUFNO_CHECK(w.value().dim() == 5,
+               "spectral_conv2d weight must be [Cin,Cout,2*m1,m2,2]");
+  const int64_t B = x.size(0), cin = x.size(1), H = x.size(2), W = x.size(3);
+  SAUFNO_CHECK(w.size(0) == cin && w.size(1) == cout &&
+                   w.size(2) == 2 * m1 && w.size(3) == m2 && w.size(4) == 2,
+               "spectral_conv2d weight shape mismatch");
+  const int64_t plane = H * W;
+  const ModeMap mm = make_mode_map(H, W, m1, m2);
+
+  // FFT of every input channel: Xf[b, i] (complex plane).
+  std::vector<cfloat> xf(static_cast<std::size_t>(B * cin * plane));
+  {
+    const float* xp = x.value().data();
+    for (int64_t i = 0; i < B * cin * plane; ++i) {
+      xf[static_cast<std::size_t>(i)] = cfloat(xp[i], 0.f);
+    }
+    fft_2d(xf.data(), B * cin, H, W, /*inverse=*/false);
+  }
+
+  auto widx = [m2, m1](int64_t i, int64_t o, int64_t r, int64_t c,
+                       int64_t cout_) {
+    return (((i * cout_ + o) * (2 * m1) + r) * m2 + c) * 2;
+  };
+
+  // Mix channels on the kept modes: Yf[b, o, k] = sum_i W[i,o,k] Xf[b,i,k].
+  std::vector<cfloat> yf(static_cast<std::size_t>(B * cout * plane),
+                         cfloat(0.f, 0.f));
+  const float* wp = w.value().data();
+  for (int64_t b = 0; b < B; ++b) {
+    for (const auto& [wr, kr] : mm.rows) {
+      for (int64_t c = 0; c < mm.m2e; ++c) {
+        const int64_t koff = kr * W + c;
+        for (int64_t o = 0; o < cout; ++o) {
+          cfloat acc(0.f, 0.f);
+          for (int64_t i = 0; i < cin; ++i) {
+            const float* wc = wp + widx(i, o, wr, c, cout);
+            const cfloat wk(wc[0], wc[1]);
+            acc += wk * xf[static_cast<std::size_t>((b * cin + i) * plane + koff)];
+          }
+          yf[static_cast<std::size_t>((b * cout + o) * plane + koff)] = acc;
+        }
+      }
+    }
+  }
+  fft_2d(yf.data(), B * cout, H, W, /*inverse=*/true);
+  Tensor out({B, cout, H, W});
+  {
+    float* op = out.data();
+    for (int64_t i = 0; i < B * cout * plane; ++i) {
+      op[i] = yf[static_cast<std::size_t>(i)].real();
+    }
+  }
+
+  if (!any_requires_grad({x, w})) return Var(std::move(out));
+
+  auto node = std::make_shared<Node>();
+  node->name = "spectral_conv2d";
+  node->inputs = {x.impl(), w.impl()};
+  auto ix = x.impl(), iw = w.impl();
+  node->backward = [=](const Tensor& g) {
+    // G[b,o] = IFFT2(g[b,o])  (complex).
+    std::vector<cfloat> gf(static_cast<std::size_t>(B * cout * plane));
+    const float* gp = g.data();
+    for (int64_t i = 0; i < B * cout * plane; ++i) {
+      gf[static_cast<std::size_t>(i)] = cfloat(gp[i], 0.f);
+    }
+    fft_2d(gf.data(), B * cout, H, W, /*inverse=*/true);
+
+    // Recompute Xf (cheaper than caching activations across a whole epoch).
+    std::vector<cfloat> xf2(static_cast<std::size_t>(B * cin * plane));
+    const float* xp = ix->value.data();
+    for (int64_t i = 0; i < B * cin * plane; ++i) {
+      xf2[static_cast<std::size_t>(i)] = cfloat(xp[i], 0.f);
+    }
+    fft_2d(xf2.data(), B * cin, H, W, /*inverse=*/false);
+
+    const float* wp2 = iw->value.data();
+    Tensor gw = Tensor::zeros(iw->value.shape());
+    float* gwp = gw.data();
+    // Z[b,i,k] = sum_o G[b,o,k] * W[i,o,k]  -> gx = Re(FFT2(Z)).
+    std::vector<cfloat> z(static_cast<std::size_t>(B * cin * plane),
+                          cfloat(0.f, 0.f));
+    for (int64_t b = 0; b < B; ++b) {
+      for (const auto& [wr, kr] : mm.rows) {
+        for (int64_t c = 0; c < mm.m2e; ++c) {
+          const int64_t koff = kr * W + c;
+          for (int64_t o = 0; o < cout; ++o) {
+            const cfloat gk =
+                gf[static_cast<std::size_t>((b * cout + o) * plane + koff)];
+            for (int64_t i = 0; i < cin; ++i) {
+              const float* wc = wp2 + widx(i, o, wr, c, cout);
+              const cfloat wk(wc[0], wc[1]);
+              z[static_cast<std::size_t>((b * cin + i) * plane + koff)] +=
+                  gk * wk;
+              // gW[i,o,k] += conj(G[b,o,k] * Xf[b,i,k])
+              const cfloat gx_w =
+                  gk * xf2[static_cast<std::size_t>((b * cin + i) * plane + koff)];
+              float* gwc = gwp + widx(i, o, wr, c, cout);
+              gwc[0] += gx_w.real();
+              gwc[1] -= gx_w.imag();
+            }
+          }
+        }
+      }
+    }
+    fft_2d(z.data(), B * cin, H, W, /*inverse=*/false);
+    Tensor gx({B, cin, H, W});
+    float* gxp = gx.data();
+    for (int64_t i = 0; i < B * cin * plane; ++i) {
+      gxp[i] = z[static_cast<std::size_t>(i)].real();
+    }
+    accumulate_grad(ix, gx);
+    accumulate_grad(iw, gw);
+  };
+  return Var::from_op(std::move(out), node);
+}
+
+}  // namespace ops
+}  // namespace saufno

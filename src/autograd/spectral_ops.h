@@ -1,0 +1,30 @@
+#pragma once
+
+#include "autograd/variable.h"
+
+namespace saufno {
+namespace ops {
+
+/// Differentiable Fourier-domain convolution — the kernel integral operator
+/// K of Eq. (6)/(8) in the paper.
+///
+///   x: [B, Cin, H, W] real
+///   w: [Cin, Cout, 2*m1, m2, 2] — learnable complex kernel rho(xi); the
+///      last dim holds (re, im); row r < m1 addresses frequency k1 = r and
+///      row r >= m1 addresses the negative frequency k1 = H - (2*m1 - r);
+///      columns address k2 = 0..m2-1.
+///
+/// Forward: y = Re( IFFT2( W(k) * FFT2(x) ) ) with modes outside the kept
+/// set zeroed. The op is real-linear in x, so the backward uses the adjoint
+/// derived in DESIGN.md:
+///   gx = Re( FFT2( IFFT2(g) ⊙ W ) ),   gW = conj( IFFT2(g) ⊙ FFT2(x) ).
+///
+/// Mesh invariance: when H (or W) is too small for the configured modes the
+/// kept set is clamped to m1_eff = min(m1, H/2), m2_eff = min(m2, W/2); the
+/// extra weights simply stay unused at coarse resolutions, which is what
+/// lets one parameter set serve both fidelities in transfer learning.
+Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
+                    int64_t cout);
+
+}  // namespace ops
+}  // namespace saufno

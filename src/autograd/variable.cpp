@@ -1,0 +1,126 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace detail {
+
+void accumulate_grad(const std::shared_ptr<VarImpl>& impl, const Tensor& g) {
+  if (!impl || !impl->requires_grad) return;
+  SAUFNO_CHECK(g.shape() == impl->value.shape(),
+               "gradient shape " + shape_str(g.shape()) +
+                   " does not match value shape " +
+                   shape_str(impl->value.shape()));
+  if (!impl->grad.defined()) {
+    impl->grad = g.clone();
+  } else {
+    impl->grad.add_(g);
+  }
+}
+
+}  // namespace detail
+
+Var::Var() = default;
+
+Var::Var(Tensor value, bool requires_grad)
+    : impl_(std::make_shared<detail::VarImpl>()) {
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::value() const {
+  SAUFNO_CHECK(impl_ != nullptr, "value() on undefined Var");
+  return impl_->value;
+}
+
+Tensor& Var::value() {
+  SAUFNO_CHECK(impl_ != nullptr, "value() on undefined Var");
+  return impl_->value;
+}
+
+bool Var::requires_grad() const {
+  return impl_ != nullptr && impl_->requires_grad;
+}
+
+Tensor Var::grad() const {
+  SAUFNO_CHECK(impl_ != nullptr, "grad() on undefined Var");
+  if (!impl_->grad.defined()) return Tensor::zeros(impl_->value.shape());
+  return impl_->grad;
+}
+
+void Var::zero_grad() {
+  if (impl_ && impl_->grad.defined()) impl_->grad.fill_(0.f);
+}
+
+void Var::backward() {
+  SAUFNO_CHECK(impl_ != nullptr, "backward() on undefined Var");
+  SAUFNO_CHECK(impl_->value.numel() == 1,
+               "backward() requires a scalar loss, got shape " +
+                   shape_str(impl_->value.shape()));
+
+  // Iterative post-order DFS over producer nodes (recursion would overflow
+  // on deep training graphs). Reversed post-order of a DAG is a valid
+  // topological order: every consumer runs before its producers, so a
+  // node's output grad is fully accumulated before its backward fires.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  struct Frame {
+    detail::Node* node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  if (impl_->node) {
+    stack.push_back({impl_->node.get(), 0});
+    visited.insert(impl_->node.get());
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < f.node->inputs.size()) {
+      detail::Node* child = f.node->inputs[f.next_child]->node.get();
+      ++f.next_child;
+      if (child != nullptr && visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed dL/dL = 1, then run backward rules consumers-first.
+  detail::accumulate_grad(impl_, Tensor::ones(impl_->value.shape()));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* node = *it;
+    if (node->output == nullptr || !node->output->grad.defined()) {
+      // No gradient reached this branch (e.g. an op feeding only a detached
+      // metric); nothing to propagate.
+      continue;
+    }
+    node->backward(node->output->grad);
+  }
+}
+
+Var Var::detach() const {
+  SAUFNO_CHECK(impl_ != nullptr, "detach() on undefined Var");
+  return Var(impl_->value, /*requires_grad=*/false);
+}
+
+Var Var::from_op(Tensor value, std::shared_ptr<detail::Node> node) {
+  Var v(std::move(value), /*requires_grad=*/node != nullptr);
+  if (node) {
+    node->output = v.impl().get();
+    v.impl()->node = std::move(node);
+  }
+  return v;
+}
+
+bool any_requires_grad(const std::vector<Var>& vars) {
+  for (const auto& v : vars) {
+    if (v.requires_grad()) return true;
+  }
+  return false;
+}
+
+}  // namespace saufno

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace saufno {
+
+class Var;
+
+namespace detail {
+
+struct VarImpl;
+
+/// A producer node in the define-by-run autograd graph.
+struct Node {
+  std::string name;  // op name, for debugging / graph dumps
+  /// Inputs kept alive by the node; grads are accumulated into their impls.
+  std::vector<std::shared_ptr<VarImpl>> inputs;
+  /// The impl this node produced. Non-owning: the output impl owns the node
+  /// (VarImpl -> shared_ptr<Node>), so the node cannot outlive its output.
+  VarImpl* output = nullptr;
+  /// Backward rule: receives dL/d(output) and must accumulate dL/d(input_i)
+  /// into inputs[i] via accumulate_grad.
+  std::function<void(const Tensor& grad_out)> backward;
+};
+
+struct VarImpl {
+  Tensor value;
+  Tensor grad;  // undefined until first accumulation
+  bool requires_grad = false;
+  std::shared_ptr<Node> node;  // producer; null for leaves
+};
+
+/// Accumulate `g` into the impl's grad buffer (allocating on first use).
+/// No-op when the impl does not require grad — callers can accumulate
+/// unconditionally and keep backward rules simple.
+void accumulate_grad(const std::shared_ptr<VarImpl>& impl, const Tensor& g);
+
+}  // namespace detail
+
+/// Differentiable tensor handle (the "torch.Tensor with requires_grad" of
+/// this library). Copying a Var is O(1) and shares value, grad and graph.
+///
+/// Typical use:
+///   Var w(Tensor::randn({k, n}, rng), /*requires_grad=*/true);
+///   Var loss = mse_loss(matmul(x, w), target);
+///   loss.backward();
+///   // w.grad() now holds dL/dw
+class Var {
+ public:
+  /// Undefined Var (no storage). `defined()` is false.
+  Var();
+  /// Leaf variable wrapping `value`.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr && impl_->value.defined(); }
+  const Tensor& value() const;
+  Tensor& value();
+  const Shape& shape() const { return value().shape(); }
+  int64_t size(int64_t i) const { return value().size(i); }
+  int64_t numel() const { return value().numel(); }
+
+  bool requires_grad() const;
+  /// Gradient tensor; zeros of the value's shape if never accumulated.
+  Tensor grad() const;
+  void zero_grad();
+
+  /// Runs reverse-mode accumulation from this (scalar) variable:
+  /// topologically sorts the producer graph and applies each node's
+  /// backward rule exactly once, consumers before producers.
+  void backward();
+
+  /// A leaf view of the same value with the graph cut (no grad flows).
+  Var detach() const;
+
+  std::shared_ptr<detail::VarImpl> impl() const { return impl_; }
+
+  /// Internal factory used by ops: wraps a computed value together with its
+  /// producer node. requires_grad is true iff the node is non-null.
+  static Var from_op(Tensor value, std::shared_ptr<detail::Node> node);
+
+ private:
+  std::shared_ptr<detail::VarImpl> impl_;
+};
+
+/// True if any input requires grad (i.e. the op must record a node).
+bool any_requires_grad(const std::vector<Var>& vars);
+
+}  // namespace saufno

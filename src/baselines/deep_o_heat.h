@@ -1,0 +1,46 @@
+#pragma once
+
+#include "nn/activation.h"
+#include "nn/linear.h"
+
+namespace saufno {
+namespace baselines {
+
+/// DeepOHeat baseline [21]: DeepONet-style operator learning for thermal
+/// fields. A branch net encodes the power distribution (sampled at a fixed
+/// sensor grid so the model stays resolution independent) and a trunk net
+/// encodes query coordinates; the prediction at a pixel is the inner
+/// product of branch and trunk features:
+///
+///   T(b, c, y, x) = sum_p  branch_p(power_b)[c] * trunk_p(y, x)  + bias_c
+///
+/// This is the "DeepOHeat" row of Table II. The published system couples
+/// this with physics-informed training; here it is trained on the same
+/// supervised data as every other model so that Table II compares
+/// architectures, not training signals (the paper does the same).
+class DeepOHeat : public nn::Module {
+ public:
+  struct Config {
+    int64_t in_channels = 3;
+    int64_t out_channels = 1;
+    int64_t sensor_grid = 16;  // branch input is resampled to this size
+    int64_t hidden = 64;       // MLP width of branch and trunk
+    int64_t p = 32;            // basis count (inner-product dimension)
+    int64_t depth = 3;         // hidden layers per net
+  };
+
+  DeepOHeat(const Config& cfg, Rng& rng);
+  Var forward(const Var& x) override;
+
+ private:
+  /// Trunk input: [N, 2] normalized (y, x) coordinates for an HxW grid.
+  Tensor make_coords(int64_t h, int64_t w) const;
+
+  Config cfg_;
+  nn::Sequential* branch_;
+  nn::Sequential* trunk_;
+  Var out_bias_;  // [out_channels]
+};
+
+}  // namespace baselines
+}  // namespace saufno

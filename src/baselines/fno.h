@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/ufno_layer.h"
+#include "nn/linear.h"
+
+namespace saufno {
+namespace baselines {
+
+/// Plain Fourier Neural Operator baseline (Li et al. [23]): lifting,
+/// `n_layers` Fourier layers (Eq. 6 — no U-Net bypass), projection.
+/// This is the "FNO" row of Table II and the first column of Table III.
+class Fno : public nn::Module {
+ public:
+  struct Config {
+    int64_t in_channels = 3;
+    int64_t out_channels = 1;
+    int64_t width = 16;
+    int64_t modes1 = 12;
+    int64_t modes2 = 12;
+    int64_t n_layers = 4;
+  };
+
+  Fno(const Config& cfg, Rng& rng);
+  Var forward(const Var& x) override;
+
+ private:
+  Config cfg_;
+  nn::PointwiseConv* lift1_;
+  nn::PointwiseConv* lift2_;
+  std::vector<core::UFourierLayer*> layers_;
+  nn::PointwiseConv* proj1_;
+  nn::PointwiseConv* proj2_;
+};
+
+}  // namespace baselines
+}  // namespace saufno

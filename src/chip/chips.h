@@ -1,0 +1,31 @@
+#pragma once
+
+#include "chip/floorplan.h"
+
+namespace saufno {
+namespace chip {
+
+/// The three 3-D ICs of Section IV-A / Fig. 3 / Table I, all based on the
+/// Alpha 21264 EV6 architecture [32] in a face-to-back stack.
+
+/// Chip1 — single-core, two device layers (16 x 16 mm, 0.15 mm each):
+///   lower layer: three L2 caches; upper layer: core + two L1s + one L2.
+ChipSpec make_chip1();
+
+/// Chip2 — quad-core, three device layers (12.4 x 12.76 mm):
+///   two identical L2 layers (two caches each) below a four-core layer
+///   closest to the heat sink.
+ChipSpec make_chip2();
+
+/// Chip3 — octa-core, two device layers (10 x 10 mm, 0.1 mm):
+///   lower layer: four L2 caches; upper layer: eight cores + crossbar.
+ChipSpec make_chip3();
+
+/// All three, in order (convenience for the benches).
+std::vector<ChipSpec> all_chips();
+
+/// Lookup by name ("chip1".."chip3"); throws on unknown name.
+ChipSpec chip_by_name(const std::string& name);
+
+}  // namespace chip
+}  // namespace saufno

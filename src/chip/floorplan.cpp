@@ -1,0 +1,80 @@
+#include "chip/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace chip {
+
+double Block::overlap(double x0, double y0, double x1, double y1) const {
+  const double ox = std::max(0.0, std::min(x + w, x1) - std::max(x, x0));
+  const double oy = std::max(0.0, std::min(y + h, y1) - std::max(y, y0));
+  return ox * oy;
+}
+
+void Floorplan::validate() const {
+  constexpr double kTol = 1e-9;
+  double total = 0.0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const Block& b = blocks[i];
+    SAUFNO_CHECK(b.w > 0 && b.h > 0, "block '" + b.name + "' has empty area");
+    SAUFNO_CHECK(b.x >= -kTol && b.y >= -kTol && b.x + b.w <= 1.0 + kTol &&
+                     b.y + b.h <= 1.0 + kTol,
+                 "block '" + b.name + "' extends outside the die");
+    total += b.area_fraction();
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      const Block& c = blocks[j];
+      const double ov = b.overlap(c.x, c.y, c.x + c.w, c.y + c.h);
+      SAUFNO_CHECK(ov <= kTol, "blocks '" + b.name + "' and '" + c.name +
+                                   "' overlap");
+    }
+  }
+  SAUFNO_CHECK(total <= 1.0 + 1e-6, "floorplan covers more than the die");
+}
+
+const Block* Floorplan::find(const std::string& name) const {
+  for (const auto& b : blocks) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<int> ChipSpec::device_layer_indices() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].is_device) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int ChipSpec::num_device_layers() const {
+  return static_cast<int>(device_layer_indices().size());
+}
+
+int ChipSpec::num_power_blocks() const {
+  int n = 0;
+  for (const auto& l : layers) {
+    if (l.is_device) n += static_cast<int>(l.floorplan.blocks.size());
+  }
+  return n;
+}
+
+void ChipSpec::validate() const {
+  SAUFNO_CHECK(die_w > 0 && die_h > 0, "chip '" + name + "': bad die size");
+  SAUFNO_CHECK(!layers.empty(), "chip '" + name + "': no layers");
+  SAUFNO_CHECK(num_device_layers() >= 1,
+               "chip '" + name + "': no device layers");
+  for (const auto& l : layers) {
+    SAUFNO_CHECK(l.thickness > 0, "layer '" + l.name + "': bad thickness");
+    SAUFNO_CHECK(l.material.conductivity > 0,
+                 "layer '" + l.name + "': bad conductivity");
+    if (l.is_device) l.floorplan.validate();
+  }
+  SAUFNO_CHECK(total_power_min > 0 && total_power_max >= total_power_min,
+               "chip '" + name + "': bad power range");
+}
+
+}  // namespace chip
+}  // namespace saufno

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chip/material.h"
+
+namespace saufno {
+namespace chip {
+
+/// Functional-block kinds; power sampling weights them differently (cores
+/// dissipate far more per area than caches, which is what creates the
+/// hotspots the paper's figures show).
+enum class BlockKind { kCore, kL1Cache, kL2Cache, kInterconnect };
+
+/// A rectangular functional block in normalized die coordinates
+/// (x, y, w, h in [0, 1]; y grows downward like the figures).
+struct Block {
+  std::string name;
+  BlockKind kind;
+  double x, y, w, h;
+
+  double area_fraction() const { return w * h; }
+  /// Overlap area fraction with the axis-aligned rectangle [x0,x1)x[y0,y1).
+  double overlap(double x0, double y0, double x1, double y1) const;
+};
+
+/// One floorplan = the blocks of one device layer.
+struct Floorplan {
+  std::vector<Block> blocks;
+
+  /// Validation: every block inside the die, no pairwise overlap beyond a
+  /// tolerance, total coverage <= 1. Throws on violation.
+  void validate() const;
+  const Block* find(const std::string& name) const;
+};
+
+/// One physical layer of the 3-D stack, bottom-up.
+struct LayerSpec {
+  std::string name;
+  double thickness;    // meters
+  Material material;
+  bool is_device = false;  // true: carries a floorplan and dissipates power
+  Floorplan floorplan;     // only for device layers
+};
+
+/// Complete 3-D chip description (geometry of Table I + floorplans of
+/// Fig. 3 + boundary/power parameters used by the solvers).
+struct ChipSpec {
+  std::string name;
+  double die_w, die_h;            // meters (the device-layer footprint)
+  std::vector<LayerSpec> layers;  // ordered bottom (package) -> top (sink)
+
+  // Boundary conditions. The heat sink (spreader + base + 21 fins of
+  // Table I) is folded into an effective heat-transfer coefficient at the
+  // top of the modeled stack; the package side leaks weakly.
+  double ambient = 318.0;   // K
+  double h_top = 2.2e4;     // W/(m^2 K), effective fins+convection at sink
+  double h_bottom = 150.0;  // W/(m^2 K), through-package leakage
+
+  // Power sampling range for the random workload generator.
+  double total_power_min = 40.0, total_power_max = 90.0;  // W
+
+  // TSV array parameters (Table I: diameter 0.01 mm, pitch 0.01 mm).
+  double tsv_diameter = 1e-5, tsv_pitch = 1e-5;
+  double tsv_conductivity = 100.0;
+
+  std::vector<int> device_layer_indices() const;
+  int num_device_layers() const;
+  /// Sum of block-count over device layers (used by the power generator).
+  int num_power_blocks() const;
+  void validate() const;
+};
+
+}  // namespace chip
+}  // namespace saufno

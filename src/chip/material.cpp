@@ -1,0 +1,31 @@
+#include "chip/material.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace chip {
+namespace materials {
+
+Material device_silicon() { return {"device-silicon", 100.0, 1.75e6}; }
+Material tim() { return {"TIM", 4.0, 4.00e6}; }
+Material copper() { return {"copper", 400.0, 3.55e6}; }
+
+}  // namespace materials
+
+double tsv_effective_conductivity(double layer_k, double tsv_k,
+                                  double tsv_diameter, double tsv_pitch) {
+  SAUFNO_CHECK(tsv_pitch > 0.0 && tsv_diameter >= 0.0,
+               "bad TSV geometry");
+  SAUFNO_CHECK(tsv_diameter <= tsv_pitch,
+               "TSV diameter cannot exceed pitch");
+  // Area fraction of a square-pitch array of circular vias.
+  const double cell = tsv_pitch * tsv_pitch;
+  const double via = M_PI * tsv_diameter * tsv_diameter / 4.0;
+  const double f = via / cell;
+  return (1.0 - f) * layer_k + f * tsv_k;
+}
+
+}  // namespace chip
+}  // namespace saufno

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+namespace saufno {
+namespace chip {
+
+/// Bulk thermal properties of a stack material (Table I of the paper).
+struct Material {
+  std::string name;
+  double conductivity;    // W/(m K)
+  double heat_capacity;   // volumetric, J/(m^3 K)
+};
+
+/// The material set of Table I. Device layers and TSVs share k = 100,
+/// c = 1.75e6; TIM is k = 4, c = 4.0e6; spreader and sink are k = 400,
+/// c = 3.55e6 (copper-class).
+namespace materials {
+Material device_silicon();
+Material tim();
+Material copper();
+}  // namespace materials
+
+/// Effective vertical conductivity of a layer penetrated by a TSV array
+/// (parallel thermal paths, volume-fraction weighted). With Table I's
+/// parameters (TSV k equal to layer k) this is the identity, but the
+/// helper keeps the physics explicit and is unit-tested for the general
+/// case (e.g. copper TSVs through oxide).
+double tsv_effective_conductivity(double layer_k, double tsv_k,
+                                  double tsv_diameter, double tsv_pitch);
+
+}  // namespace chip
+}  // namespace saufno

@@ -1,0 +1,99 @@
+#include "chip/power_gen.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace chip {
+
+double PowerAssignment::total() const {
+  double t = 0.0;
+  for (const auto& layer : power) {
+    for (double p : layer) t += p;
+  }
+  return t;
+}
+
+PowerGenerator::PowerGenerator(const ChipSpec& spec) : spec_(spec) {
+  spec_.validate();
+}
+
+double PowerGenerator::kind_weight(BlockKind k) {
+  switch (k) {
+    case BlockKind::kCore: return 3.0;
+    case BlockKind::kL1Cache: return 1.5;
+    case BlockKind::kL2Cache: return 1.0;
+    case BlockKind::kInterconnect: return 2.0;
+  }
+  return 1.0;
+}
+
+PowerAssignment PowerGenerator::sample(Rng& rng) const {
+  PowerAssignment pa;
+  pa.power.resize(spec_.layers.size());
+  double raw_total = 0.0;
+  for (std::size_t li = 0; li < spec_.layers.size(); ++li) {
+    const auto& layer = spec_.layers[li];
+    if (!layer.is_device) continue;
+    pa.power[li].resize(layer.floorplan.blocks.size(), 0.0);
+    for (std::size_t bi = 0; bi < layer.floorplan.blocks.size(); ++bi) {
+      const Block& b = layer.floorplan.blocks[bi];
+      // Areal density proportional to kind weight, jittered by a wide
+      // uniform factor so power distributions vary strongly across samples
+      // (the paper picks "significant power distribution variations").
+      const double density = kind_weight(b.kind) * rng.uniform(0.25, 1.75);
+      const double p = density * b.area_fraction();
+      pa.power[li][bi] = p;
+      raw_total += p;
+    }
+  }
+  // Rescale so the chip total is uniform in the configured range.
+  const double target =
+      rng.uniform(spec_.total_power_min, spec_.total_power_max);
+  SAUFNO_CHECK(raw_total > 0.0, "degenerate power sample");
+  const double s = target / raw_total;
+  for (auto& layer : pa.power) {
+    for (double& p : layer) p *= s;
+  }
+  return pa;
+}
+
+std::vector<std::vector<float>> PowerGenerator::rasterize(
+    const PowerAssignment& pa, int ny, int nx) const {
+  SAUFNO_CHECK(ny > 0 && nx > 0, "bad raster size");
+  std::vector<std::vector<float>> maps;
+  const double cell_area_frac = (1.0 / nx) * (1.0 / ny);
+  const double die_area = spec_.die_w * spec_.die_h;
+  for (std::size_t li = 0; li < spec_.layers.size(); ++li) {
+    const auto& layer = spec_.layers[li];
+    if (!layer.is_device) continue;
+    std::vector<float> map(static_cast<std::size_t>(ny) * nx, 0.f);
+    for (std::size_t bi = 0; bi < layer.floorplan.blocks.size(); ++bi) {
+      const Block& b = layer.floorplan.blocks[bi];
+      const double p = pa.power[li][bi];
+      if (p <= 0.0) continue;
+      // W per unit normalized area of the block.
+      const double density = p / b.area_fraction();
+      for (int i = 0; i < ny; ++i) {
+        const double y0 = static_cast<double>(i) / ny;
+        const double y1 = static_cast<double>(i + 1) / ny;
+        for (int j = 0; j < nx; ++j) {
+          const double x0 = static_cast<double>(j) / nx;
+          const double x1 = static_cast<double>(j + 1) / nx;
+          const double ov = b.overlap(x0, y0, x1, y1);
+          if (ov <= 0.0) continue;
+          // Watts in this cell -> areal density W/m^2.
+          const double watts = density * ov;
+          map[static_cast<std::size_t>(i) * nx + j] +=
+              static_cast<float>(watts / (cell_area_frac * die_area));
+        }
+      }
+    }
+    maps.push_back(std::move(map));
+  }
+  return maps;
+}
+
+}  // namespace chip
+}  // namespace saufno

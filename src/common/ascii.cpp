@@ -1,0 +1,74 @@
+#include "common/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace saufno {
+
+std::string ascii_heatmap(const std::vector<float>& field, int h, int w,
+                          float lo, float hi) {
+  // Dark -> hot ramp; ~10 levels is plenty for a terminal heatmap.
+  static const char ramp[] = " .:-=+*#%@";
+  constexpr int kLevels = 9;
+  if (lo >= hi) {
+    lo = *std::min_element(field.begin(), field.end());
+    hi = *std::max_element(field.begin(), field.end());
+  }
+  const float span = (hi > lo) ? (hi - lo) : 1.f;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(h) * (w + 1));
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < w; ++j) {
+      const float t = (field[static_cast<std::size_t>(i) * w + j] - lo) / span;
+      int idx = static_cast<int>(std::lround(t * kLevels));
+      idx = std::clamp(idx, 0, kLevels);
+      out.push_back(ramp[idx]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  if (widths_.empty()) {
+    widths_.resize(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths_[i] = std::max<int>(10, static_cast<int>(headers_[i].size()) + 2);
+    }
+  }
+}
+
+void TablePrinter::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string TablePrinter::str() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const int w = i < widths_.size() ? widths_[i] : 12;
+      os << cells[i];
+      const int pad = w - static_cast<int>(cells[i].size());
+      for (int p = 0; p < std::max(pad, 1); ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  int total = 0;
+  for (int w : widths_) total += w;
+  os << std::string(static_cast<std::size_t>(std::max(total, 8)), '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace saufno

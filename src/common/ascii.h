@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saufno {
+
+/// Render a scalar field (row-major, `h` rows × `w` cols) as an ASCII-art
+/// heatmap. Used by the Fig. 4 / Fig. 5 reproduction bench to show
+/// prediction-vs-ground-truth temperature maps directly in the terminal.
+/// Values are normalized between `lo` and `hi` (pass lo >= hi to autoscale).
+std::string ascii_heatmap(const std::vector<float>& field, int h, int w,
+                          float lo = 0.f, float hi = -1.f);
+
+/// Fixed-width table printer used by the table-reproduction benches so the
+/// output visually matches the paper tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths = {});
+  void add_row(const std::vector<std::string>& cells);
+  /// Render with a header rule; returns the whole table as one string.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper ("%.3f" etc.).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace saufno

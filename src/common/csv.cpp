@@ -1,0 +1,53 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace saufno {
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path);
+  SAUFNO_CHECK(impl_->out.good(), "cannot open CSV output: " + path);
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) impl_->out << ',';
+    // Quote cells containing separators; the data we emit is numeric or
+    // simple identifiers, so this minimal escaping suffices.
+    const bool needs_quote = cells[i].find_first_of(",\"\n") != std::string::npos;
+    if (needs_quote) {
+      impl_->out << '"';
+      for (char c : cells[i]) {
+        if (c == '"') impl_->out << '"';
+        impl_->out << c;
+      }
+      impl_->out << '"';
+    } else {
+      impl_->out << cells[i];
+    }
+  }
+  impl_->out << '\n';
+}
+
+void write_field_csv(const std::string& path, const std::vector<float>& field,
+                     int h, int w) {
+  std::ofstream out(path);
+  SAUFNO_CHECK(out.good(), "cannot open CSV output: " + path);
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < w; ++j) {
+      if (j) out << ',';
+      out << field[static_cast<std::size_t>(i) * w + j];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace saufno

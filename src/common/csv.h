@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saufno {
+
+/// Tiny CSV writer: benches dump the reproduced table/figure data to CSV so
+/// results can be diffed or plotted outside the terminal.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Write a 2-D scalar field as CSV (one row per grid row).
+void write_field_csv(const std::string& path, const std::vector<float>& field,
+                     int h, int w);
+
+}  // namespace saufno

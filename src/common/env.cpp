@@ -1,0 +1,31 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace saufno {
+
+Scale bench_scale() {
+  const char* v = std::getenv("SAUFNO_SCALE");
+  if (v != nullptr && std::strcmp(v, "paper") == 0) return Scale::kPaper;
+  return Scale::kSmoke;
+}
+
+const char* scale_name(Scale s) {
+  return s == Scale::kPaper ? "paper" : "smoke";
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+int scaled(int smoke_v, int paper_v) {
+  return bench_scale() == Scale::kPaper ? paper_v : smoke_v;
+}
+
+}  // namespace saufno

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+namespace saufno {
+
+/// Benchmark scale selected via the SAUFNO_SCALE environment variable.
+///
+/// The paper trains for 200+ epochs on 5000-sample datasets per chip on an
+/// RTX 3090; this reproduction runs on one CPU core, so benches default to a
+/// reduced `smoke` scale whose relative comparisons (who wins, by how much)
+/// are preserved. `paper` raises sample counts / epochs / resolutions toward
+/// the published configuration for long unattended runs.
+enum class Scale { kSmoke, kPaper };
+
+Scale bench_scale();
+const char* scale_name(Scale s);
+
+/// Integer environment override helper: returns `fallback` when unset/bad.
+int env_int(const char* name, int fallback);
+
+/// Pick `smoke_v` or `paper_v` according to bench_scale().
+int scaled(int smoke_v, int paper_v);
+
+}  // namespace saufno

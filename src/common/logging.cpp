@@ -1,0 +1,31 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+
+namespace saufno {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[saufno %s] %s\n", level_name(level), msg.c_str());
+}
+
+void fail(const std::string& msg) { throw std::runtime_error(msg); }
+
+}  // namespace saufno

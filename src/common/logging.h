@@ -1,0 +1,50 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace saufno {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. The global level can be raised
+/// to silence training-progress chatter in tests (`set_log_level`).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define SAUFNO_LOG(level) ::saufno::detail::LogLine(::saufno::LogLevel::level)
+#define SAUFNO_INFO SAUFNO_LOG(kInfo)
+#define SAUFNO_WARN SAUFNO_LOG(kWarn)
+#define SAUFNO_ERROR SAUFNO_LOG(kError)
+
+/// Fatal-error helper: throws std::runtime_error with location context.
+[[noreturn]] void fail(const std::string& msg);
+
+/// Runtime precondition check used at API boundaries (always on, including
+/// release builds — shape errors in a tensor library must never be UB).
+#define SAUFNO_CHECK(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::saufno::fail(std::string("check failed: " #cond " — ") + (msg)); \
+    }                                                                \
+  } while (0)
+
+}  // namespace saufno

@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace saufno {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four xoshiro words from splitmix64 as recommended by the
+  // algorithm's authors; guards against the all-zero state.
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  // Box-Muller; u1 is kept away from 0 so log() stays finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r >= limit);
+  return r % n;
+}
+
+void Rng::shuffle(std::vector<int>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(next_below(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace saufno

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saufno {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic component in the library (weight init, power-map
+/// sampling, dataset shuffling) draws from an explicitly-seeded Rng so that
+/// experiments are bit-reproducible across runs. We deliberately avoid
+/// std::mt19937 + std::distributions because their output is not guaranteed
+/// to be identical across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal();
+
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int>& v);
+
+  /// Derive an independent child stream (for per-sample generators).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace saufno

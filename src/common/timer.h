@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+namespace saufno {
+
+/// Monotonic wall-clock stopwatch used by the speedup benchmarks (§IV-D of
+/// the paper compares seconds-per-prediction across solvers).
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace saufno

@@ -1,0 +1,20 @@
+#include "core/spectral_conv.h"
+
+namespace saufno {
+namespace core {
+
+SpectralConv2d::SpectralConv2d(int64_t cin, int64_t cout, int64_t modes1,
+                               int64_t modes2, Rng& rng)
+    : cin_(cin), cout_(cout), m1_(modes1), m2_(modes2) {
+  weight_ = register_parameter(
+      "weight",
+      Var(nn::spectral_init({cin_, cout_, 2 * m1_, m2_, 2}, cin_, cout_, rng),
+          /*requires_grad=*/true));
+}
+
+Var SpectralConv2d::forward(const Var& x) {
+  return ops::spectral_conv2d(x, weight_, m1_, m2_, cout_);
+}
+
+}  // namespace core
+}  // namespace saufno

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "autograd/spectral_ops.h"
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace saufno {
+namespace core {
+
+/// Fourier-domain convolution module — the kernel integral transformation K
+/// of Eq. (6)/(8). Keeps `modes1` frequencies along H (positive and
+/// negative) and `modes2` along W, with a learnable complex kernel per
+/// (cin, cout, mode) triple.
+///
+/// The module is resolution invariant: the same weights apply at any H, W
+/// (modes are clamped to the resolution's Nyquist limit, see
+/// autograd/spectral_ops.h), which is the property the paper's transfer
+/// learning between 40x40 and 64x64 grids relies on.
+class SpectralConv2d : public nn::Module {
+ public:
+  SpectralConv2d(int64_t cin, int64_t cout, int64_t modes1, int64_t modes2,
+                 Rng& rng);
+
+  Var forward(const Var& x) override;
+
+  int64_t modes1() const { return m1_; }
+  int64_t modes2() const { return m2_; }
+
+ private:
+  int64_t cin_, cout_, m1_, m2_;
+  Var weight_;  // [cin, cout, 2*m1, m2, 2] (re, im)
+};
+
+}  // namespace core
+}  // namespace saufno

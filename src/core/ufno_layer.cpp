@@ -1,0 +1,28 @@
+#include "core/ufno_layer.h"
+
+#include <memory>
+
+namespace saufno {
+namespace core {
+
+UFourierLayer::UFourierLayer(const Config& cfg, Rng& rng) : cfg_(cfg) {
+  k_ = register_module("spectral",
+                       std::make_shared<SpectralConv2d>(
+                           cfg.width, cfg.width, cfg.modes1, cfg.modes2, rng));
+  if (cfg.with_unet) {
+    u_ = register_module(
+        "unet",
+        std::make_shared<UNet>(cfg.width, cfg.unet_base, cfg.unet_depth, rng));
+  }
+  w_ = register_module(
+      "linear", std::make_shared<nn::PointwiseConv>(cfg.width, cfg.width, rng));
+}
+
+Var UFourierLayer::forward(const Var& v) {
+  Var s = ops::add(k_->forward(v), w_->forward(v));
+  if (u_ != nullptr) s = ops::add(s, u_->forward(v));
+  return cfg_.final_activation ? ops::gelu(s) : s;
+}
+
+}  // namespace core
+}  // namespace saufno

@@ -1,0 +1,94 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace data {
+
+std::pair<Tensor, Tensor> Dataset::gather(
+    const std::vector<int>& indices) const {
+  SAUFNO_CHECK(!indices.empty(), "gather of zero indices");
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Shape in_shape = inputs.shape();
+  Shape out_shape = targets.shape();
+  in_shape[0] = n;
+  out_shape[0] = n;
+  Tensor xi(in_shape), yt(out_shape);
+  const int64_t in_stride = inputs.numel() / inputs.size(0);
+  const int64_t out_stride = targets.numel() / targets.size(0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t s = indices[static_cast<std::size_t>(i)];
+    SAUFNO_CHECK(s >= 0 && s < size(), "gather index out of range");
+    std::copy(inputs.data() + s * in_stride,
+              inputs.data() + (s + 1) * in_stride, xi.data() + i * in_stride);
+    std::copy(targets.data() + s * out_stride,
+              targets.data() + (s + 1) * out_stride,
+              yt.data() + i * out_stride);
+  }
+  return {std::move(xi), std::move(yt)};
+}
+
+std::pair<Dataset, Dataset> Dataset::split(int64_t n_first) const {
+  SAUFNO_CHECK(n_first >= 0 && n_first <= size(), "bad split point");
+  Dataset a = take(n_first);
+  Dataset b;
+  b.chip_name = chip_name;
+  b.resolution = resolution;
+  b.ambient = ambient;
+  const int64_t rest = size() - n_first;
+  std::vector<int> idx(static_cast<std::size_t>(rest));
+  std::iota(idx.begin(), idx.end(), static_cast<int>(n_first));
+  if (rest > 0) {
+    auto [xi, yt] = gather(idx);
+    b.inputs = std::move(xi);
+    b.targets = std::move(yt);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+Dataset Dataset::take(int64_t n) const {
+  SAUFNO_CHECK(n >= 0 && n <= size(), "take out of range");
+  Dataset d;
+  d.chip_name = chip_name;
+  d.resolution = resolution;
+  d.ambient = ambient;
+  if (n > 0) {
+    std::vector<int> idx(static_cast<std::size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    auto [xi, yt] = gather(idx);
+    d.inputs = std::move(xi);
+    d.targets = std::move(yt);
+  }
+  return d;
+}
+
+BatchSampler::BatchSampler(int64_t n, int64_t batch_size, Rng& rng)
+    : n_(n), batch_(batch_size), rng_(rng) {
+  SAUFNO_CHECK(n > 0 && batch_size > 0, "empty sampler");
+  order_.resize(static_cast<std::size_t>(n));
+  std::iota(order_.begin(), order_.end(), 0);
+  reset();
+}
+
+std::vector<int> BatchSampler::next() {
+  if (pos_ >= n_) return {};
+  const int64_t end = std::min(pos_ + batch_, n_);
+  std::vector<int> out(order_.begin() + pos_, order_.begin() + end);
+  pos_ = end;
+  return out;
+}
+
+void BatchSampler::reset() {
+  rng_.shuffle(order_);
+  pos_ = 0;
+}
+
+int64_t BatchSampler::batches_per_epoch() const {
+  return (n_ + batch_ - 1) / batch_;
+}
+
+}  // namespace data
+}  // namespace saufno

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace saufno {
+namespace data {
+
+/// Supervised operator-learning dataset: power-map inputs -> temperature
+/// fields, both stored as dense tensors.
+///
+///   inputs : [N, C_in,  H, W] — per-device-layer power density (W/m^2)
+///            followed by two normalized coordinate channels (y, x).
+///   targets: [N, C_out, H, W] — per-device-layer temperature (K).
+struct Dataset {
+  std::string chip_name;
+  int resolution = 0;        // H == W == resolution
+  double ambient = 0.0;      // K (needed to decode normalized targets)
+  Tensor inputs;             // [N, C_in, H, W]
+  Tensor targets;            // [N, C_out, H, W]
+
+  int64_t size() const { return inputs.defined() ? inputs.size(0) : 0; }
+  int64_t in_channels() const { return inputs.size(1); }
+  int64_t out_channels() const { return targets.size(1); }
+
+  /// Row-gather of the given sample indices into fresh tensors.
+  std::pair<Tensor, Tensor> gather(const std::vector<int>& indices) const;
+
+  /// Deterministic split into [first `n_first` samples, rest]. Generation
+  /// already randomizes sample order, so a prefix split is unbiased.
+  std::pair<Dataset, Dataset> split(int64_t n_first) const;
+
+  /// First `n` samples (for data-efficiency sweeps).
+  Dataset take(int64_t n) const;
+};
+
+/// Mini-batch index iterator with per-epoch shuffling.
+class BatchSampler {
+ public:
+  BatchSampler(int64_t n, int64_t batch_size, Rng& rng);
+  /// Indices of the next batch; empty when the epoch is exhausted.
+  std::vector<int> next();
+  void reset();
+  int64_t batches_per_epoch() const;
+
+ private:
+  int64_t n_, batch_;
+  Rng& rng_;
+  std::vector<int> order_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace data
+}  // namespace saufno

@@ -1,0 +1,121 @@
+#include "data/generator.h"
+
+#include <filesystem>
+
+#include "common/logging.h"
+#include "data/io.h"
+
+namespace saufno {
+namespace data {
+namespace {
+
+std::string cache_path(const chip::ChipSpec& spec, const GenConfig& cfg) {
+  return cfg.cache_dir + "/" + spec.name + "_r" +
+         std::to_string(cfg.resolution) + "_n" +
+         std::to_string(cfg.n_samples) + "_s" + std::to_string(cfg.seed) +
+         "_f" + std::to_string(cfg.refine) + ".bin";
+}
+
+}  // namespace
+
+std::vector<chip::PowerAssignment> regenerate_assignments(
+    const chip::ChipSpec& spec, const GenConfig& cfg) {
+  Rng rng(cfg.seed);
+  chip::PowerGenerator gen(spec);
+  std::vector<chip::PowerAssignment> out;
+  out.reserve(static_cast<std::size_t>(cfg.n_samples));
+  for (int i = 0; i < cfg.n_samples; ++i) out.push_back(gen.sample(rng));
+  return out;
+}
+
+Dataset generate_dataset(const chip::ChipSpec& spec, const GenConfig& cfg) {
+  const std::string path = cache_path(spec, cfg);
+  if (cfg.cache && std::filesystem::exists(path)) {
+    Dataset d = load_dataset(path);
+    SAUFNO_CHECK(d.size() == cfg.n_samples && d.resolution == cfg.resolution,
+                 "stale dataset cache: " + path);
+    return d;
+  }
+
+  const auto device_layers = spec.device_layer_indices();
+  const int n_dev = static_cast<int>(device_layers.size());
+  const int res = cfg.resolution;
+  const int cin = n_dev + 2;  // power maps + (y, x) coordinate channels
+
+  Dataset d;
+  d.chip_name = spec.name;
+  d.resolution = res;
+  d.ambient = spec.ambient;
+  d.inputs = Tensor({cfg.n_samples, cin, res, res});
+  d.targets = Tensor({cfg.n_samples, n_dev, res, res});
+
+  chip::PowerGenerator pgen(spec);
+  thermal::FdmSolver solver;
+  const auto assignments = regenerate_assignments(spec, cfg);
+  const int64_t plane = static_cast<int64_t>(res) * res;
+
+  for (int s = 0; s < cfg.n_samples; ++s) {
+    const auto& pa = assignments[static_cast<std::size_t>(s)];
+    // Input power channels.
+    const auto maps = pgen.rasterize(pa, res, res);
+    float* xin = d.inputs.data() +
+                 static_cast<int64_t>(s) * cin * plane;
+    for (int c = 0; c < n_dev; ++c) {
+      std::copy(maps[static_cast<std::size_t>(c)].begin(),
+                maps[static_cast<std::size_t>(c)].end(), xin + c * plane);
+    }
+    // Coordinate channels (y then x), constant across samples; they give
+    // the operator models spatial awareness near the adiabatic walls.
+    for (int i = 0; i < res; ++i) {
+      for (int j = 0; j < res; ++j) {
+        const float y = res > 1 ? static_cast<float>(i) / (res - 1) : 0.f;
+        const float x = res > 1 ? static_cast<float>(j) / (res - 1) : 0.f;
+        xin[n_dev * plane + i * res + j] = y;
+        xin[(n_dev + 1) * plane + i * res + j] = x;
+      }
+    }
+    // Ground truth from the FDM (MTA-substitute) solver.
+    const auto grid = thermal::build_grid(spec, pa, res, res, cfg.refine);
+    const auto sol = solver.solve(grid);
+    SAUFNO_CHECK(sol.converged, "FDM solve failed to converge during " +
+                                    spec.name + " data generation");
+    float* tout = d.targets.data() +
+                  static_cast<int64_t>(s) * n_dev * plane;
+    for (int c = 0; c < n_dev; ++c) {
+      auto lm = sol.layer_map(grid, device_layers[static_cast<std::size_t>(c)]);
+      if (cfg.refine > 1) {
+        // The refined grid produces refine*res maps; average down to res
+        // so high-fidelity targets align with the model resolution.
+        const int rr = res * cfg.refine;
+        for (int i = 0; i < res; ++i) {
+          for (int j = 0; j < res; ++j) {
+            double acc = 0.0;
+            for (int a = 0; a < cfg.refine; ++a) {
+              for (int b = 0; b < cfg.refine; ++b) {
+                acc += lm[static_cast<std::size_t>(i * cfg.refine + a) * rr +
+                          (j * cfg.refine + b)];
+              }
+            }
+            tout[c * plane + i * res + j] =
+                static_cast<float>(acc / (cfg.refine * cfg.refine));
+          }
+        }
+      } else {
+        std::copy(lm.begin(), lm.end(), tout + c * plane);
+      }
+    }
+    if ((s + 1) % 50 == 0) {
+      SAUFNO_LOG(kDebug) << spec.name << " data gen: " << (s + 1) << "/"
+                         << cfg.n_samples;
+    }
+  }
+
+  if (cfg.cache) {
+    std::filesystem::create_directories(cfg.cache_dir);
+    save_dataset(d, path);
+  }
+  return d;
+}
+
+}  // namespace data
+}  // namespace saufno

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "chip/chips.h"
+#include "data/dataset.h"
+#include "thermal/fdm_solver.h"
+
+namespace saufno {
+namespace data {
+
+/// Dataset-generation parameters (Section IV-A "Data Generation": random
+/// block powers, MTA-solver outputs as ground truth).
+struct GenConfig {
+  int resolution = 32;     // lateral grid (H == W)
+  int n_samples = 100;
+  std::uint64_t seed = 7;
+  int refine = 1;          // solver z/lateral refinement (2 = "COMSOL" mesh)
+  bool cache = true;       // reuse an on-disk cache when present
+  std::string cache_dir = "dataset_cache";
+};
+
+/// Generate (or load from cache) a dataset for `spec` by running the FDM
+/// solver on `n_samples` random power assignments. Inputs get the power
+/// channels plus two coordinate channels; targets are the device-layer
+/// temperature maps in kelvin.
+Dataset generate_dataset(const chip::ChipSpec& spec, const GenConfig& cfg);
+
+/// The power assignments behind a dataset (regenerated deterministically
+/// from the same seed — used by benches that also need solver baselines).
+std::vector<chip::PowerAssignment> regenerate_assignments(
+    const chip::ChipSpec& spec, const GenConfig& cfg);
+
+}  // namespace data
+}  // namespace saufno

@@ -1,0 +1,84 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace data {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53415546'44415431ULL;  // "SAUFDAT1"
+
+void write_tensor(std::ofstream& out, const Tensor& t) {
+  const std::uint64_t rank = static_cast<std::uint64_t>(t.dim());
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int64_t d : t.shape()) {
+    const std::int64_t dd = d;
+    out.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() *
+                                         static_cast<int64_t>(sizeof(float))));
+}
+
+Tensor read_tensor(std::ifstream& in) {
+  std::uint64_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  SAUFNO_CHECK(in.good() && rank <= 8, "corrupt dataset file (rank)");
+  Shape shape(rank);
+  for (auto& d : shape) {
+    std::int64_t dd = 0;
+    in.read(reinterpret_cast<char*>(&dd), sizeof(dd));
+    d = dd;
+  }
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() *
+                                       static_cast<int64_t>(sizeof(float))));
+  SAUFNO_CHECK(in.good(), "corrupt dataset file (payload)");
+  return t;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& d, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SAUFNO_CHECK(out.good(), "cannot write dataset: " + path);
+  const std::uint64_t magic = kMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const std::uint64_t name_len = d.chip_name.size();
+  out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  out.write(d.chip_name.data(), static_cast<std::streamsize>(name_len));
+  const std::int64_t res = d.resolution;
+  out.write(reinterpret_cast<const char*>(&res), sizeof(res));
+  out.write(reinterpret_cast<const char*>(&d.ambient), sizeof(d.ambient));
+  write_tensor(out, d.inputs);
+  write_tensor(out, d.targets);
+  SAUFNO_CHECK(out.good(), "dataset write failed: " + path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SAUFNO_CHECK(in.good(), "cannot open dataset: " + path);
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  SAUFNO_CHECK(magic == kMagic, "bad dataset magic in " + path);
+  std::uint64_t name_len = 0;
+  in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+  SAUFNO_CHECK(in.good() && name_len < 256, "corrupt dataset (name)");
+  Dataset d;
+  d.chip_name.resize(name_len);
+  in.read(d.chip_name.data(), static_cast<std::streamsize>(name_len));
+  std::int64_t res = 0;
+  in.read(reinterpret_cast<char*>(&res), sizeof(res));
+  d.resolution = static_cast<int>(res);
+  in.read(reinterpret_cast<char*>(&d.ambient), sizeof(d.ambient));
+  d.inputs = read_tensor(in);
+  d.targets = read_tensor(in);
+  return d;
+}
+
+}  // namespace data
+}  // namespace saufno

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace saufno {
+namespace data {
+
+/// Binary dataset cache IO. Benches reuse cached datasets across runs so
+/// the model comparison (minutes of training) is not dominated by solver
+/// time. Format: magic, chip name, resolution, ambient, then both tensors
+/// as rank + dims + float payload.
+void save_dataset(const Dataset& d, const std::string& path);
+Dataset load_dataset(const std::string& path);
+
+}  // namespace data
+}  // namespace saufno

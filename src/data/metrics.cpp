@@ -1,0 +1,67 @@
+#include "data/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace data {
+
+std::string Metrics::to_string() const {
+  std::ostringstream os;
+  os << "RMSE=" << rmse << " MAPE=" << mape << " PAPE=" << pape
+     << " Max=" << max_err << " Mean=" << mean_err;
+  return os.str();
+}
+
+Metrics compute_metrics(const Tensor& pred_k, const Tensor& true_k,
+                        double ambient) {
+  SAUFNO_CHECK(pred_k.shape() == true_k.shape(),
+               "metrics shape mismatch: " + shape_str(pred_k.shape()) +
+                   " vs " + shape_str(true_k.shape()));
+  SAUFNO_CHECK(pred_k.dim() == 4, "metrics expect [N,C,H,W]");
+  const int64_t N = pred_k.size(0);
+  const int64_t per = pred_k.numel() / N;
+  const float* p = pred_k.data();
+  const float* t = true_k.data();
+
+  double se = 0.0, ae = 0.0, ape = 0.0;
+  double pape_acc = 0.0, max_acc = 0.0;
+  // Floor for the percentage denominator: 1 K of rise. Pixels essentially
+  // at ambient would otherwise blow the percentage up on noise.
+  constexpr double kRiseFloor = 1.0;
+
+  for (int64_t s = 0; s < N; ++s) {
+    const float* ps = p + s * per;
+    const float* ts = t + s * per;
+    double case_pape = 0.0;
+    double pred_max = ps[0], true_max = ts[0];
+    for (int64_t i = 0; i < per; ++i) {
+      const double err = static_cast<double>(ps[i]) - ts[i];
+      se += err * err;
+      ae += std::fabs(err);
+      const double rise = std::max(static_cast<double>(ts[i]) - ambient,
+                                   kRiseFloor);
+      const double a = std::fabs(err) / rise;
+      ape += a;
+      case_pape = std::max(case_pape, a);
+      pred_max = std::max(pred_max, static_cast<double>(ps[i]));
+      true_max = std::max(true_max, static_cast<double>(ts[i]));
+    }
+    pape_acc += case_pape;
+    max_acc += std::fabs(pred_max - true_max);
+  }
+  const double total = static_cast<double>(N) * per;
+  Metrics m;
+  m.rmse = std::sqrt(se / total);
+  m.mape = ape / total;
+  m.pape = pape_acc / N;
+  m.max_err = max_acc / N;
+  m.mean_err = ae / total;
+  return m;
+}
+
+}  // namespace data
+}  // namespace saufno

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace saufno {
+namespace data {
+
+/// The evaluation metrics of Table II / III (Section IV-B):
+///   rmse — root mean squared error over all pixels (K)
+///   mape — mean absolute percentage error; computed on the temperature
+///          RISE above ambient (|dT_err| / dT_true), since percentages of
+///          absolute kelvin would be vanishingly small and meaningless
+///   pape — peak absolute percentage error: the worst per-pixel APE of a
+///          case, averaged over cases
+///   max_err  — "Max": junction-temperature error, |max(pred) - max(true)|
+///              averaged over cases (K)
+///   mean_err — "Mean": mean absolute error over all pixels (K)
+struct Metrics {
+  double rmse = 0.0;
+  double mape = 0.0;
+  double pape = 0.0;
+  double max_err = 0.0;
+  double mean_err = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Compute metrics for predictions vs ground truth, both in kelvin,
+/// shape [N, C, H, W]; `ambient` anchors the percentage metrics.
+Metrics compute_metrics(const Tensor& pred_k, const Tensor& true_k,
+                        double ambient);
+
+}  // namespace data
+}  // namespace saufno

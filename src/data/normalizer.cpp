@@ -1,0 +1,92 @@
+#include "data/normalizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace data {
+
+Normalizer Normalizer::fit(const Dataset& train, int64_t n_power_channels) {
+  SAUFNO_CHECK(train.size() > 0, "cannot fit normalizer on empty dataset");
+  Normalizer n;
+  n.ambient_ = train.ambient;
+  n.n_power_ = n_power_channels;
+
+  // Power std over the power channels only.
+  {
+    const int64_t N = train.inputs.size(0);
+    const int64_t C = train.inputs.size(1);
+    const int64_t plane = train.inputs.size(2) * train.inputs.size(3);
+    SAUFNO_CHECK(n_power_channels <= C, "bad power channel count");
+    double sum = 0.0, sq = 0.0;
+    int64_t cnt = 0;
+    const float* p = train.inputs.data();
+    for (int64_t s = 0; s < N; ++s) {
+      for (int64_t c = 0; c < n_power_channels; ++c) {
+        const float* plane_p = p + (s * C + c) * plane;
+        for (int64_t i = 0; i < plane; ++i) {
+          sum += plane_p[i];
+          sq += static_cast<double>(plane_p[i]) * plane_p[i];
+          ++cnt;
+        }
+      }
+    }
+    const double mean = sum / cnt;
+    const double var = std::max(sq / cnt - mean * mean, 1e-12);
+    n.power_scale_ = std::sqrt(var);
+  }
+
+  // Temperature-rise std.
+  {
+    double sum = 0.0, sq = 0.0;
+    const float* t = train.targets.data();
+    const int64_t m = train.targets.numel();
+    for (int64_t i = 0; i < m; ++i) {
+      const double rise = t[i] - n.ambient_;
+      sum += rise;
+      sq += rise * rise;
+    }
+    const double mean = sum / m;
+    const double var = std::max(sq / m - mean * mean, 1e-12);
+    n.temp_scale_ = std::sqrt(var);
+  }
+  return n;
+}
+
+Tensor Normalizer::encode_inputs(const Tensor& raw) const {
+  SAUFNO_CHECK(raw.dim() == 4, "encode_inputs expects [N,C,H,W]");
+  Tensor out = raw.clone();
+  const int64_t N = raw.size(0), C = raw.size(1);
+  const int64_t plane = raw.size(2) * raw.size(3);
+  const float inv = static_cast<float>(1.0 / power_scale_);
+  float* p = out.data();
+  for (int64_t s = 0; s < N; ++s) {
+    for (int64_t c = 0; c < n_power_; ++c) {
+      float* pp = p + (s * C + c) * plane;
+      for (int64_t i = 0; i < plane; ++i) pp[i] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor Normalizer::encode_targets(const Tensor& kelvin) const {
+  Tensor out = kelvin.clone();
+  float* p = out.data();
+  const float amb = static_cast<float>(ambient_);
+  const float inv = static_cast<float>(1.0 / temp_scale_);
+  for (int64_t i = 0; i < out.numel(); ++i) p[i] = (p[i] - amb) * inv;
+  return out;
+}
+
+Tensor Normalizer::decode_targets(const Tensor& normalized) const {
+  Tensor out = normalized.clone();
+  float* p = out.data();
+  const float amb = static_cast<float>(ambient_);
+  const float sc = static_cast<float>(temp_scale_);
+  for (int64_t i = 0; i < out.numel(); ++i) p[i] = p[i] * sc + amb;
+  return out;
+}
+
+}  // namespace data
+}  // namespace saufno

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "data/dataset.h"
+
+namespace saufno {
+namespace data {
+
+/// Affine input/target normalization fitted on a training set.
+///
+/// Inputs: power channels are scaled by the dataset-wide power std (the
+/// coordinate channels are already in [0, 1] and pass through). Targets
+/// are encoded as (T - ambient) / std(T - ambient): the model learns the
+/// temperature rise field, and the same statistics decode predictions back
+/// to kelvin for the metrics. The normalizer is fitted once on the
+/// low-fidelity training set and REUSED verbatim for fine-tuning and
+/// evaluation at other resolutions — mesh invariance requires identical
+/// encodings across fidelities.
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  /// Fit statistics on a training set.
+  static Normalizer fit(const Dataset& train, int64_t n_power_channels);
+
+  Tensor encode_inputs(const Tensor& raw) const;
+  Tensor encode_targets(const Tensor& kelvin) const;
+  Tensor decode_targets(const Tensor& normalized) const;
+
+  double power_scale() const { return power_scale_; }
+  double temp_scale() const { return temp_scale_; }
+  double ambient() const { return ambient_; }
+  int64_t n_power_channels() const { return n_power_; }
+
+ private:
+  double power_scale_ = 1.0;  // std of power-density channels
+  double temp_scale_ = 1.0;   // std of temperature rise
+  double ambient_ = 0.0;      // K
+  int64_t n_power_ = 0;
+};
+
+}  // namespace data
+}  // namespace saufno

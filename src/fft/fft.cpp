@@ -1,0 +1,145 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace {
+
+bool is_pow2(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int64_t next_pow2(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Iterative radix-2 Cooley-Tukey; n must be a power of two.
+void fft_pow2(cfloat* x, int64_t n, bool inverse) {
+  // Bit-reversal permutation.
+  for (int64_t i = 1, j = 0; i < n; ++i) {
+    int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  const float sign = inverse ? 1.f : -1.f;
+  for (int64_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * M_PI / static_cast<double>(len);
+    const cfloat wlen(static_cast<float>(std::cos(ang)),
+                      static_cast<float>(std::sin(ang)));
+    for (int64_t i = 0; i < n; i += len) {
+      cfloat w(1.f, 0.f);
+      for (int64_t k = 0; k < len / 2; ++k) {
+        const cfloat u = x[i + k];
+        const cfloat v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const float inv = 1.f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) x[i] *= inv;
+  }
+}
+
+/// Bluestein chirp-z: expresses an arbitrary-length DFT as a power-of-two
+/// circular convolution. Twiddle tables are recomputed per call; the solver
+/// and models only hit this path for non-pow2 grid sizes, where the O(n)
+/// table cost is negligible next to the convolution itself.
+void fft_bluestein(cfloat* x, int64_t n, bool inverse) {
+  const float sign = inverse ? 1.f : -1.f;
+  // chirp[k] = exp(sign * i * pi * k^2 / n)
+  std::vector<cfloat> chirp(static_cast<std::size_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small for large n.
+    const int64_t k2 = (k * k) % (2 * n);
+    const double ang = sign * M_PI * static_cast<double>(k2) / n;
+    chirp[static_cast<std::size_t>(k)] =
+        cfloat(static_cast<float>(std::cos(ang)),
+               static_cast<float>(std::sin(ang)));
+  }
+  const int64_t m = next_pow2(2 * n - 1);
+  std::vector<cfloat> a(static_cast<std::size_t>(m), cfloat(0.f, 0.f));
+  std::vector<cfloat> b(static_cast<std::size_t>(m), cfloat(0.f, 0.f));
+  for (int64_t k = 0; k < n; ++k) {
+    a[static_cast<std::size_t>(k)] = x[k] * chirp[static_cast<std::size_t>(k)];
+  }
+  b[0] = std::conj(chirp[0]);
+  for (int64_t k = 1; k < n; ++k) {
+    b[static_cast<std::size_t>(k)] = b[static_cast<std::size_t>(m - k)] =
+        std::conj(chirp[static_cast<std::size_t>(k)]);
+  }
+  fft_pow2(a.data(), m, false);
+  fft_pow2(b.data(), m, false);
+  for (int64_t k = 0; k < m; ++k) {
+    a[static_cast<std::size_t>(k)] *= b[static_cast<std::size_t>(k)];
+  }
+  fft_pow2(a.data(), m, true);
+  for (int64_t k = 0; k < n; ++k) {
+    x[k] = a[static_cast<std::size_t>(k)] * chirp[static_cast<std::size_t>(k)];
+  }
+  if (inverse) {
+    const float inv = 1.f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) x[i] *= inv;
+  }
+}
+
+}  // namespace
+
+void fft_1d(cfloat* x, int64_t n, bool inverse) {
+  SAUFNO_CHECK(n >= 1, "fft_1d length must be >= 1");
+  if (n == 1) return;
+  if (is_pow2(n)) {
+    fft_pow2(x, n, inverse);
+  } else {
+    fft_bluestein(x, n, inverse);
+  }
+}
+
+void fft_2d(cfloat* x, int64_t batch, int64_t h, int64_t w, bool inverse) {
+  std::vector<cfloat> col(static_cast<std::size_t>(h));
+  for (int64_t b = 0; b < batch; ++b) {
+    cfloat* plane = x + b * h * w;
+    for (int64_t i = 0; i < h; ++i) fft_1d(plane + i * w, w, inverse);
+    for (int64_t j = 0; j < w; ++j) {
+      for (int64_t i = 0; i < h; ++i) col[static_cast<std::size_t>(i)] = plane[i * w + j];
+      fft_1d(col.data(), h, inverse);
+      for (int64_t i = 0; i < h; ++i) plane[i * w + j] = col[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void fft_3d(cfloat* x, int64_t batch, int64_t d, int64_t h, int64_t w,
+            bool inverse) {
+  // Planes first (h, w), then 1-D transforms along the depth axis.
+  fft_2d(x, batch * d, h, w, inverse);
+  std::vector<cfloat> line(static_cast<std::size_t>(d));
+  const int64_t plane = h * w;
+  for (int64_t b = 0; b < batch; ++b) {
+    cfloat* vol = x + b * d * plane;
+    for (int64_t p = 0; p < plane; ++p) {
+      for (int64_t iz = 0; iz < d; ++iz) {
+        line[static_cast<std::size_t>(iz)] = vol[iz * plane + p];
+      }
+      fft_1d(line.data(), d, inverse);
+      for (int64_t iz = 0; iz < d; ++iz) {
+        vol[iz * plane + p] = line[static_cast<std::size_t>(iz)];
+      }
+    }
+  }
+}
+
+std::vector<cfloat> fft_2d_real(const float* x, int64_t h, int64_t w) {
+  std::vector<cfloat> out(static_cast<std::size_t>(h * w));
+  for (int64_t i = 0; i < h * w; ++i) {
+    out[static_cast<std::size_t>(i)] = cfloat(x[i], 0.f);
+  }
+  fft_2d(out.data(), 1, h, w, /*inverse=*/false);
+  return out;
+}
+
+}  // namespace saufno

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace saufno {
+
+using cfloat = std::complex<float>;
+
+/// In-place 1-D complex DFT of length n (unnormalized forward; the inverse
+/// divides by n). Power-of-two lengths use iterative radix-2 Cooley-Tukey;
+/// arbitrary lengths fall back to Bluestein's chirp-z algorithm so the
+/// spectral convolutions work at any grid resolution (the paper trains at
+/// 40×40, which is not a power of two).
+void fft_1d(cfloat* x, int64_t n, bool inverse);
+
+/// 2-D transform of `batch` independent row-major [h, w] complex planes
+/// stored contiguously. Rows first, then columns (via a gather buffer).
+/// Forward is unnormalized; inverse carries the full 1/(h*w) factor.
+void fft_2d(cfloat* x, int64_t batch, int64_t h, int64_t w, bool inverse);
+
+/// Convenience: forward 2-D DFT of a real plane into a complex buffer.
+std::vector<cfloat> fft_2d_real(const float* x, int64_t h, int64_t w);
+
+/// 3-D transform of `batch` independent [d, h, w] complex volumes stored
+/// contiguously (used by the volumetric operator that predicts the full
+/// 3-D temperature distribution). Forward unnormalized; inverse carries
+/// the 1/(d*h*w) factor.
+void fft_3d(cfloat* x, int64_t batch, int64_t d, int64_t h, int64_t w,
+            bool inverse);
+
+}  // namespace saufno

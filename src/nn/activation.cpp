@@ -1,0 +1,11 @@
+#include "nn/activation.h"
+
+namespace saufno {
+namespace nn {
+
+Var GELU::forward(const Var& x) { return ops::gelu(x); }
+Var ReLU::forward(const Var& x) { return ops::relu(x); }
+Var Tanh::forward(const Var& x) { return ops::tanh(x); }
+
+}  // namespace nn
+}  // namespace saufno

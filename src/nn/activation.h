@@ -1,0 +1,27 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace saufno {
+namespace nn {
+
+/// GELU activation module — the sigma of Eq. (6)/(8) in the paper.
+class GELU : public Module {
+ public:
+  Var forward(const Var& x) override;
+};
+
+/// ReLU activation module — used inside the U-Net encoder/decoder.
+class ReLU : public Module {
+ public:
+  Var forward(const Var& x) override;
+};
+
+/// Tanh activation (DeepOHeat's branch/trunk nets).
+class Tanh : public Module {
+ public:
+  Var forward(const Var& x) override;
+};
+
+}  // namespace nn
+}  // namespace saufno

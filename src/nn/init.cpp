@@ -1,0 +1,25 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace saufno {
+namespace nn {
+
+Tensor kaiming_uniform(Shape shape, int64_t fan_in, Rng& rng) {
+  const float bound = std::sqrt(6.f / static_cast<float>(fan_in));
+  return Tensor::rand_uniform(std::move(shape), rng, -bound, bound);
+}
+
+Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float bound =
+      std::sqrt(6.f / static_cast<float>(fan_in + fan_out));
+  return Tensor::rand_uniform(std::move(shape), rng, -bound, bound);
+}
+
+Tensor spectral_init(Shape shape, int64_t cin, int64_t cout, Rng& rng) {
+  const float scale = 1.f / static_cast<float>(cin * cout);
+  return Tensor::rand_uniform(std::move(shape), rng, 0.f, scale);
+}
+
+}  // namespace nn
+}  // namespace saufno

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace saufno {
+namespace nn {
+
+/// Weight initializers. All draw from an explicit Rng so model construction
+/// is reproducible (the benches seed every model identically across runs).
+
+/// Kaiming/He uniform for ReLU-family fan-in layers: U(-b, b) with
+/// b = sqrt(6 / fan_in). Standard for the U-Net convolutions.
+Tensor kaiming_uniform(Shape shape, int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform: U(-b, b), b = sqrt(6 / (fan_in + fan_out)).
+/// Used for the lifting/projection networks (GELU activations).
+Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// FNO spectral-weight init: complex entries scaled by 1/(cin*cout), the
+/// convention of the reference FNO implementation (keeps the spectral
+/// mixing near-identity at start so deep stacks stay trainable).
+Tensor spectral_init(Shape shape, int64_t cin, int64_t cout, Rng& rng);
+
+}  // namespace nn
+}  // namespace saufno

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace saufno {
+namespace nn {
+
+/// Fully-connected layer y = x W^T + b on the last dimension.
+/// Input [..., in_features] -> output [..., out_features]; leading dims are
+/// flattened through a reshape, so the same layer serves both the MLPs
+/// (DeepOHeat branch/trunk nets) and per-pixel channel maps.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Var forward(const Var& x) override;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+ private:
+  int64_t in_, out_;
+  Var weight_;  // [in, out] so forward is a plain matmul
+  Var bias_;    // [out] (undefined when bias=false)
+};
+
+/// 1x1 convolution expressed as a per-pixel Linear over channels:
+/// [B, Cin, H, W] -> [B, Cout, H, W]. This is the W "linear bias term" of
+/// Eq. (6)/(8) and the Q/K/V embeddings of the attention block; using 1x1
+/// kernels everywhere outside the U-Net is what preserves mesh invariance.
+class PointwiseConv : public Module {
+ public:
+  PointwiseConv(int64_t cin, int64_t cout, Rng& rng, bool bias = true);
+  Var forward(const Var& x) override;
+
+ private:
+  int64_t cin_, cout_;
+  Var weight_;  // [cin, cout]
+  Var bias_;    // [cout]
+};
+
+}  // namespace nn
+}  // namespace saufno

@@ -1,0 +1,71 @@
+#include "nn/module.h"
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace nn {
+
+std::vector<Var> Module::parameters() const {
+  std::vector<Var> out;
+  for (const auto& [name, v] : named_parameters()) out.push_back(v);
+  return out;
+}
+
+std::vector<std::pair<std::string, Var>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Var>> out;
+  collect("", &out);
+  return out;
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, Var>>* out) const {
+  for (const auto& [name, v] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, v);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+void Module::zero_grad() {
+  for (auto& v : parameters()) v.zero_grad();
+}
+
+int64_t Module::num_parameters() const {
+  int64_t n = 0;
+  for (const auto& v : parameters()) n += v.numel();
+  return n;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+Var Module::register_parameter(const std::string& name, Var v) {
+  SAUFNO_CHECK(v.requires_grad(),
+               "parameter '" + name + "' must require grad");
+  params_.emplace_back(name, v);
+  return v;
+}
+
+void Module::add_child(const std::string& name, std::shared_ptr<Module> m) {
+  SAUFNO_CHECK(m != nullptr, "registering null module '" + name + "'");
+  children_.emplace_back(name, std::move(m));
+}
+
+Sequential& Sequential::append(std::shared_ptr<Module> m) {
+  Module* raw = m.get();
+  add_child(std::to_string(next_id_++), std::move(m));
+  mods_.push_back(raw);
+  return *this;
+}
+
+Var Sequential::forward(const Var& x) {
+  Var cur = x;
+  for (Module* m : mods_) cur = m->forward(cur);
+  return cur;
+}
+
+}  // namespace nn
+}  // namespace saufno

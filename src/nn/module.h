@@ -1,0 +1,98 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace saufno {
+namespace nn {
+
+/// Base class for all neural-network building blocks.
+///
+/// Mirrors the torch.nn.Module contract this codebase's users will expect:
+/// parameters and submodules are registered by name, `parameters()` walks
+/// the tree, and `state_dict`/`load_state_dict` (see serialize.h) move
+/// weights between models — which is exactly how the paper's transfer
+/// learning stage initializes the high-fidelity model from the low-fidelity
+/// one.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Single-input forward; every model in this repo maps a [B, Cin, H, W]
+  /// input field to a [B, Cout, H, W] output field.
+  virtual Var forward(const Var& x) = 0;
+
+  /// All trainable parameters of this module and its children (tree order).
+  std::vector<Var> parameters() const;
+
+  /// Name -> parameter pairs with dotted paths ("layers.0.weight").
+  std::vector<std::pair<std::string, Var>> named_parameters() const;
+
+  /// Zero every parameter's gradient buffer (call per optimizer step).
+  void zero_grad();
+
+  /// Total trainable scalar count (reported by benches; the paper's models
+  /// differ strongly in size, which matters for the speed comparison).
+  int64_t num_parameters() const;
+
+  /// Training-mode flag propagated to children (reserved for modules with
+  /// mode-dependent behaviour; none of the current ones need it but user
+  /// extensions might).
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  /// Register a trainable parameter; returns it for storage convenience.
+  Var register_parameter(const std::string& name, Var v);
+  /// Register a child module; returns the raw pointer for convenience.
+  template <typename M>
+  M* register_module(const std::string& name, std::shared_ptr<M> m) {
+    M* raw = m.get();
+    add_child(name, std::move(m));
+    return raw;
+  }
+
+  void add_child(const std::string& name, std::shared_ptr<Module> m);
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, Var>>* out) const;
+
+  std::vector<std::pair<std::string, Var>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+/// A module that applies children sequentially (the projection MLPs, the
+/// CNN baseline and the U-Net blocks are built from this).
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  /// Append a child; returns *this for chaining.
+  Sequential& append(std::shared_ptr<Module> m);
+  Var forward(const Var& x) override;
+  std::size_t size() const { return mods_.size(); }
+
+ private:
+  std::vector<Module*> mods_;
+  int next_id_ = 0;
+};
+
+/// Wrap a stateless function (activation, reshape...) as a module.
+class Lambda : public Module {
+ public:
+  using Fn = std::function<Var(const Var&)>;
+  explicit Lambda(Fn fn) : fn_(std::move(fn)) {}
+  Var forward(const Var& x) override { return fn_(x); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace nn
+}  // namespace saufno

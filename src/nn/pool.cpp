@@ -1,0 +1,16 @@
+#include "nn/pool.h"
+
+#include "autograd/conv_ops.h"
+
+namespace saufno {
+namespace nn {
+
+Var MaxPool2d::forward(const Var& x) { return ops::maxpool2d(x, kernel_); }
+
+Var UpsampleBilinear::forward(const Var& x) {
+  const int64_t h = x.size(-2), w = x.size(-1);
+  return ops::resize_bilinear(x, h * scale_, w * scale_);
+}
+
+}  // namespace nn
+}  // namespace saufno

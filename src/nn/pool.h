@@ -1,0 +1,31 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace saufno {
+namespace nn {
+
+/// 2x2 (configurable) max pooling, kernel == stride.
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(int64_t kernel = 2) : kernel_(kernel) {}
+  Var forward(const Var& x) override;
+
+ private:
+  int64_t kernel_;
+};
+
+/// Bilinear upsampling by an integer scale factor (align_corners=true).
+/// The U-Net decoder restores resolution with this, matching the paper's
+/// "bilinear interpolation and 3x3 convolutions" description.
+class UpsampleBilinear : public Module {
+ public:
+  explicit UpsampleBilinear(int64_t scale = 2) : scale_(scale) {}
+  Var forward(const Var& x) override;
+
+ private:
+  int64_t scale_;
+};
+
+}  // namespace nn
+}  // namespace saufno

@@ -1,0 +1,99 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace nn {
+namespace {
+constexpr std::uint64_t kMagic = 0x53415546'4e4f4331ULL;  // "SAUFNOC1"
+}
+
+std::map<std::string, Tensor> state_dict(const Module& m) {
+  std::map<std::string, Tensor> out;
+  for (const auto& [name, v] : m.named_parameters()) {
+    out.emplace(name, v.value().clone());
+  }
+  return out;
+}
+
+void load_state_dict(Module& m, const std::map<std::string, Tensor>& state,
+                     bool strict) {
+  for (auto& [name, v] : m.named_parameters()) {
+    auto it = state.find(name);
+    if (it == state.end()) {
+      SAUFNO_CHECK(!strict, "missing parameter in state dict: " + name);
+      continue;
+    }
+    SAUFNO_CHECK(it->second.shape() == v.value().shape(),
+                 "shape mismatch loading '" + name + "': " +
+                     shape_str(it->second.shape()) + " vs " +
+                     shape_str(v.value().shape()));
+    // Copy into the existing storage so optimizer references stay valid.
+    std::copy(it->second.data(), it->second.data() + it->second.numel(),
+              v.value().data());
+  }
+}
+
+void save_checkpoint(const Module& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SAUFNO_CHECK(out.good(), "cannot open checkpoint for writing: " + path);
+  auto params = m.named_parameters();
+  const std::uint64_t magic = kMagic;
+  const std::uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, v] : params) {
+    const std::uint64_t name_len = name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), static_cast<std::streamsize>(name_len));
+    const std::uint64_t rank = static_cast<std::uint64_t>(v.value().dim());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int64_t d : v.value().shape()) {
+      const std::int64_t dd = d;
+      out.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
+    }
+    out.write(reinterpret_cast<const char*>(v.value().data()),
+              static_cast<std::streamsize>(v.value().numel() *
+                                           static_cast<int64_t>(sizeof(float))));
+  }
+  SAUFNO_CHECK(out.good(), "checkpoint write failed: " + path);
+}
+
+void load_checkpoint(Module& m, const std::string& path, bool strict) {
+  std::ifstream in(path, std::ios::binary);
+  SAUFNO_CHECK(in.good(), "cannot open checkpoint: " + path);
+  std::uint64_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  SAUFNO_CHECK(magic == kMagic, "bad checkpoint magic in " + path);
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::map<std::string, Tensor> state;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    SAUFNO_CHECK(in.good() && name_len < (1u << 20), "corrupt checkpoint");
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    std::uint64_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    SAUFNO_CHECK(in.good() && rank <= 8, "corrupt checkpoint (rank)");
+    Shape shape(rank);
+    for (auto& d : shape) {
+      std::int64_t dd = 0;
+      in.read(reinterpret_cast<char*>(&dd), sizeof(dd));
+      d = dd;
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() *
+                                         static_cast<int64_t>(sizeof(float))));
+    SAUFNO_CHECK(in.good(), "corrupt checkpoint (data) in " + path);
+    state.emplace(std::move(name), std::move(t));
+  }
+  load_state_dict(m, state, strict);
+}
+
+}  // namespace nn
+}  // namespace saufno

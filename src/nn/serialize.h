@@ -1,0 +1,28 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/module.h"
+
+namespace saufno {
+namespace nn {
+
+/// Name -> tensor snapshot of a module's parameters (values are cloned).
+std::map<std::string, Tensor> state_dict(const Module& m);
+
+/// Copy matching entries of `state` into `m`'s parameters (by dotted name;
+/// shapes must match). Entries in `state` without a counterpart are ignored
+/// when `strict` is false — this is the transfer-learning entry point: the
+/// high-fidelity model is a fresh instance whose weights are overwritten
+/// with the low-fidelity model's state.
+void load_state_dict(Module& m, const std::map<std::string, Tensor>& state,
+                     bool strict = true);
+
+/// Binary checkpoint IO. Format: magic, count, then per entry
+/// (name, rank, dims..., float data). Little-endian, float32.
+void save_checkpoint(const Module& m, const std::string& path);
+void load_checkpoint(Module& m, const std::string& path, bool strict = true);
+
+}  // namespace nn
+}  // namespace saufno

@@ -1,0 +1,19 @@
+#include "optim/lr_schedule.h"
+
+#include <cmath>
+
+namespace saufno {
+namespace optim {
+
+StepLR::StepLR(Optimizer& opt, int64_t step_size, double gamma)
+    : opt_(opt), base_lr_(opt.lr()), step_size_(step_size), gamma_(gamma) {}
+
+void StepLR::step() {
+  ++epoch_;
+  const double factor =
+      std::pow(gamma_, static_cast<double>(epoch_ / step_size_));
+  opt_.set_lr(base_lr_ * factor);
+}
+
+}  // namespace optim
+}  // namespace saufno

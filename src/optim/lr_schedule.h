@@ -1,0 +1,28 @@
+#pragma once
+
+#include "optim/optimizer.h"
+
+namespace saufno {
+namespace optim {
+
+/// Step-decay learning-rate schedule: lr <- lr0 * gamma^(epoch / step).
+/// The paper uses "a decaying learning rate with the Adam optimizer"; step
+/// decay is the standard reading and is what the trainer applies per epoch.
+class StepLR {
+ public:
+  StepLR(Optimizer& opt, int64_t step_size, double gamma);
+
+  /// Call once per finished epoch.
+  void step();
+  double current_lr() const { return opt_.lr(); }
+
+ private:
+  Optimizer& opt_;
+  double base_lr_;
+  int64_t step_size_;
+  double gamma_;
+  int64_t epoch_ = 0;
+};
+
+}  // namespace optim
+}  // namespace saufno

@@ -1,0 +1,77 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace saufno {
+namespace optim {
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+SGD::SGD(std::vector<Var> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(Tensor::zeros(p.value().shape()));
+  }
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor g = params_[i].grad();
+    if (momentum_ > 0.0) {
+      velocity_[i].mul_(static_cast<float>(momentum_));
+      velocity_[i].add_(g);
+      params_[i].value().add_(velocity_[i], static_cast<float>(-lr_));
+    } else {
+      params_[i].value().add_(g, static_cast<float>(-lr_));
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.value().shape()));
+    v_.push_back(Tensor::zeros(p.value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* w = params_[i].value().data();
+    const Tensor g = params_[i].grad();
+    const float* gp = g.data();
+    float* mp = m_[i].data();
+    float* vp = v_[i].data();
+    const int64_t n = params_[i].numel();
+    const float b1 = static_cast<float>(beta1_), b2 = static_cast<float>(beta2_);
+    const float wd = static_cast<float>(weight_decay_);
+    const float step_size = static_cast<float>(lr_ / bc1);
+    const float inv_bc2 = static_cast<float>(1.0 / bc2);
+    const float eps = static_cast<float>(eps_);
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = gp[j] + wd * w[j];
+      mp[j] = b1 * mp[j] + (1.f - b1) * grad;
+      vp[j] = b2 * vp[j] + (1.f - b2) * grad * grad;
+      const float vhat = vp[j] * inv_bc2;
+      w[j] -= step_size * mp[j] / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace saufno

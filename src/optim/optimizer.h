@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace saufno {
+namespace optim {
+
+/// Optimizer interface over a fixed parameter list. Parameters are Vars
+/// whose grad buffers are filled by loss.backward(); step() consumes them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ protected:
+  std::vector<Var> params_;
+  double lr_ = 1e-3;
+};
+
+/// Plain SGD with optional momentum (kept as a reference optimizer for the
+/// optimizer unit tests and ablations).
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Var> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam with decoupled weight decay semantics matching the paper's setup
+/// (initial lr 1e-4, weight decay 1e-5; fine-tuning drops lr by 10x).
+/// Weight decay is applied L2-style (added to the gradient), matching
+/// torch.optim.Adam's `weight_decay` that the authors used.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace optim
+}  // namespace saufno

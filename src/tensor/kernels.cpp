@@ -1,0 +1,147 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace saufno {
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
+          int64_t k, bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m * n));
+  }
+  // i-k-j order: c_row accumulates A[i,k] * B[k, :]; the inner loop is a
+  // contiguous saxpy that GCC auto-vectorizes.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.f) continue;  // power maps are block-sparse; worth a branch
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void im2col(const float* img, float* cols, int64_t c, int64_t h, int64_t w,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad) {
+  const int64_t oh = conv_out_size(h, kh, stride, pad);
+  const int64_t ow = conv_out_size(w, kw, stride, pad);
+  const int64_t plane = oh * ow;
+  // cols layout: [(ci*kh*kw + ki*kw + kj), (oi*ow + oj)]
+  for (int64_t ci = 0; ci < c; ++ci) {
+    const float* src = img + ci * h * w;
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        float* dst = cols + ((ci * kh + ki) * kw + kj) * plane;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * stride + ki - pad;
+          if (ii < 0 || ii >= h) {
+            std::memset(dst + oi * ow, 0,
+                        sizeof(float) * static_cast<std::size_t>(ow));
+            continue;
+          }
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * stride + kj - pad;
+            dst[oi * ow + oj] =
+                (jj >= 0 && jj < w) ? src[ii * w + jj] : 0.f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, float* img, int64_t c, int64_t h, int64_t w,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad) {
+  const int64_t oh = conv_out_size(h, kh, stride, pad);
+  const int64_t ow = conv_out_size(w, kw, stride, pad);
+  const int64_t plane = oh * ow;
+  for (int64_t ci = 0; ci < c; ++ci) {
+    float* dst = img + ci * h * w;
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        const float* src = cols + ((ci * kh + ki) * kw + kj) * plane;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * stride + ki - pad;
+          if (ii < 0 || ii >= h) continue;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * stride + kj - pad;
+            if (jj >= 0 && jj < w) dst[ii * w + jj] += src[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+void maxpool2d(const float* img, float* out, int64_t* argmax, int64_t c,
+               int64_t h, int64_t w, int64_t kernel, int64_t stride) {
+  const int64_t oh = conv_out_size(h, kernel, stride, /*pad=*/0);
+  const int64_t ow = conv_out_size(w, kernel, stride, /*pad=*/0);
+  for (int64_t ci = 0; ci < c; ++ci) {
+    const float* src = img + ci * h * w;
+    float* dst = out + ci * oh * ow;
+    int64_t* arg = argmax + ci * oh * ow;
+    for (int64_t oi = 0; oi < oh; ++oi) {
+      for (int64_t oj = 0; oj < ow; ++oj) {
+        const int64_t i0 = oi * stride, j0 = oj * stride;
+        float best = src[i0 * w + j0];
+        int64_t best_off = i0 * w + j0;
+        for (int64_t ki = 0; ki < kernel; ++ki) {
+          for (int64_t kj = 0; kj < kernel; ++kj) {
+            const int64_t off = (i0 + ki) * w + (j0 + kj);
+            if (src[off] > best) {
+              best = src[off];
+              best_off = off;
+            }
+          }
+        }
+        dst[oi * ow + oj] = best;
+        arg[oi * ow + oj] = best_off;
+      }
+    }
+  }
+}
+
+void bilinear_resize_kernel(const float* src, float* dst, int64_t batch,
+                            int64_t ih, int64_t iw, int64_t oh, int64_t ow,
+                            bool adjoint) {
+  // align_corners=true mapping: out index o maps to in coordinate
+  // o * (in-1)/(out-1); degenerate 1-pixel axes map to 0.
+  const double sy = oh > 1 ? static_cast<double>(ih - 1) / (oh - 1) : 0.0;
+  const double sx = ow > 1 ? static_cast<double>(iw - 1) / (ow - 1) : 0.0;
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* in_plane = src + b * (adjoint ? oh * ow : ih * iw);
+    float* out_plane = dst + b * (adjoint ? ih * iw : oh * ow);
+    for (int64_t oi = 0; oi < oh; ++oi) {
+      const double fy = oi * sy;
+      const int64_t y0 = static_cast<int64_t>(fy);
+      const int64_t y1 = std::min(y0 + 1, ih - 1);
+      const float wy1 = static_cast<float>(fy - y0);
+      const float wy0 = 1.f - wy1;
+      for (int64_t oj = 0; oj < ow; ++oj) {
+        const double fx = oj * sx;
+        const int64_t x0 = static_cast<int64_t>(fx);
+        const int64_t x1 = std::min(x0 + 1, iw - 1);
+        const float wx1 = static_cast<float>(fx - x0);
+        const float wx0 = 1.f - wx1;
+        if (!adjoint) {
+          out_plane[oi * ow + oj] = wy0 * wx0 * in_plane[y0 * iw + x0] +
+                                    wy0 * wx1 * in_plane[y0 * iw + x1] +
+                                    wy1 * wx0 * in_plane[y1 * iw + x0] +
+                                    wy1 * wx1 * in_plane[y1 * iw + x1];
+        } else {
+          const float g = in_plane[oi * ow + oj];
+          out_plane[y0 * iw + x0] += wy0 * wx0 * g;
+          out_plane[y0 * iw + x1] += wy0 * wx1 * g;
+          out_plane[y1 * iw + x0] += wy1 * wx0 * g;
+          out_plane[y1 * iw + x1] += wy1 * wx1 * g;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace saufno

@@ -1,0 +1,192 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace saufno {
+
+int64_t numel_of(const Shape& s) {
+  int64_t n = 1;
+  for (int64_t d : s) n *= d;
+  return n;
+}
+
+std::string shape_str(const Shape& s) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ", ";
+    os << s[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::vector<int64_t> contiguous_strides(const Shape& s) {
+  std::vector<int64_t> st(s.size(), 1);
+  for (int i = static_cast<int>(s.size()) - 2; i >= 0; --i) {
+    st[i] = st[i + 1] * s[i + 1];
+  }
+  return st;
+}
+
+Tensor::Tensor() = default;
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  for (int64_t d : shape_) {
+    SAUFNO_CHECK(d >= 0, "negative dimension in shape " + shape_str(shape_));
+  }
+  numel_ = numel_of(shape_);
+  storage_ = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(numel_), 0.f);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)) {
+  numel_ = numel_of(shape_);
+  SAUFNO_CHECK(static_cast<int64_t>(values.size()) == numel_,
+               "value count " + std::to_string(values.size()) +
+                   " does not match shape " + shape_str(shape_));
+  storage_ = std::make_shared<std::vector<float>>(std::move(values));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  Tensor t({n});
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::size(int64_t i) const {
+  const int64_t d = dim();
+  if (i < 0) i += d;
+  SAUFNO_CHECK(i >= 0 && i < d, "dimension index out of range for shape " +
+                                    shape_str(shape_));
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float* Tensor::data() {
+  SAUFNO_CHECK(defined(), "accessing data of an undefined tensor");
+  return storage_->data();
+}
+
+const float* Tensor::data() const {
+  SAUFNO_CHECK(defined(), "accessing data of an undefined tensor");
+  return storage_->data();
+}
+
+float Tensor::at(int64_t i) const {
+  SAUFNO_CHECK(i >= 0 && i < numel_, "linear index out of range");
+  return (*storage_)[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(int64_t i) {
+  SAUFNO_CHECK(i >= 0 && i < numel_, "linear index out of range");
+  return (*storage_)[static_cast<std::size_t>(i)];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  // Support one inferred (-1) dimension, torch-style.
+  int64_t known = 1;
+  int infer = -1;
+  for (std::size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      SAUFNO_CHECK(infer == -1, "at most one -1 allowed in reshape");
+      infer = static_cast<int>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer >= 0) {
+    SAUFNO_CHECK(known != 0 && numel_ % known == 0,
+                 "cannot infer reshape dim: " + shape_str(shape_) + " -> " +
+                     shape_str(new_shape));
+    new_shape[static_cast<std::size_t>(infer)] = numel_ / known;
+  }
+  SAUFNO_CHECK(numel_of(new_shape) == numel_,
+               "reshape element count mismatch: " + shape_str(shape_) +
+                   " -> " + shape_str(new_shape));
+  Tensor out;
+  out.storage_ = storage_;
+  out.shape_ = std::move(new_shape);
+  out.numel_ = numel_;
+  return out;
+}
+
+Tensor Tensor::clone() const {
+  if (!defined()) return Tensor();
+  Tensor out;
+  out.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  out.shape_ = shape_;
+  out.numel_ = numel_;
+  return out;
+}
+
+float Tensor::item() const {
+  SAUFNO_CHECK(numel_ == 1, "item() requires a single-element tensor, got " +
+                                shape_str(shape_));
+  return (*storage_)[0];
+}
+
+void Tensor::fill_(float v) {
+  float* p = data();
+  for (int64_t i = 0; i < numel_; ++i) p[i] = v;
+}
+
+void Tensor::add_(const Tensor& other, float alpha) {
+  SAUFNO_CHECK(shape_ == other.shape_,
+               "add_ shape mismatch: " + shape_str(shape_) + " vs " +
+                   shape_str(other.shape_));
+  float* p = data();
+  const float* q = other.data();
+  for (int64_t i = 0; i < numel_; ++i) p[i] += alpha * q[i];
+}
+
+void Tensor::mul_(float v) {
+  float* p = data();
+  for (int64_t i = 0; i < numel_; ++i) p[i] *= v;
+}
+
+bool Tensor::allclose(const Tensor& other, float rtol, float atol) const {
+  if (shape_ != other.shape_) return false;
+  const float* p = data();
+  const float* q = other.data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    const float tol = atol + rtol * std::fabs(q[i]);
+    if (std::fabs(p[i] - q[i]) > tol) return false;
+    if (std::isnan(p[i]) != std::isnan(q[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace saufno

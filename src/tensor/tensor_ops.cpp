@@ -1,0 +1,454 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/kernels.h"
+
+namespace saufno {
+namespace {
+
+/// Iterate a broadcasted binary op. Shapes are right-aligned; a dim of 1
+/// broadcasts by using stride 0, exactly as in numpy.
+template <typename F>
+Tensor broadcast_binary(const Tensor& a, const Tensor& b, F f) {
+  const Shape out_shape = broadcast_shape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+
+  // Effective strides (0 where broadcast) for both inputs, right-aligned.
+  std::vector<int64_t> sa(rank, 0), sb(rank, 0);
+  {
+    const auto ca = contiguous_strides(a.shape());
+    const auto cb = contiguous_strides(b.shape());
+    const int64_t ra = a.dim(), rb = b.dim();
+    for (int64_t i = 0; i < ra; ++i) {
+      if (a.shape()[i] != 1) sa[rank - ra + i] = ca[i];
+    }
+    for (int64_t i = 0; i < rb; ++i) {
+      if (b.shape()[i] != 1) sb[rank - rb + i] = cb[i];
+    }
+  }
+
+  // Fast path: identical shapes -> single flat loop.
+  if (a.shape() == b.shape()) {
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+
+  // General path: odometer over the output index space.
+  std::vector<int64_t> idx(rank, 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  int64_t oa = 0, ob = 0;
+  for (int64_t lin = 0; lin < n; ++lin) {
+    po[lin] = f(pa[oa], pb[ob]);
+    // Increment odometer from the innermost dim.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++idx[d];
+      oa += sa[d];
+      ob += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      idx[d] = 0;
+      oa -= sa[d] * out_shape[d];
+      ob -= sb[d] * out_shape[d];
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor unary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* p = a.data();
+  float* q = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) q[i] = f(p[i]);
+  return out;
+}
+
+}  // namespace
+
+Shape broadcast_shape(const Shape& a, const Shape& b) {
+  const std::size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (std::size_t i = 0; i < rank; ++i) {
+    const int64_t da = i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    const int64_t db = i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    SAUFNO_CHECK(da == db || da == 1 || db == 1,
+                 "cannot broadcast " + shape_str(a) + " with " + shape_str(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x * s; });
+}
+
+Tensor neg(const Tensor& a) {
+  return unary(a, [](float x) { return -x; });
+}
+Tensor exp(const Tensor& a) {
+  return unary(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary(a, [](float x) { return std::sqrt(x); });
+}
+Tensor abs(const Tensor& a) {
+  return unary(a, [](float x) { return std::fabs(x); });
+}
+Tensor tanh(const Tensor& a) {
+  return unary(a, [](float x) { return std::tanh(x); });
+}
+Tensor relu(const Tensor& a) {
+  return unary(a, [](float x) { return x > 0.f ? x : 0.f; });
+}
+Tensor sigmoid(const Tensor& a) {
+  return unary(a, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+}
+
+Tensor gelu(const Tensor& a) {
+  // Exact GELU (the paper's sigma is GELU): x * Phi(x).
+  return unary(a, [](float x) {
+    return 0.5f * x * (1.f + std::erf(x * 0.70710678f));
+  });
+}
+
+Tensor gelu_grad(const Tensor& a) {
+  // d/dx [x Phi(x)] = Phi(x) + x phi(x).
+  return unary(a, [](float x) {
+    const float phi_cdf = 0.5f * (1.f + std::erf(x * 0.70710678f));
+    const float phi_pdf = 0.39894228f * std::exp(-0.5f * x * x);
+    return phi_cdf + x * phi_pdf;
+  });
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  return unary(a, [&f](float x) { return f(x); });
+}
+
+float sum_all(const Tensor& a) {
+  // Kahan summation: datasets hold thousands of ~300 K temperatures and a
+  // naive float accumulator loses digits that the metrics actually need.
+  const float* p = a.data();
+  double s = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) s += p[i];
+  return static_cast<float>(s);
+}
+
+float max_all(const Tensor& a) {
+  SAUFNO_CHECK(a.numel() > 0, "max_all of empty tensor");
+  const float* p = a.data();
+  float m = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, p[i]);
+  return m;
+}
+
+float min_all(const Tensor& a) {
+  SAUFNO_CHECK(a.numel() > 0, "min_all of empty tensor");
+  const float* p = a.data();
+  float m = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = std::min(m, p[i]);
+  return m;
+}
+
+float mean_all(const Tensor& a) {
+  SAUFNO_CHECK(a.numel() > 0, "mean_all of empty tensor");
+  return sum_all(a) / static_cast<float>(a.numel());
+}
+
+Tensor sum_dim(const Tensor& a, int64_t dim, bool keepdim) {
+  const int64_t rank = a.dim();
+  if (dim < 0) dim += rank;
+  SAUFNO_CHECK(dim >= 0 && dim < rank, "sum_dim: bad dim");
+  // Collapse to [outer, reduce, inner].
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= a.shape()[i];
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= a.shape()[i];
+  const int64_t red = a.shape()[dim];
+
+  Shape out_shape;
+  for (int64_t i = 0; i < rank; ++i) {
+    if (i == dim) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.shape()[i]);
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  Tensor out(out_shape);
+
+  const float* p = a.data();
+  float* q = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      double s = 0.0;
+      for (int64_t r = 0; r < red; ++r) {
+        s += p[(o * red + r) * inner + in];
+      }
+      q[o * inner + in] = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+Tensor reduce_to(const Tensor& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  Tensor cur = a;
+  // 1. Sum away leading dims that the target lacks.
+  while (cur.dim() > static_cast<int64_t>(target.size())) {
+    cur = sum_dim(cur, 0, /*keepdim=*/false);
+  }
+  // 2. Sum (keepdim) dims where target has size 1 but cur does not.
+  for (int64_t i = 0; i < cur.dim(); ++i) {
+    if (target[static_cast<std::size_t>(i)] == 1 && cur.shape()[i] != 1) {
+      cur = sum_dim(cur, i, /*keepdim=*/true);
+    }
+  }
+  SAUFNO_CHECK(cur.shape() == target,
+               "reduce_to: cannot reduce " + shape_str(a.shape()) + " to " +
+                   shape_str(target));
+  return cur;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  SAUFNO_CHECK(a.dim() == 2, "transpose2d requires a 2-D tensor");
+  const int64_t m = a.shape()[0], n = a.shape()[1];
+  Tensor out({n, m});
+  const float* p = a.data();
+  float* q = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) q[j * m + i] = p[i * n + j];
+  }
+  return out;
+}
+
+Tensor permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  const int64_t rank = a.dim();
+  SAUFNO_CHECK(static_cast<int64_t>(perm.size()) == rank,
+               "permute rank mismatch");
+  Shape out_shape(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    out_shape[i] = a.shape()[static_cast<std::size_t>(perm[i])];
+  }
+  Tensor out(out_shape);
+  const auto in_strides = contiguous_strides(a.shape());
+  std::vector<int64_t> strides(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    strides[i] = in_strides[static_cast<std::size_t>(perm[i])];
+  }
+  const float* p = a.data();
+  float* q = out.data();
+  std::vector<int64_t> idx(perm.size(), 0);
+  int64_t off = 0;
+  const int64_t n = out.numel();
+  for (int64_t lin = 0; lin < n; ++lin) {
+    q[lin] = p[off];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++idx[d];
+      off += strides[d];
+      if (idx[d] < out_shape[d]) break;
+      idx[d] = 0;
+      off -= strides[d] * out_shape[d];
+    }
+  }
+  return out;
+}
+
+Tensor slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
+  const int64_t rank = a.dim();
+  if (dim < 0) dim += rank;
+  SAUFNO_CHECK(dim >= 0 && dim < rank, "slice: bad dim");
+  SAUFNO_CHECK(start >= 0 && length >= 0 && start + length <= a.shape()[dim],
+               "slice out of range on dim " + std::to_string(dim) + " of " +
+                   shape_str(a.shape()));
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= a.shape()[i];
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= a.shape()[i];
+  const int64_t d = a.shape()[dim];
+
+  Shape out_shape = a.shape();
+  out_shape[static_cast<std::size_t>(dim)] = length;
+  Tensor out(out_shape);
+  const float* p = a.data();
+  float* q = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = p + (o * d + start) * inner;
+    float* dst = q + o * length * inner;
+    std::copy(src, src + length * inner, dst);
+  }
+  return out;
+}
+
+Tensor cat(const std::vector<Tensor>& ts, int64_t dim) {
+  SAUFNO_CHECK(!ts.empty(), "cat of zero tensors");
+  const int64_t rank = ts[0].dim();
+  if (dim < 0) dim += rank;
+  int64_t cat_size = 0;
+  for (const auto& t : ts) {
+    SAUFNO_CHECK(t.dim() == rank, "cat: rank mismatch");
+    for (int64_t i = 0; i < rank; ++i) {
+      if (i != dim) {
+        SAUFNO_CHECK(t.shape()[i] == ts[0].shape()[i],
+                     "cat: non-cat dims must match");
+      }
+    }
+    cat_size += t.shape()[dim];
+  }
+  Shape out_shape = ts[0].shape();
+  out_shape[static_cast<std::size_t>(dim)] = cat_size;
+  Tensor out(out_shape);
+
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= out_shape[i];
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= out_shape[i];
+
+  float* q = out.data();
+  int64_t written = 0;
+  for (const auto& t : ts) {
+    const int64_t d = t.shape()[dim];
+    const float* p = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(p + o * d * inner, p + (o + 1) * d * inner,
+                q + (o * cat_size + written) * inner);
+    }
+    written += d;
+  }
+  return out;
+}
+
+Tensor pad2d(const Tensor& a, int64_t top, int64_t bottom, int64_t left,
+             int64_t right) {
+  const int64_t rank = a.dim();
+  SAUFNO_CHECK(rank >= 2, "pad2d needs at least 2 dims");
+  const int64_t h = a.shape()[rank - 2], w = a.shape()[rank - 1];
+  const int64_t oh = h + top + bottom, ow = w + left + right;
+  int64_t batch = 1;
+  for (int64_t i = 0; i < rank - 2; ++i) batch *= a.shape()[i];
+
+  Shape out_shape = a.shape();
+  out_shape[static_cast<std::size_t>(rank - 2)] = oh;
+  out_shape[static_cast<std::size_t>(rank - 1)] = ow;
+  Tensor out(out_shape);  // zero-initialized
+  const float* p = a.data();
+  float* q = out.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < h; ++i) {
+      std::copy(p + (b * h + i) * w, p + (b * h + i + 1) * w,
+                q + (b * oh + i + top) * ow + left);
+    }
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  SAUFNO_CHECK(a.dim() == 2 && b.dim() == 2, "matmul requires 2-D tensors");
+  const int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  SAUFNO_CHECK(b.shape()[0] == k, "matmul inner dims mismatch: " +
+                                      shape_str(a.shape()) + " x " +
+                                      shape_str(b.shape()));
+  Tensor out({m, n});
+  gemm(a.data(), b.data(), out.data(), m, n, k, /*accumulate=*/false);
+  return out;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  SAUFNO_CHECK(a.dim() == 3 && b.dim() == 3, "bmm requires 3-D tensors");
+  const int64_t ba = a.shape()[0], bb = b.shape()[0];
+  SAUFNO_CHECK(ba == bb || ba == 1 || bb == 1, "bmm batch mismatch");
+  const int64_t batch = std::max(ba, bb);
+  const int64_t m = a.shape()[1], k = a.shape()[2], n = b.shape()[2];
+  SAUFNO_CHECK(b.shape()[1] == k, "bmm inner dims mismatch");
+  Tensor out({batch, m, n});
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* pa = a.data() + (ba == 1 ? 0 : i) * m * k;
+    const float* pb = b.data() + (bb == 1 ? 0 : i) * k * n;
+    gemm(pa, pb, out.data() + i * m * n, m, n, k, /*accumulate=*/false);
+  }
+  return out;
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  const int64_t rank = a.dim();
+  SAUFNO_CHECK(rank >= 1, "softmax of scalar");
+  const int64_t n = a.shape()[rank - 1];
+  const int64_t rows = a.numel() / n;
+  Tensor out(a.shape());
+  const float* p = a.data();
+  float* q = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * n;
+    float* orow = q + r * n;
+    float mx = row[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      orow[i] = std::exp(row[i] - mx);
+      s += orow[i];
+    }
+    const float inv = static_cast<float>(1.0 / s);
+    for (int64_t i = 0; i < n; ++i) orow[i] *= inv;
+  }
+  return out;
+}
+
+Tensor resize_bilinear(const Tensor& a, int64_t oh, int64_t ow) {
+  const int64_t rank = a.dim();
+  SAUFNO_CHECK(rank >= 2, "resize_bilinear needs >= 2 dims");
+  const int64_t ih = a.shape()[rank - 2], iw = a.shape()[rank - 1];
+  int64_t batch = 1;
+  for (int64_t i = 0; i < rank - 2; ++i) batch *= a.shape()[i];
+  Shape out_shape = a.shape();
+  out_shape[static_cast<std::size_t>(rank - 2)] = oh;
+  out_shape[static_cast<std::size_t>(rank - 1)] = ow;
+  Tensor out(out_shape);
+  bilinear_resize_kernel(a.data(), out.data(), batch, ih, iw, oh, ow,
+                         /*adjoint=*/false);
+  return out;
+}
+
+Tensor resize_bilinear_adjoint(const Tensor& grad_out, int64_t ih,
+                               int64_t iw) {
+  const int64_t rank = grad_out.dim();
+  SAUFNO_CHECK(rank >= 2, "resize_bilinear_adjoint needs >= 2 dims");
+  const int64_t oh = grad_out.shape()[rank - 2],
+                ow = grad_out.shape()[rank - 1];
+  int64_t batch = 1;
+  for (int64_t i = 0; i < rank - 2; ++i) batch *= grad_out.shape()[i];
+  Shape in_shape = grad_out.shape();
+  in_shape[static_cast<std::size_t>(rank - 2)] = ih;
+  in_shape[static_cast<std::size_t>(rank - 1)] = iw;
+  Tensor out(in_shape);
+  bilinear_resize_kernel(grad_out.data(), out.data(), batch, ih, iw, oh, ow,
+                         /*adjoint=*/true);
+  return out;
+}
+
+}  // namespace saufno

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace saufno {
+
+// ---------------------------------------------------------------------------
+// Raw (non-differentiable) tensor ops. The autograd layer wraps these with
+// backward rules; keeping the kernels separate lets the thermal solvers and
+// the data pipeline use them without dragging the tape in.
+// ---------------------------------------------------------------------------
+
+/// Numpy-style broadcast of two shapes; throws if incompatible.
+Shape broadcast_shape(const Shape& a, const Shape& b);
+
+// Elementwise binary ops with broadcasting.
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// Scalar variants.
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// Elementwise unary ops.
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+/// Exact GELU: x * Phi(x) with Phi the standard normal CDF (via erf).
+Tensor gelu(const Tensor& a);
+/// d/dx of exact GELU (needed by the autograd rule).
+Tensor gelu_grad(const Tensor& a);
+/// Apply an arbitrary scalar function (test/tooling convenience).
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+
+// Reductions.
+float sum_all(const Tensor& a);
+float max_all(const Tensor& a);
+float min_all(const Tensor& a);
+float mean_all(const Tensor& a);
+/// Sum over the given dimension; optionally keep it (size 1).
+Tensor sum_dim(const Tensor& a, int64_t dim, bool keepdim);
+/// Reduce `a` (by summation) to `target` shape — the broadcast adjoint.
+Tensor reduce_to(const Tensor& a, const Shape& target);
+
+// Layout ops (all copy).
+Tensor transpose2d(const Tensor& a);
+/// General permutation of dimensions.
+Tensor permute(const Tensor& a, const std::vector<int64_t>& perm);
+/// Narrow along `dim`: elements [start, start+length).
+Tensor slice(const Tensor& a, int64_t dim, int64_t start, int64_t length);
+/// Concatenate along `dim`.
+Tensor cat(const std::vector<Tensor>& ts, int64_t dim);
+/// Zero-pad the last two dims (left/right/top/bottom).
+Tensor pad2d(const Tensor& a, int64_t top, int64_t bottom, int64_t left,
+             int64_t right);
+
+// Linear algebra.
+/// 2-D matmul [M,K] x [K,N] -> [M,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Batched matmul [B,M,K] x [B,K,N] -> [B,M,N]; B may broadcast (1 vs B).
+Tensor bmm(const Tensor& a, const Tensor& b);
+
+/// Numerically-stable softmax along the last dimension.
+Tensor softmax_lastdim(const Tensor& a);
+
+/// Bilinear resize of the last two dims of a [..., H, W] tensor to (oh, ow)
+/// using align_corners=true sampling (exact at the grid corners, which is
+/// what the U-FNO decoder and GAR's fidelity lifting need).
+Tensor resize_bilinear(const Tensor& a, int64_t oh, int64_t ow);
+/// Adjoint of resize_bilinear (scatter of output-gradient to input grid).
+Tensor resize_bilinear_adjoint(const Tensor& grad_out, int64_t ih, int64_t iw);
+
+}  // namespace saufno

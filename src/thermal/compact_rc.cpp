@@ -1,0 +1,339 @@
+#include "thermal/compact_rc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "thermal/stencil.h"
+
+namespace saufno {
+namespace thermal {
+namespace {
+/// Lumped-sink derating shared by block and grid modes: compact models
+/// cannot credit in-plane spreading inside the copper, which is the bias
+/// that puts HotSpot ~10 K above the field solvers in the paper's
+/// Table IV.
+constexpr double kLumpedSinkDerate = 0.68;
+}  // namespace
+}  // namespace thermal
+}  // namespace saufno
+
+namespace saufno {
+namespace thermal {
+namespace {
+
+/// Dense Gaussian elimination with partial pivoting; the network has tens
+/// of nodes, so O(n^3) is instantaneous.
+std::vector<double> solve_dense(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[piv][col])) piv = r;
+    }
+    SAUFNO_CHECK(std::fabs(a[piv][col]) > 1e-30,
+                 "singular thermal network matrix");
+    std::swap(a[col], a[piv]);
+    std::swap(b[col], b[piv]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t cc = col; cc < n; ++cc) a[r][cc] -= f * a[col][cc];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t cc = ri + 1; cc < n; ++cc) s -= a[ri][cc] * x[cc];
+    x[ri] = s / a[ri][ri];
+  }
+  return x;
+}
+
+}  // namespace
+
+double CompactRcSolver::Result::max_temperature() const {
+  SAUFNO_CHECK(!blocks.empty(), "empty RC result");
+  double m = blocks[0].temperature;
+  for (const auto& b : blocks) m = std::max(m, b.temperature);
+  return m;
+}
+
+double CompactRcSolver::Result::min_temperature() const {
+  SAUFNO_CHECK(!blocks.empty(), "empty RC result");
+  double m = blocks[0].temperature;
+  for (const auto& b : blocks) m = std::min(m, b.temperature);
+  return m;
+}
+
+CompactRcSolver::CompactRcSolver(const chip::ChipSpec& spec) : spec_(spec) {
+  spec_.validate();
+}
+
+CompactRcSolver::Result CompactRcSolver::solve(
+    const chip::PowerAssignment& pa) const {
+  // Node layout: device-layer blocks first (in stack order), then one
+  // lumped node per non-device layer.
+  struct NodeInfo {
+    int layer;
+    int block = -1;  // -1 for lumped layer nodes
+  };
+  std::vector<NodeInfo> nodes;
+  // node id of (layer, block); lumped layers keyed by block = -1.
+  auto node_of = [&](int layer, int block) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].layer == layer && nodes[i].block == block) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  for (std::size_t li = 0; li < spec_.layers.size(); ++li) {
+    const auto& layer = spec_.layers[li];
+    if (layer.is_device) {
+      for (std::size_t b = 0; b < layer.floorplan.blocks.size(); ++b) {
+        nodes.push_back({static_cast<int>(li), static_cast<int>(b)});
+      }
+    } else {
+      nodes.push_back({static_cast<int>(li), -1});
+    }
+  }
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<double>> g(n, std::vector<double>(n, 0.0));
+  std::vector<double> rhs(n, 0.0);
+  const double die_area = spec_.die_w * spec_.die_h;
+
+  auto add_conductance = [&](int a, int b, double cond) {
+    g[static_cast<std::size_t>(a)][static_cast<std::size_t>(a)] += cond;
+    g[static_cast<std::size_t>(b)][static_cast<std::size_t>(b)] += cond;
+    g[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] -= cond;
+    g[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] -= cond;
+  };
+  auto add_to_ambient = [&](int a, double cond) {
+    g[static_cast<std::size_t>(a)][static_cast<std::size_t>(a)] += cond;
+    rhs[static_cast<std::size_t>(a)] += cond * spec_.ambient;
+  };
+
+  // Vertical coupling between consecutive layers.
+  for (std::size_t li = 0; li + 1 < spec_.layers.size(); ++li) {
+    const auto& lo = spec_.layers[li];
+    const auto& hi = spec_.layers[li + 1];
+    const double rv_unit =  // K*m^2/W through the two half-layers
+        0.5 * lo.thickness / lo.material.conductivity +
+        0.5 * hi.thickness / hi.material.conductivity;
+    auto blocks_of = [&](const chip::LayerSpec& l)
+        -> std::vector<std::pair<int, double>> {
+      // (block index or -1, area fraction) pairs.
+      std::vector<std::pair<int, double>> out;
+      if (l.is_device) {
+        for (std::size_t b = 0; b < l.floorplan.blocks.size(); ++b) {
+          out.emplace_back(static_cast<int>(b),
+                           l.floorplan.blocks[b].area_fraction());
+        }
+      } else {
+        out.emplace_back(-1, 1.0);
+      }
+      return out;
+    };
+    for (const auto& [bl, fl] : blocks_of(lo)) {
+      for (const auto& [bh, fh] : blocks_of(hi)) {
+        double overlap_frac;
+        if (bl >= 0 && bh >= 0) {
+          const auto& rb = lo.floorplan.blocks[static_cast<std::size_t>(bl)];
+          const auto& rt = hi.floorplan.blocks[static_cast<std::size_t>(bh)];
+          overlap_frac =
+              rb.overlap(rt.x, rt.y, rt.x + rt.w, rt.y + rt.h);
+        } else if (bl >= 0) {
+          overlap_frac = fl;
+        } else if (bh >= 0) {
+          overlap_frac = fh;
+        } else {
+          overlap_frac = 1.0;
+        }
+        if (overlap_frac <= 0.0) continue;
+        const double area = overlap_frac * die_area;
+        add_conductance(node_of(static_cast<int>(li), bl),
+                        node_of(static_cast<int>(li + 1), bh),
+                        area / rv_unit);
+      }
+    }
+  }
+
+  // Lateral coupling between edge-sharing blocks within a device layer.
+  for (std::size_t li = 0; li < spec_.layers.size(); ++li) {
+    const auto& layer = spec_.layers[li];
+    if (!layer.is_device) continue;
+    const auto& blocks = layer.floorplan.blocks;
+    for (std::size_t a = 0; a < blocks.size(); ++a) {
+      for (std::size_t b = a + 1; b < blocks.size(); ++b) {
+        const auto& ba = blocks[a];
+        const auto& bb = blocks[b];
+        // Shared edge length (normalized) if the rectangles abut.
+        constexpr double kEps = 1e-9;
+        double shared = 0.0;
+        const bool abut_x = std::fabs(ba.x + ba.w - bb.x) < kEps ||
+                            std::fabs(bb.x + bb.w - ba.x) < kEps;
+        const bool abut_y = std::fabs(ba.y + ba.h - bb.y) < kEps ||
+                            std::fabs(bb.y + bb.h - ba.y) < kEps;
+        if (abut_x) {
+          shared = std::max(0.0, std::min(ba.y + ba.h, bb.y + bb.h) -
+                                     std::max(ba.y, bb.y));
+          shared *= spec_.die_h;
+        } else if (abut_y) {
+          shared = std::max(0.0, std::min(ba.x + ba.w, bb.x + bb.w) -
+                                     std::max(ba.x, bb.x));
+          shared *= spec_.die_w;
+        }
+        if (shared <= 0.0) continue;
+        // Centroid distance in metres.
+        const double cxa = (ba.x + ba.w / 2) * spec_.die_w;
+        const double cya = (ba.y + ba.h / 2) * spec_.die_h;
+        const double cxb = (bb.x + bb.w / 2) * spec_.die_w;
+        const double cyb = (bb.y + bb.h / 2) * spec_.die_h;
+        const double dist = std::hypot(cxa - cxb, cya - cyb);
+        const double cond =
+            layer.material.conductivity * layer.thickness * shared / dist;
+        add_conductance(node_of(static_cast<int>(li), static_cast<int>(a)),
+                        node_of(static_cast<int>(li), static_cast<int>(b)),
+                        cond);
+      }
+    }
+  }
+
+  // Boundary paths: the derated sink (see kLumpedSinkDerate above).
+  {
+    const int top = node_of(static_cast<int>(spec_.layers.size()) - 1, -1);
+    const int top_dev =
+        top >= 0 ? top
+                 : node_of(static_cast<int>(spec_.layers.size()) - 1, 0);
+    (void)top_dev;
+    SAUFNO_CHECK(top >= 0, "topmost layer expected to be a lumped layer");
+    add_to_ambient(top, spec_.h_top * kLumpedSinkDerate * die_area);
+  }
+  {
+    // Bottom layer: every node of layer 0 leaks through the package.
+    const auto& l0 = spec_.layers[0];
+    if (l0.is_device) {
+      for (std::size_t b = 0; b < l0.floorplan.blocks.size(); ++b) {
+        add_to_ambient(node_of(0, static_cast<int>(b)),
+                       spec_.h_bottom * die_area *
+                           l0.floorplan.blocks[b].area_fraction());
+      }
+    } else {
+      add_to_ambient(node_of(0, -1), spec_.h_bottom * die_area);
+    }
+  }
+
+  // Power injection.
+  for (std::size_t li = 0; li < spec_.layers.size(); ++li) {
+    if (!spec_.layers[li].is_device) continue;
+    SAUFNO_CHECK(li < pa.power.size() && pa.power[li].size() ==
+                     spec_.layers[li].floorplan.blocks.size(),
+                 "power assignment does not match chip spec");
+    for (std::size_t b = 0; b < pa.power[li].size(); ++b) {
+      rhs[static_cast<std::size_t>(
+          node_of(static_cast<int>(li), static_cast<int>(b)))] +=
+          pa.power[li][b];
+    }
+  }
+
+  const std::vector<double> t = solve_dense(g, rhs);
+  Result res;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nd = nodes[i];
+    std::string name;
+    if (nd.block >= 0) {
+      name = spec_.layers[static_cast<std::size_t>(nd.layer)]
+                 .floorplan.blocks[static_cast<std::size_t>(nd.block)]
+                 .name;
+    } else {
+      name = spec_.layers[static_cast<std::size_t>(nd.layer)].name;
+    }
+    res.blocks.push_back({name, nd.layer, t[i]});
+  }
+  return res;
+}
+
+CompactRcSolver::GridResult CompactRcSolver::solve_grid(
+    const chip::PowerAssignment& pa, int res, double tol,
+    int max_iters) const {
+  SAUFNO_CHECK(res >= 4, "grid mode needs at least a 4x4 lateral grid");
+  // Same voxelization as the field solver, same derated sink as block
+  // mode; the method difference — Gauss-Seidel relaxation instead of
+  // preconditioned CG — is what makes grid-mode compact tools slow on the
+  // stiff, high-aspect-ratio chip stack.
+  chip::ChipSpec derated = spec_;
+  derated.h_top *= kLumpedSinkDerate;
+  const ThermalGrid grid = build_grid(derated, pa, res, res);
+  const detail::Stencil s = detail::build_stencil(grid);
+
+  const std::size_t n = static_cast<std::size_t>(grid.num_cells());
+  std::vector<double> t(n, grid.ambient);
+  const double bnorm = std::sqrt(detail::dot(s.b, s.b));
+  const double stop = tol * (bnorm > 0 ? bnorm : 1.0);
+  const int nx = grid.nx, ny = grid.ny, nz = grid.nz;
+
+  GridResult out;
+  std::vector<double> r(n);
+  while (out.iterations < max_iters) {
+    // One Gauss-Seidel sweep in lexicographic order.
+    for (int iz = 0; iz < nz; ++iz) {
+      for (int iy = 0; iy < ny; ++iy) {
+        for (int ix = 0; ix < nx; ++ix) {
+          const int64_t c = s.cell(iz, iy, ix);
+          double acc = s.b[static_cast<std::size_t>(c)];
+          if (ix > 0) {
+            acc += s.gx[(static_cast<std::size_t>(iz) * ny + iy) * (nx - 1) +
+                        ix - 1] *
+                   t[static_cast<std::size_t>(c - 1)];
+          }
+          if (ix + 1 < nx) {
+            acc += s.gx[(static_cast<std::size_t>(iz) * ny + iy) * (nx - 1) +
+                        ix] *
+                   t[static_cast<std::size_t>(c + 1)];
+          }
+          if (iy > 0) {
+            acc += s.gy[(static_cast<std::size_t>(iz) * (ny - 1) + iy - 1) *
+                            nx +
+                        ix] *
+                   t[static_cast<std::size_t>(s.cell(iz, iy - 1, ix))];
+          }
+          if (iy + 1 < ny) {
+            acc +=
+                s.gy[(static_cast<std::size_t>(iz) * (ny - 1) + iy) * nx + ix] *
+                t[static_cast<std::size_t>(s.cell(iz, iy + 1, ix))];
+          }
+          if (iz > 0) {
+            acc += s.gz[(static_cast<std::size_t>(iz - 1) * ny + iy) * nx +
+                        ix] *
+                   t[static_cast<std::size_t>(s.cell(iz - 1, iy, ix))];
+          }
+          if (iz + 1 < nz) {
+            acc += s.gz[(static_cast<std::size_t>(iz) * ny + iy) * nx + ix] *
+                   t[static_cast<std::size_t>(s.cell(iz + 1, iy, ix))];
+          }
+          t[static_cast<std::size_t>(c)] =
+              acc / s.diag[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+    ++out.iterations;
+    // Residual check every few sweeps (the check itself costs a matvec).
+    if (out.iterations % 16 == 0 || out.iterations == max_iters) {
+      detail::apply(s, t, r);
+      for (std::size_t i = 0; i < n; ++i) r[i] = s.b[i] - r[i];
+      if (std::sqrt(detail::dot(r, r)) <= stop) {
+        out.converged = true;
+        break;
+      }
+    }
+  }
+  out.max_temperature = *std::max_element(t.begin(), t.end());
+  out.min_temperature = *std::min_element(t.begin(), t.end());
+  return out;
+}
+
+}  // namespace thermal
+}  // namespace saufno

@@ -1,0 +1,61 @@
+#include "thermal/fdm_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "thermal/stencil.h"
+
+namespace saufno {
+namespace thermal {
+
+double ThermalSolution::max_temperature() const {
+  SAUFNO_CHECK(!temperature.empty(), "empty solution");
+  return *std::max_element(temperature.begin(), temperature.end());
+}
+
+double ThermalSolution::min_temperature() const {
+  SAUFNO_CHECK(!temperature.empty(), "empty solution");
+  return *std::min_element(temperature.begin(), temperature.end());
+}
+
+std::vector<float> ThermalSolution::layer_map(const ThermalGrid& g,
+                                              int chip_layer) const {
+  // Average over the z-cells of the layer (thin layers have exactly one).
+  std::vector<float> map(static_cast<std::size_t>(g.ny) * g.nx, 0.f);
+  int count = 0;
+  for (int iz = 0; iz < g.nz; ++iz) {
+    if (g.layer_of_z[static_cast<std::size_t>(iz)] != chip_layer) continue;
+    ++count;
+    for (int iy = 0; iy < g.ny; ++iy) {
+      for (int ix = 0; ix < g.nx; ++ix) {
+        map[static_cast<std::size_t>(iy) * g.nx + ix] += static_cast<float>(
+            temperature[static_cast<std::size_t>(g.cell(iz, iy, ix))]);
+      }
+    }
+  }
+  SAUFNO_CHECK(count > 0, "layer has no z-cells");
+  const float inv = 1.f / static_cast<float>(count);
+  for (auto& v : map) v *= inv;
+  return map;
+}
+
+ThermalSolution FdmSolver::solve(const ThermalGrid& grid) const {
+  SAUFNO_CHECK(grid.num_cells() > 0, "empty grid");
+  SAUFNO_CHECK(grid.h_top > 0.0 || grid.h_bottom > 0.0,
+               "no heat escape path: the steady problem is singular");
+  const detail::Stencil s = detail::build_stencil(grid);
+  // Warm start from ambient.
+  std::vector<double> x(static_cast<std::size_t>(grid.num_cells()),
+                        grid.ambient);
+  const auto cg = detail::pcg_solve(s, s.b, x, opt_.tol, opt_.max_iters);
+  ThermalSolution sol;
+  sol.temperature = std::move(x);
+  sol.iterations = cg.iterations;
+  sol.residual = cg.residual;
+  sol.converged = cg.converged;
+  return sol;
+}
+
+}  // namespace thermal
+}  // namespace saufno

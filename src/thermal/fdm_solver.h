@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "thermal/grid.h"
+
+namespace saufno {
+namespace thermal {
+
+/// Steady-state temperature field + solve diagnostics.
+struct ThermalSolution {
+  std::vector<double> temperature;  // K, per grid cell (z-major)
+  int iterations = 0;
+  double residual = 0.0;  // final relative residual ||r|| / ||b||
+  bool converged = false;
+
+  double max_temperature() const;
+  double min_temperature() const;
+
+  /// Mid-depth temperature map of one chip layer, [ny*nx] floats (for
+  /// training targets and the Fig. 4/5 heatmaps).
+  std::vector<float> layer_map(const ThermalGrid& g, int chip_layer) const;
+};
+
+/// Finite-volume steady heat solver — the MTA [33] substitute (and, at
+/// refine=2, the COMSOL reference of Table IV).
+///
+/// Discretizes  -div(k grad T) = q  on the voxel grid with harmonic-mean
+/// face conductances, adiabatic lateral walls, and Robin (convective)
+/// conditions on the top (heat sink, h_top) and bottom (package, h_bottom)
+/// faces — Eq. (3)-(4) of the paper. The resulting SPD system is solved
+/// matrix-free with Jacobi-preconditioned conjugate gradients.
+class FdmSolver {
+ public:
+  struct Options {
+    double tol = 1e-8;      // relative residual target
+    int max_iters = 20000;  // CG iteration cap
+  };
+
+  FdmSolver() = default;
+  explicit FdmSolver(Options opt) : opt_(opt) {}
+
+  ThermalSolution solve(const ThermalGrid& grid) const;
+
+ private:
+  Options opt_{};
+};
+
+}  // namespace thermal
+}  // namespace saufno

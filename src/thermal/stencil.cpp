@@ -1,0 +1,222 @@
+#include "thermal/stencil.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace saufno {
+namespace thermal {
+namespace detail {
+
+Stencil build_stencil(const ThermalGrid& g) {
+  Stencil s;
+  s.nx = g.nx;
+  s.ny = g.ny;
+  s.nz = g.nz;
+  const int64_t n = g.num_cells();
+  s.diag.assign(static_cast<std::size_t>(n), 0.0);
+  s.b.assign(static_cast<std::size_t>(n), 0.0);
+  s.gx.assign(static_cast<std::size_t>(g.nz) * g.ny * (g.nx - 1), 0.0);
+  s.gy.assign(static_cast<std::size_t>(g.nz) * (g.ny - 1) * g.nx, 0.0);
+  s.gz.assign(static_cast<std::size_t>(g.nz - 1) * g.ny * g.nx, 0.0);
+
+  auto kk = [&](int iz, int iy, int ix) {
+    return g.k[static_cast<std::size_t>(g.cell(iz, iy, ix))];
+  };
+
+  for (int iz = 0; iz < g.nz; ++iz) {
+    const double dzc = g.dz[static_cast<std::size_t>(iz)];
+    const double ax = g.dy * dzc;  // x-face area
+    const double ay = g.dx * dzc;  // y-face area
+    for (int iy = 0; iy < g.ny; ++iy) {
+      for (int ix = 0; ix < g.nx; ++ix) {
+        const int64_t c = g.cell(iz, iy, ix);
+        s.b[static_cast<std::size_t>(c)] +=
+            g.q[static_cast<std::size_t>(c)] * g.dx * g.dy * dzc;
+        // Harmonic-mean face conductances (half-cell resistances in
+        // series) — exact for piecewise-constant conductivity.
+        if (ix + 1 < g.nx) {
+          const double r = 0.5 * g.dx / kk(iz, iy, ix) +
+                           0.5 * g.dx / kk(iz, iy, ix + 1);
+          const double gface = ax / r;
+          s.gx[(static_cast<std::size_t>(iz) * g.ny + iy) * (g.nx - 1) + ix] =
+              gface;
+          s.diag[static_cast<std::size_t>(c)] += gface;
+          s.diag[static_cast<std::size_t>(g.cell(iz, iy, ix + 1))] += gface;
+        }
+        if (iy + 1 < g.ny) {
+          const double r = 0.5 * g.dy / kk(iz, iy, ix) +
+                           0.5 * g.dy / kk(iz, iy + 1, ix);
+          const double gface = ay / r;
+          s.gy[(static_cast<std::size_t>(iz) * (g.ny - 1) + iy) * g.nx + ix] =
+              gface;
+          s.diag[static_cast<std::size_t>(c)] += gface;
+          s.diag[static_cast<std::size_t>(g.cell(iz, iy + 1, ix))] += gface;
+        }
+        if (iz + 1 < g.nz) {
+          const double r =
+              0.5 * dzc / kk(iz, iy, ix) +
+              0.5 * g.dz[static_cast<std::size_t>(iz + 1)] / kk(iz + 1, iy, ix);
+          const double gface = g.dx * g.dy / r;
+          s.gz[(static_cast<std::size_t>(iz) * g.ny + iy) * g.nx + ix] = gface;
+          s.diag[static_cast<std::size_t>(c)] += gface;
+          s.diag[static_cast<std::size_t>(g.cell(iz + 1, iy, ix))] += gface;
+        }
+      }
+    }
+  }
+
+  // Robin boundaries: convective film in series with the half-cell
+  // conduction path (Eq. 4 of the paper).
+  for (int iy = 0; iy < g.ny; ++iy) {
+    for (int ix = 0; ix < g.nx; ++ix) {
+      const double a = g.dx * g.dy;
+      if (g.h_top > 0.0) {
+        const int iz = g.nz - 1;
+        const double r =
+            0.5 * g.dz[static_cast<std::size_t>(iz)] / kk(iz, iy, ix) +
+            1.0 / g.h_top;
+        const double gface = a / r;
+        const int64_t c = g.cell(iz, iy, ix);
+        s.diag[static_cast<std::size_t>(c)] += gface;
+        s.b[static_cast<std::size_t>(c)] += gface * g.ambient;
+      }
+      if (g.h_bottom > 0.0) {
+        const double r = 0.5 * g.dz[0] / kk(0, iy, ix) + 1.0 / g.h_bottom;
+        const double gface = a / r;
+        const int64_t c = g.cell(0, iy, ix);
+        s.diag[static_cast<std::size_t>(c)] += gface;
+        s.b[static_cast<std::size_t>(c)] += gface * g.ambient;
+      }
+    }
+  }
+  return s;
+}
+
+void apply(const Stencil& s, const std::vector<double>& x,
+           std::vector<double>& y) {
+  const int nx = s.nx, ny = s.ny, nz = s.nz;
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = s.diag[i] * x[i];
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy < ny; ++iy) {
+      const int64_t row = (static_cast<int64_t>(iz) * ny + iy);
+      for (int ix = 0; ix + 1 < nx; ++ix) {
+        const double gf = s.gx[static_cast<std::size_t>(row * (nx - 1) + ix)];
+        const int64_t c = row * nx + ix;
+        y[static_cast<std::size_t>(c)] -= gf * x[static_cast<std::size_t>(c + 1)];
+        y[static_cast<std::size_t>(c + 1)] -= gf * x[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy + 1 < ny; ++iy) {
+      for (int ix = 0; ix < nx; ++ix) {
+        const double gf =
+            s.gy[(static_cast<std::size_t>(iz) * (ny - 1) + iy) * nx + ix];
+        const int64_t c = s.cell(iz, iy, ix);
+        const int64_t d = s.cell(iz, iy + 1, ix);
+        y[static_cast<std::size_t>(c)] -= gf * x[static_cast<std::size_t>(d)];
+        y[static_cast<std::size_t>(d)] -= gf * x[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  for (int iz = 0; iz + 1 < nz; ++iz) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int ix = 0; ix < nx; ++ix) {
+        const double gf =
+            s.gz[(static_cast<std::size_t>(iz) * ny + iy) * nx + ix];
+        const int64_t c = s.cell(iz, iy, ix);
+        const int64_t d = s.cell(iz + 1, iy, ix);
+        y[static_cast<std::size_t>(c)] -= gf * x[static_cast<std::size_t>(d)];
+        y[static_cast<std::size_t>(d)] -= gf * x[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+}
+
+void zline_precondition(const Stencil& s, const std::vector<double>& r,
+                        std::vector<double>& z) {
+  const int nx = s.nx, ny = s.ny, nz = s.nz;
+  std::vector<double> cp(static_cast<std::size_t>(nz));
+  std::vector<double> dp(static_cast<std::size_t>(nz));
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      for (int iz = 0; iz < nz; ++iz) {
+        const int64_t c = s.cell(iz, iy, ix);
+        const double bi = s.diag[static_cast<std::size_t>(c)];
+        const double ci =
+            iz + 1 < nz
+                ? -s.gz[(static_cast<std::size_t>(iz) * ny + iy) * nx + ix]
+                : 0.0;
+        const double ai =
+            iz > 0
+                ? -s.gz[(static_cast<std::size_t>(iz - 1) * ny + iy) * nx + ix]
+                : 0.0;
+        if (iz == 0) {
+          cp[0] = ci / bi;
+          dp[0] = r[static_cast<std::size_t>(c)] / bi;
+        } else {
+          const double m = bi - ai * cp[static_cast<std::size_t>(iz - 1)];
+          cp[static_cast<std::size_t>(iz)] = ci / m;
+          dp[static_cast<std::size_t>(iz)] =
+              (r[static_cast<std::size_t>(c)] -
+               ai * dp[static_cast<std::size_t>(iz - 1)]) /
+              m;
+        }
+      }
+      for (int iz = nz - 1; iz >= 0; --iz) {
+        const int64_t c = s.cell(iz, iy, ix);
+        z[static_cast<std::size_t>(c)] =
+            dp[static_cast<std::size_t>(iz)] -
+            (iz + 1 < nz
+                 ? cp[static_cast<std::size_t>(iz)] *
+                       z[static_cast<std::size_t>(s.cell(iz + 1, iy, ix))]
+                 : 0.0);
+      }
+    }
+  }
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+CgResult pcg_solve(const Stencil& s, const std::vector<double>& rhs,
+                   std::vector<double>& x, double tol, int max_iters) {
+  const std::size_t n = rhs.size();
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  apply(s, x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - ap[i];
+  const double bnorm = std::sqrt(dot(rhs, rhs));
+  const double stop = tol * (bnorm > 0 ? bnorm : 1.0);
+
+  zline_precondition(s, r, z);
+  p = z;
+  double rz = dot(r, z);
+  CgResult res;
+  double rnorm = std::sqrt(dot(r, r));
+  while (rnorm > stop && res.iterations < max_iters) {
+    apply(s, p, ap);
+    const double alpha = rz / dot(p, ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    zline_precondition(s, r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    rnorm = std::sqrt(dot(r, r));
+    ++res.iterations;
+  }
+  res.residual = bnorm > 0 ? rnorm / bnorm : rnorm;
+  res.converged = rnorm <= stop;
+  return res;
+}
+
+}  // namespace detail
+}  // namespace thermal
+}  // namespace saufno

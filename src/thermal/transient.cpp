@@ -1,0 +1,72 @@
+#include "thermal/transient.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "thermal/stencil.h"
+
+namespace saufno {
+namespace thermal {
+
+TransientSolver::Result TransientSolver::solve(const ThermalGrid& grid,
+                                               double initial_K) const {
+  const double t0 = initial_K > 0 ? initial_K : grid.ambient;
+  return solve_from(grid,
+                    std::vector<double>(
+                        static_cast<std::size_t>(grid.num_cells()), t0));
+}
+
+TransientSolver::Result TransientSolver::solve_from(
+    const ThermalGrid& grid, std::vector<double> initial_field) const {
+  SAUFNO_CHECK(grid.num_cells() > 0, "empty grid");
+  SAUFNO_CHECK(static_cast<int64_t>(initial_field.size()) ==
+                   grid.num_cells(),
+               "initial field does not match the grid");
+  SAUFNO_CHECK(!grid.c.empty(), "grid has no heat-capacity field");
+  SAUFNO_CHECK(opt_.dt > 0 && opt_.steps > 0, "bad transient options");
+  Timer timer;
+
+  // Steady stencil, then augment: (C/dt + A) on the diagonal; the moving
+  // part of the RHS is (C/dt) T^n, re-added every step.
+  detail::Stencil s = detail::build_stencil(grid);
+  const std::size_t n = static_cast<std::size_t>(grid.num_cells());
+  std::vector<double> cap_over_dt(n);
+  for (int iz = 0; iz < grid.nz; ++iz) {
+    const double vol =
+        grid.dx * grid.dy * grid.dz[static_cast<std::size_t>(iz)];
+    for (int iy = 0; iy < grid.ny; ++iy) {
+      for (int ix = 0; ix < grid.nx; ++ix) {
+        const std::size_t c =
+            static_cast<std::size_t>(grid.cell(iz, iy, ix));
+        cap_over_dt[c] = grid.c[c] * vol / opt_.dt;
+      }
+    }
+  }
+  const std::vector<double> steady_b = s.b;
+  for (std::size_t i = 0; i < n; ++i) s.diag[i] += cap_over_dt[i];
+
+  Result res;
+  std::vector<double> t = std::move(initial_field);
+  std::vector<double> rhs(n);
+  res.max_temperature_history.reserve(static_cast<std::size_t>(opt_.steps));
+  for (int step = 0; step < opt_.steps; ++step) {
+    for (std::size_t i = 0; i < n; ++i) {
+      rhs[i] = steady_b[i] + cap_over_dt[i] * t[i];
+    }
+    // Warm-start each solve from the previous state: adjacent steps are
+    // close, so CG typically converges in a handful of iterations.
+    const auto cg = detail::pcg_solve(s, rhs, t, opt_.tol, opt_.max_iters);
+    SAUFNO_CHECK(cg.converged, "transient step failed to converge");
+    res.max_temperature_history.push_back(
+        *std::max_element(t.begin(), t.end()));
+  }
+  res.final_state.temperature = std::move(t);
+  res.final_state.converged = true;
+  res.final_state.iterations = opt_.steps;
+  res.total_seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace thermal
+}  // namespace saufno

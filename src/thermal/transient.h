@@ -1,0 +1,58 @@
+#pragma once
+
+#include "thermal/fdm_solver.h"
+
+namespace saufno {
+namespace thermal {
+
+/// Transient (time-dependent) heat solver — Eq. (1)-(2) of the paper before
+/// the steady-state simplification, and the "broader range of thermal
+/// analysis tasks" its Section V names as future work.
+///
+/// Discretization: the same finite-volume stencil as FdmSolver plus the
+/// capacity term rho*c_p dT/dt, integrated with implicit (backward) Euler:
+///
+///   (C/dt + A) T^{n+1} = (C/dt) T^n + b
+///
+/// Implicit Euler is unconditionally stable, which matters here: the stack
+/// mixes micrometre device layers with millimetre copper, so the explicit
+/// stability limit would be sub-microsecond while thermal transients of
+/// interest run for milliseconds to seconds.
+class TransientSolver {
+ public:
+  struct Options {
+    double dt = 1e-3;        // step (s)
+    int steps = 100;
+    double tol = 1e-8;       // CG relative tolerance per step
+    int max_iters = 5000;
+  };
+
+  struct Result {
+    /// Field max temperature after each step (the transient Tj curve).
+    std::vector<double> max_temperature_history;
+    /// Final temperature field (same layout as ThermalSolution).
+    ThermalSolution final_state;
+    double total_seconds = 0.0;
+  };
+
+  TransientSolver() = default;
+  explicit TransientSolver(Options opt) : opt_(opt) {}
+
+  /// Integrate from a uniform `initial_K` field (ambient when negative).
+  /// The grid's q is held constant over the window (a power step), so the
+  /// trajectory relaxes toward the FdmSolver steady state — the property
+  /// the unit tests pin down.
+  Result solve(const ThermalGrid& grid, double initial_K = -1.0) const;
+
+  /// Integrate from a full initial temperature field (cell layout matching
+  /// the grid). This is how power-state sequences are chained: feed the
+  /// previous phase's `final_state.temperature` in as the next start.
+  Result solve_from(const ThermalGrid& grid,
+                    std::vector<double> initial_field) const;
+
+ private:
+  Options opt_{};
+};
+
+}  // namespace thermal
+}  // namespace saufno

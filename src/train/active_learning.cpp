@@ -1,0 +1,143 @@
+#include "train/active_learning.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+#include "train/model_zoo.h"
+
+namespace saufno {
+namespace train {
+namespace {
+
+/// Concatenate two datasets along the sample dimension.
+data::Dataset concat(const data::Dataset& a, const data::Dataset& b) {
+  if (a.size() == 0) return b;
+  if (b.size() == 0) return a;
+  SAUFNO_CHECK(a.resolution == b.resolution && a.chip_name == b.chip_name,
+               "cannot concat mismatched datasets");
+  data::Dataset out;
+  out.chip_name = a.chip_name;
+  out.resolution = a.resolution;
+  out.ambient = a.ambient;
+  out.inputs = cat({a.inputs, b.inputs}, 0);
+  out.targets = cat({a.targets, b.targets}, 0);
+  return out;
+}
+
+}  // namespace
+
+ActiveLearner::ActiveLearner(Config cfg, const data::Normalizer& norm)
+    : cfg_(std::move(cfg)), norm_(norm) {
+  SAUFNO_CHECK(cfg_.ensemble_size >= 2,
+               "query-by-committee needs at least 2 members");
+}
+
+std::vector<double> ActiveLearner::disagreement(
+    const data::Dataset& candidates) const {
+  SAUFNO_CHECK(!committee_.empty(), "committee not trained yet");
+  const int64_t n = candidates.size();
+  const int64_t per = candidates.targets.numel() / candidates.targets.size(0);
+  // Collect each member's decoded predictions.
+  std::vector<Tensor> preds;
+  preds.reserve(committee_.size());
+  for (const auto& m : committee_) {
+    Trainer tr(*m, norm_, cfg_.train);
+    preds.push_back(tr.predict(candidates.inputs));
+  }
+  std::vector<double> scores(static_cast<std::size_t>(n), 0.0);
+  const auto k = static_cast<double>(committee_.size());
+  for (int64_t s = 0; s < n; ++s) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < per; ++i) {
+      double mean = 0.0;
+      for (const auto& p : preds) mean += p.data()[s * per + i];
+      mean /= k;
+      double var = 0.0;
+      for (const auto& p : preds) {
+        const double d = p.data()[s * per + i] - mean;
+        var += d * d;
+      }
+      acc += var / k;
+    }
+    scores[static_cast<std::size_t>(s)] = acc / static_cast<double>(per);
+  }
+  return scores;
+}
+
+ActiveLearner::Report ActiveLearner::run(const data::Dataset& seed_set,
+                                         const data::Dataset& pool,
+                                         const data::Dataset& test_set) {
+  SAUFNO_CHECK(seed_set.size() > 0, "active learning needs a seed set");
+  Report report;
+  data::Dataset labeled = seed_set;
+  std::vector<bool> used(static_cast<std::size_t>(pool.size()), false);
+
+  for (int round = 0; round <= cfg_.rounds; ++round) {
+    // (Re)train the committee on the current labeled set.
+    committee_.clear();
+    for (int m = 0; m < cfg_.ensemble_size; ++m) {
+      auto model =
+          make_model(cfg_.model_name, labeled.in_channels(),
+                     labeled.out_channels(),
+                     cfg_.seed + static_cast<std::uint64_t>(97 * m + 1),
+                     cfg_.size_hint);
+      Trainer tr(*model, norm_, cfg_.train);
+      tr.fit(labeled);
+      committee_.push_back(std::move(model));
+    }
+    {
+      Trainer tr(*committee_.front(), norm_, cfg_.train);
+      report.test_rmse.push_back(tr.evaluate(test_set).rmse);
+      report.labeled_sizes.push_back(labeled.size());
+    }
+    if (round == cfg_.rounds) break;
+
+    // Score the remaining pool and acquire the most contentious samples.
+    std::vector<int> remaining;
+    for (int i = 0; i < pool.size(); ++i) {
+      if (!used[static_cast<std::size_t>(i)]) remaining.push_back(i);
+    }
+    if (remaining.empty()) break;
+    auto [cand_x, cand_y] = pool.gather(remaining);
+    data::Dataset cand;
+    cand.chip_name = pool.chip_name;
+    cand.resolution = pool.resolution;
+    cand.ambient = pool.ambient;
+    cand.inputs = std::move(cand_x);
+    cand.targets = std::move(cand_y);
+    const auto scores = disagreement(cand);
+
+    std::vector<int> order(remaining.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return scores[static_cast<std::size_t>(a)] >
+             scores[static_cast<std::size_t>(b)];
+    });
+    const int take = std::min<int>(cfg_.acquire_per_round,
+                                   static_cast<int>(order.size()));
+    std::vector<int> chosen;
+    for (int i = 0; i < take; ++i) {
+      const int pool_idx = remaining[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+      chosen.push_back(pool_idx);
+      used[static_cast<std::size_t>(pool_idx)] = true;
+    }
+    report.acquired.push_back(chosen);
+
+    // "Label" the chosen candidates (targets come from the pool, standing
+    // in for an on-demand solver call) and grow the training set.
+    auto [ax, ay] = pool.gather(chosen);
+    data::Dataset acquired;
+    acquired.chip_name = pool.chip_name;
+    acquired.resolution = pool.resolution;
+    acquired.ambient = pool.ambient;
+    acquired.inputs = std::move(ax);
+    acquired.targets = std::move(ay);
+    labeled = concat(labeled, acquired);
+  }
+  return report;
+}
+
+}  // namespace train
+}  // namespace saufno

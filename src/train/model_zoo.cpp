@@ -1,0 +1,132 @@
+#include "train/model_zoo.h"
+
+#include "baselines/cnn.h"
+#include "baselines/deep_o_heat.h"
+#include "baselines/fno.h"
+#include "baselines/gar.h"
+#include "common/logging.h"
+#include "core/sau_fno.h"
+
+namespace saufno {
+namespace train {
+namespace {
+
+core::SauFno::Config sau_config(int64_t in_ch, int64_t out_ch, int size_hint,
+                                core::AttentionPlacement attn) {
+  core::SauFno::Config c;
+  c.in_channels = in_ch;
+  c.out_channels = out_ch;
+  if (size_hint >= 1) {
+    // The published structure: [12, 12, 2] with a wide channel dimension.
+    c.width = 32;
+    c.modes1 = 12;
+    c.modes2 = 12;
+    c.n_fourier = 2;
+    c.n_ufourier = 2;
+    c.unet_base = 32;
+    c.unet_depth = 4;
+    c.attention_dim = 32;
+  } else {
+    // Smoke scale: same topology, reduced width/modes for one CPU core.
+    c.width = 12;
+    c.modes1 = 8;
+    c.modes2 = 8;
+    c.n_fourier = 1;
+    c.n_ufourier = 2;
+    c.unet_base = 12;
+    c.unet_depth = 3;
+    c.attention_dim = 12;
+  }
+  c.attention = attn;
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<nn::Module> make_model(const std::string& name,
+                                       int64_t in_channels,
+                                       int64_t out_channels,
+                                       std::uint64_t seed, int size_hint) {
+  Rng rng(seed);
+  if (name == "SAU-FNO" || name == "Ours") {
+    return std::make_shared<core::SauFno>(
+        sau_config(in_channels, out_channels, size_hint,
+                   core::AttentionPlacement::kLast),
+        rng);
+  }
+  if (name == "SAU-FNO-all-attn") {
+    return std::make_shared<core::SauFno>(
+        sau_config(in_channels, out_channels, size_hint,
+                   core::AttentionPlacement::kAll),
+        rng);
+  }
+  if (name == "U-FNO") {
+    return std::make_shared<core::SauFno>(
+        sau_config(in_channels, out_channels, size_hint,
+                   core::AttentionPlacement::kNone),
+        rng);
+  }
+  if (name == "FNO") {
+    baselines::Fno::Config c;
+    c.in_channels = in_channels;
+    c.out_channels = out_channels;
+    if (size_hint >= 1) {
+      c.width = 32;
+      c.modes1 = 12;
+      c.modes2 = 12;
+      c.n_layers = 4;
+    } else {
+      c.width = 12;
+      c.modes1 = 8;
+      c.modes2 = 8;
+      c.n_layers = 3;
+    }
+    return std::make_shared<baselines::Fno>(c, rng);
+  }
+  if (name == "DeepOHeat") {
+    baselines::DeepOHeat::Config c;
+    c.in_channels = in_channels;
+    c.out_channels = out_channels;
+    if (size_hint >= 1) {
+      c.sensor_grid = 20;
+      c.hidden = 128;
+      c.p = 64;
+      c.depth = 4;
+    } else {
+      c.sensor_grid = 12;
+      c.hidden = 64;
+      c.p = 32;
+      c.depth = 3;
+    }
+    return std::make_shared<baselines::DeepOHeat>(c, rng);
+  }
+  if (name == "GAR") {
+    baselines::Gar::Config c;
+    c.in_channels = in_channels;
+    c.out_channels = out_channels;
+    if (size_hint >= 1) {
+      c.coarse_width = 16;
+      c.coarse_modes = 8;
+      c.coarse_layers = 3;
+    }
+    return std::make_shared<baselines::Gar>(c, rng);
+  }
+  if (name == "CNN") {
+    baselines::Cnn::Config c;
+    c.in_channels = in_channels;
+    c.out_channels = out_channels;
+    if (size_hint >= 1) {
+      c.hidden = 48;
+      c.depth = 6;
+    }
+    return std::make_shared<baselines::Cnn>(c, rng);
+  }
+  fail("unknown model: " + name);
+}
+
+std::vector<std::string> table2_model_names() {
+  return {"DeepOHeat", "FNO", "U-FNO", "GAR", "SAU-FNO"};
+}
+
+}  // namespace train
+}  // namespace saufno

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace saufno {
+namespace train {
+
+/// Named factory for every model in the paper's comparison set (Table II):
+/// "SAU-FNO", "U-FNO", "FNO", "DeepOHeat", "GAR", plus the "CNN" sanity
+/// baseline. U-FNO is built as SAU-FNO minus attention, exactly the
+/// ablation relationship Section IV-B leans on.
+///
+/// `size_hint` scales model capacity: 0 = CPU smoke scale (bench default),
+/// 1 = closer to the published configuration.
+std::shared_ptr<nn::Module> make_model(const std::string& name,
+                                       int64_t in_channels,
+                                       int64_t out_channels,
+                                       std::uint64_t seed,
+                                       int size_hint = 0);
+
+/// The Table II comparison order.
+std::vector<std::string> table2_model_names();
+
+}  // namespace train
+}  // namespace saufno

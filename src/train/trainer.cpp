@@ -1,0 +1,106 @@
+#include "train/trainer.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "tensor/tensor_ops.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+
+namespace saufno {
+namespace train {
+
+double TrainReport::final_loss() const {
+  return epoch_loss.empty() ? 0.0 : epoch_loss.back();
+}
+
+Trainer::Trainer(nn::Module& model, const data::Normalizer& norm,
+                 TrainConfig cfg)
+    : model_(model), norm_(norm), cfg_(cfg) {}
+
+TrainReport Trainer::fit(const data::Dataset& train_set) {
+  SAUFNO_CHECK(train_set.size() > 0, "empty training set");
+  Timer timer;
+  TrainReport report;
+  Rng rng(cfg_.seed);
+
+  // Pre-encode the whole set once (datasets are small enough to hold both
+  // raw and encoded copies; encoding per batch would redo the same work
+  // every epoch).
+  Tensor enc_in = norm_.encode_inputs(train_set.inputs);
+  Tensor enc_tg = norm_.encode_targets(train_set.targets);
+  data::Dataset enc;
+  enc.chip_name = train_set.chip_name;
+  enc.resolution = train_set.resolution;
+  enc.ambient = train_set.ambient;
+  enc.inputs = std::move(enc_in);
+  enc.targets = std::move(enc_tg);
+
+  optim::Adam opt(model_.parameters(), cfg_.lr, 0.9, 0.999, 1e-8,
+                  cfg_.weight_decay);
+  optim::StepLR sched(opt, cfg_.lr_step, cfg_.lr_gamma);
+
+  model_.set_training(true);
+  data::BatchSampler sampler(enc.size(), cfg_.batch_size, rng);
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    sampler.reset();
+    double loss_acc = 0.0;
+    int64_t batches = 0;
+    for (auto idx = sampler.next(); !idx.empty(); idx = sampler.next()) {
+      auto [bx, by] = enc.gather(idx);
+      Var x(std::move(bx));
+      Var y(std::move(by));
+      Var pred = model_.forward(x);
+      Var loss = ops::mse_loss(pred, y);
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+      loss_acc += loss.value().item();
+      ++batches;
+    }
+    const double mean_loss = loss_acc / static_cast<double>(batches);
+    report.epoch_loss.push_back(mean_loss);
+    sched.step();
+    if (cfg_.verbose) {
+      SAUFNO_INFO << "epoch " << (epoch + 1) << "/" << cfg_.epochs
+                  << " loss=" << mean_loss << " lr=" << sched.current_lr();
+    }
+  }
+  model_.set_training(false);
+  report.seconds = timer.seconds();
+  return report;
+}
+
+Tensor Trainer::predict(const Tensor& raw_inputs) const {
+  Var x(norm_.encode_inputs(raw_inputs));
+  Var pred = model_.forward(x);
+  return norm_.decode_targets(pred.value());
+}
+
+data::Metrics Trainer::evaluate(const data::Dataset& test_set) const {
+  SAUFNO_CHECK(test_set.size() > 0, "empty test set");
+  // Evaluate in modest batches to bound activation memory.
+  const int64_t batch = 16;
+  std::vector<Tensor> preds;
+  for (int64_t start = 0; start < test_set.size(); start += batch) {
+    const int64_t len = std::min(batch, test_set.size() - start);
+    std::vector<int> idx(static_cast<std::size_t>(len));
+    for (int64_t i = 0; i < len; ++i) idx[static_cast<std::size_t>(i)] =
+        static_cast<int>(start + i);
+    auto [bx, by] = test_set.gather(idx);
+    preds.push_back(predict(bx));
+  }
+  Tensor all = preds.size() == 1 ? preds[0] : cat(preds, 0);
+  return data::compute_metrics(all, test_set.targets, test_set.ambient);
+}
+
+double Trainer::time_inference(const Tensor& raw_inputs, int repeats) const {
+  SAUFNO_CHECK(repeats >= 1, "repeats must be >= 1");
+  // Warm-up (first call pays one-time allocations).
+  (void)predict(raw_inputs);
+  Timer t;
+  for (int i = 0; i < repeats; ++i) (void)predict(raw_inputs);
+  return t.seconds() / repeats / static_cast<double>(raw_inputs.size(0));
+}
+
+}  // namespace train
+}  // namespace saufno

@@ -1,0 +1,38 @@
+#include "train/transfer.h"
+
+namespace saufno {
+namespace train {
+
+TransferConfig TransferConfig::defaults() {
+  TransferConfig c;
+  c.pretrain.lr = 1e-3;
+  c.finetune = c.pretrain;
+  c.finetune.lr = c.pretrain.lr / 10.0;  // "about an order of magnitude
+                                         // smaller" (Section III-C)
+  c.finetune.epochs = std::max(1, c.pretrain.epochs / 2);
+  return c;
+}
+
+double TransferReport::total_seconds() const {
+  return pretrain.seconds + finetune.seconds;
+}
+
+TransferReport transfer_train(nn::Module& model,
+                              const data::Normalizer& norm,
+                              const data::Dataset& low_fidelity_train,
+                              const data::Dataset& high_fidelity_train,
+                              const TransferConfig& cfg) {
+  TransferReport report;
+  {
+    Trainer pre(model, norm, cfg.pretrain);
+    report.pretrain = pre.fit(low_fidelity_train);
+  }
+  {
+    Trainer fine(model, norm, cfg.finetune);
+    report.finetune = fine.fit(high_fidelity_train);
+  }
+  return report;
+}
+
+}  // namespace train
+}  // namespace saufno

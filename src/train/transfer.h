@@ -1,0 +1,39 @@
+#pragma once
+
+#include "train/trainer.h"
+
+namespace saufno {
+namespace train {
+
+/// Transfer-learning pipeline of Section III-C:
+///  1. Pre-train on a large low-fidelity (coarse-resolution) dataset.
+///  2. Fine-tune the same weights on a small high-fidelity set with the
+///     learning rate dropped by an order of magnitude.
+/// Mesh invariance of the operator models makes step 2 possible without
+/// any architectural change: the identical parameters run at the finer
+/// resolution.
+struct TransferConfig {
+  TrainConfig pretrain;   // stage 1
+  TrainConfig finetune;   // stage 2 (lr should be ~pretrain.lr / 10)
+
+  /// The paper's defaults: fine-tune lr is pretrain lr / 10, fewer epochs.
+  static TransferConfig defaults();
+};
+
+struct TransferReport {
+  TrainReport pretrain;
+  TrainReport finetune;
+  double total_seconds() const;
+};
+
+/// Runs both stages in place on `model`. The normalizer must have been
+/// fitted on the LOW-fidelity training set and is reused unchanged for the
+/// high-fidelity stage (see data/normalizer.h).
+TransferReport transfer_train(nn::Module& model,
+                              const data::Normalizer& norm,
+                              const data::Dataset& low_fidelity_train,
+                              const data::Dataset& high_fidelity_train,
+                              const TransferConfig& cfg);
+
+}  // namespace train
+}  // namespace saufno

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace saufno {
+namespace testing {
+
+/// Finite-difference gradient verification.
+///
+/// `fn` maps the leaf variables to a SCALAR Var; every leaf in `leaves`
+/// must require grad. For each leaf entry we compare the autograd gradient
+/// against a central difference of the loss. This is the ground truth for
+/// every backward rule in the library — including the hand-derived FFT
+/// adjoints of the spectral convolution.
+inline void expect_gradients_match(
+    const std::function<Var(std::vector<Var>&)>& fn, std::vector<Var> leaves,
+    float eps = 1e-2f, float rtol = 2e-2f, float atol = 2e-3f) {
+  for (auto& leaf : leaves) {
+    ASSERT_TRUE(leaf.requires_grad()) << "leaf must require grad";
+    leaf.zero_grad();
+  }
+  Var loss = fn(leaves);
+  ASSERT_EQ(loss.numel(), 1);
+  loss.backward();
+
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    Tensor analytic = leaves[li].grad();
+    Tensor& value = leaves[li].value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float orig = value.at(i);
+      value.at(i) = orig + eps;
+      const float up = fn(leaves).value().item();
+      value.at(i) = orig - eps;
+      const float down = fn(leaves).value().item();
+      value.at(i) = orig;
+      const float numeric = (up - down) / (2.f * eps);
+      const float got = analytic.at(i);
+      const float tol = atol + rtol * std::fabs(numeric);
+      EXPECT_NEAR(got, numeric, tol)
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace saufno

@@ -1,0 +1,94 @@
+#include "core/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/tensor_ops.h"
+
+namespace saufno {
+namespace {
+
+TEST(Attention, PreservesShape) {
+  Rng rng(1);
+  core::SelfAttentionBlock attn(6, 4, rng);
+  Var x(Tensor::randn({2, 6, 5, 5}, rng), false);
+  EXPECT_EQ(attn.forward(x).shape(), (Shape{2, 6, 5, 5}));
+}
+
+TEST(Attention, MeshInvariantAcrossResolutions) {
+  // The same parameter set must accept any spatial size (1x1 convs only).
+  Rng rng(2);
+  core::SelfAttentionBlock attn(4, 4, rng);
+  for (int64_t n : {4, 7, 12, 16}) {
+    Var x(Tensor::randn({1, 4, n, n}, rng), false);
+    EXPECT_EQ(attn.forward(x).shape(), (Shape{1, 4, n, n}));
+  }
+}
+
+TEST(Attention, ResidualPathDominatesAtZeroOutputWeight) {
+  // Zeroing W_o turns the block into the identity (residual only).
+  Rng rng(3);
+  core::SelfAttentionBlock attn(4, 4, rng);
+  for (auto& [name, p] : attn.named_parameters()) {
+    if (name.rfind("wo", 0) == 0) p.value().fill_(0.f);
+  }
+  Var x(Tensor::randn({1, 4, 6, 6}, rng), false);
+  EXPECT_TRUE(attn.forward(x).value().allclose(x.value(), 1e-5f, 1e-6f));
+}
+
+TEST(Attention, UniformFieldStaysUniform) {
+  // On a spatially constant field every position attends identically, so
+  // the output must also be spatially constant per channel.
+  Rng rng(4);
+  core::SelfAttentionBlock attn(3, 3, rng);
+  Tensor x({1, 3, 4, 4});
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t i = 0; i < 16; ++i) x.at(c * 16 + i) = 1.f + 0.5f * c;
+  }
+  Tensor y = attn.forward(Var(x, false)).value();
+  for (int64_t c = 0; c < 3; ++c) {
+    const float first = y.at(c * 16);
+    for (int64_t i = 1; i < 16; ++i) {
+      EXPECT_NEAR(y.at(c * 16 + i), first, 1e-4f);
+    }
+  }
+}
+
+TEST(Attention, BatchItemsIndependent) {
+  // Attention must not mix information across the batch dimension.
+  Rng rng(5);
+  core::SelfAttentionBlock attn(3, 3, rng);
+  Rng dr(6);
+  Tensor a = Tensor::randn({1, 3, 4, 4}, dr);
+  Tensor b = Tensor::randn({1, 3, 4, 4}, dr);
+  Tensor both = cat({a, b}, 0);
+  Tensor y_both = attn.forward(Var(both, false)).value();
+  Tensor y_a = attn.forward(Var(a, false)).value();
+  Tensor y_b = attn.forward(Var(b, false)).value();
+  EXPECT_TRUE(slice(y_both, 0, 0, 1).allclose(y_a, 1e-4f, 1e-5f));
+  EXPECT_TRUE(slice(y_both, 0, 1, 1).allclose(y_b, 1e-4f, 1e-5f));
+}
+
+TEST(Attention, GradientsFlowToAllProjections) {
+  Rng rng(7);
+  core::SelfAttentionBlock attn(4, 3, rng);
+  Var x(Tensor::randn({1, 4, 4, 4}, rng), false);
+  ops::sum_all(ops::square(attn.forward(x))).backward();
+  for (auto& [name, p] : attn.named_parameters()) {
+    EXPECT_GT(sum_all(abs(p.grad())), 0.f) << "no grad reached " << name;
+  }
+}
+
+TEST(Attention, GradcheckSmall) {
+  Rng rng(8);
+  core::SelfAttentionBlock attn(2, 2, rng);
+  Var x(Tensor::randn({1, 2, 3, 3}, rng), true);
+  testing::expect_gradients_match(
+      [&attn](std::vector<Var>& ls) {
+        return ops::sum_all(ops::square(attn.forward(ls[0])));
+      },
+      {x}, /*eps=*/1e-2f, /*rtol=*/4e-2f, /*atol=*/4e-3f);
+}
+
+}  // namespace
+}  // namespace saufno

@@ -1,0 +1,310 @@
+#include "autograd/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/tensor_ops.h"
+
+namespace saufno {
+namespace {
+
+using testing::expect_gradients_match;
+
+Var leaf(Shape s, Rng& rng) {
+  return Var(Tensor::randn(std::move(s), rng), /*requires_grad=*/true);
+}
+
+TEST(AutogradCore, BackwardRequiresScalar) {
+  Rng rng(1);
+  Var a = leaf({2, 2}, rng);
+  Var b = ops::add(a, a);
+  EXPECT_THROW(b.backward(), std::runtime_error);
+}
+
+TEST(AutogradCore, LeafWithoutGradGetsNone) {
+  Rng rng(2);
+  Var a(Tensor::randn({3}, rng), /*requires_grad=*/false);
+  Var b = leaf({3}, rng);
+  Var loss = ops::sum_all(ops::mul(a, b));
+  loss.backward();
+  EXPECT_TRUE(b.grad().allclose(a.value()));
+  // Non-grad leaf: grad() returns zeros and no graph was recorded for it.
+  EXPECT_TRUE(a.grad().allclose(Tensor::zeros({3})));
+}
+
+TEST(AutogradCore, GradAccumulatesAcrossUses) {
+  Rng rng(3);
+  Var a = leaf({4}, rng);
+  // loss = sum(a) + sum(a) -> da = 2.
+  Var loss = ops::add(ops::sum_all(a), ops::sum_all(a));
+  loss.backward();
+  EXPECT_TRUE(a.grad().allclose(Tensor::full({4}, 2.f)));
+}
+
+TEST(AutogradCore, DiamondGraphTopologicalOrder) {
+  // a feeds two paths of different depth that rejoin; the deeper path must
+  // not fire its backward before the shallow consumer contributed.
+  Rng rng(4);
+  Var a = leaf({3}, rng);
+  Var p1 = ops::mul_scalar(a, 2.f);          // shallow
+  Var p2 = ops::exp(ops::mul_scalar(a, 0.5f));  // deep
+  Var loss = ops::sum_all(ops::mul(p1, p2));
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var q1 = ops::mul_scalar(ls[0], 2.f);
+        Var q2 = ops::exp(ops::mul_scalar(ls[0], 0.5f));
+        return ops::sum_all(ops::mul(q1, q2));
+      },
+      {a});
+}
+
+TEST(AutogradCore, DetachCutsGraph) {
+  Rng rng(5);
+  Var a = leaf({3}, rng);
+  Var d = ops::mul_scalar(a, 3.f).detach();
+  Var loss = ops::sum_all(ops::mul(d, a));
+  loss.backward();
+  // Only the direct-use path contributes: da = d (not d + 3a).
+  EXPECT_TRUE(a.grad().allclose(d.value()));
+}
+
+TEST(AutogradCore, ZeroGradResets) {
+  Rng rng(6);
+  Var a = leaf({2}, rng);
+  ops::sum_all(a).backward();
+  EXPECT_TRUE(a.grad().allclose(Tensor::ones({2})));
+  a.zero_grad();
+  EXPECT_TRUE(a.grad().allclose(Tensor::zeros({2})));
+}
+
+// --- Finite-difference checks for each op ---
+
+TEST(GradCheck, AddWithBroadcast) {
+  Rng rng(10);
+  Var a = leaf({2, 3}, rng);
+  Var b = leaf({3}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        return ops::sum_all(ops::square(ops::add(ls[0], ls[1])));
+      },
+      {a, b});
+}
+
+TEST(GradCheck, SubMulDiv) {
+  Rng rng(11);
+  Var a = leaf({2, 2}, rng);
+  Var b(add_scalar(Tensor::rand_uniform({2, 2}, rng, 0.5f, 1.5f), 0.f),
+        true);  // keep denominators away from zero
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var s = ops::sub(ls[0], ls[1]);
+        Var m = ops::mul(ls[0], ls[1]);
+        Var d = ops::div(ls[0], ls[1]);
+        return ops::sum_all(ops::add(ops::add(s, m), d));
+      },
+      {a, b});
+}
+
+TEST(GradCheck, ScalarOpsAndNeg) {
+  Rng rng(12);
+  Var a = leaf({5}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        return ops::sum_all(
+            ops::neg(ops::add_scalar(ops::mul_scalar(ls[0], 1.7f), 0.3f)));
+      },
+      {a});
+}
+
+TEST(GradCheck, Nonlinearities) {
+  Rng rng(13);
+  Var a = leaf({8}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var x = ls[0];
+        Var y = ops::add(ops::gelu(x), ops::tanh(x));
+        y = ops::add(y, ops::sigmoid(x));
+        return ops::sum_all(y);
+      },
+      {a});
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  Rng rng(14);
+  // Keep |x| > 0.1 so finite differences do not straddle the kink.
+  Tensor t = Tensor::rand_uniform({6}, rng, 0.2f, 1.f);
+  t.at(1) *= -1.f;
+  t.at(4) *= -1.f;
+  Var a(t, true);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) { return ops::sum_all(ops::relu(ls[0])); },
+      {a}, /*eps=*/1e-3f);
+}
+
+TEST(GradCheck, ExpLogSqrtSquare) {
+  Rng rng(15);
+  Var a(Tensor::rand_uniform({6}, rng, 0.5f, 2.f), true);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var x = ls[0];
+        Var y = ops::add(ops::exp(ops::mul_scalar(x, 0.3f)), ops::log(x));
+        y = ops::add(y, ops::add(ops::sqrt(x), ops::square(x)));
+        return ops::sum_all(y);
+      },
+      {a});
+}
+
+TEST(GradCheck, MatMul) {
+  Rng rng(16);
+  Var a = leaf({3, 4}, rng);
+  Var b = leaf({4, 2}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        return ops::sum_all(ops::square(ops::matmul(ls[0], ls[1])));
+      },
+      {a, b});
+}
+
+TEST(GradCheck, BatchedMatMulWithBroadcastBatch) {
+  Rng rng(17);
+  Var a = leaf({3, 2, 4}, rng);
+  Var b = leaf({1, 4, 2}, rng);  // broadcast over batch
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        return ops::sum_all(ops::square(ops::bmm(ls[0], ls[1])));
+      },
+      {a, b});
+}
+
+TEST(GradCheck, ReshapePermute) {
+  Rng rng(18);
+  Var a = leaf({2, 3, 4}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var p = ops::permute(ls[0], {2, 0, 1});
+        Var r = ops::reshape(p, {4, 6});
+        return ops::sum_all(ops::square(r));
+      },
+      {a});
+}
+
+TEST(GradCheck, SliceCatPad) {
+  Rng rng(19);
+  Var a = leaf({2, 4, 3, 3}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var s0 = ops::slice(ls[0], 1, 0, 2);
+        Var s1 = ops::slice(ls[0], 1, 2, 2);
+        Var c = ops::cat({s1, s0}, 1);   // swapped halves
+        Var p = ops::pad2d(c, 1, 0, 0, 1);
+        return ops::sum_all(ops::square(p));
+      },
+      {a});
+}
+
+TEST(GradCheck, SumDimKeepAndDrop) {
+  Rng rng(20);
+  Var a = leaf({3, 4}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var k = ops::sum_dim(ls[0], 1, true);
+        Var d = ops::sum_dim(ls[0], 0, false);
+        return ops::add(ops::sum_all(ops::square(k)),
+                        ops::sum_all(ops::square(d)));
+      },
+      {a});
+}
+
+TEST(GradCheck, SoftmaxLastDim) {
+  Rng rng(21);
+  Var a = leaf({3, 5}, rng);
+  Tensor w = Tensor::randn({3, 5}, rng);
+  expect_gradients_match(
+      [w](std::vector<Var>& ls) {
+        return ops::sum_all(
+            ops::mul(ops::softmax_lastdim(ls[0]), Var(w, false)));
+      },
+      {a}, /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
+}
+
+TEST(GradCheck, ResizeBilinear) {
+  Rng rng(22);
+  Var a = leaf({1, 2, 3, 3}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        return ops::sum_all(ops::square(ops::resize_bilinear(ls[0], 5, 6)));
+      },
+      {a});
+}
+
+TEST(GradCheck, MseAndL1Loss) {
+  Rng rng(23);
+  Var a = leaf({2, 3}, rng);
+  Var t(Tensor::randn({2, 3}, rng), false);
+  expect_gradients_match(
+      [t](std::vector<Var>& ls) { return ops::mse_loss(ls[0], t); }, {a});
+}
+
+TEST(GradCheck, RelativeL2Loss) {
+  Rng rng(26);
+  Var a = leaf({2, 4}, rng);
+  Var t(Tensor::randn({2, 4}, rng), false);
+  expect_gradients_match(
+      [t](std::vector<Var>& ls) {
+        return ops::relative_l2_loss(ls[0], t);
+      },
+      {a});
+}
+
+TEST(Losses, RelativeL2KnownValue) {
+  // pred = 2 * target  ->  ||pred - target|| / ||target|| = 1.
+  Var t(Tensor::full({3}, 2.f), false);
+  Var p(Tensor::full({3}, 4.f), false);
+  EXPECT_NEAR(ops::relative_l2_loss(p, t).value().item(), 1.f, 1e-5f);
+  // Perfect prediction -> 0.
+  EXPECT_NEAR(ops::relative_l2_loss(t, t).value().item(), 0.f, 1e-6f);
+}
+
+TEST(GradCheck, MeanAll) {
+  Rng rng(24);
+  Var a = leaf({4, 4}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) { return ops::mean_all(ops::square(ls[0])); },
+      {a});
+}
+
+TEST(OperatorSugar, MatchesNamedOps) {
+  Rng rng(25);
+  Var a = leaf({3}, rng);
+  Var b = leaf({3}, rng);
+  EXPECT_TRUE((a + b).value().allclose(ops::add(a, b).value()));
+  EXPECT_TRUE((a - b).value().allclose(ops::sub(a, b).value()));
+  EXPECT_TRUE((a * b).value().allclose(ops::mul(a, b).value()));
+  EXPECT_TRUE((2.f * a).value().allclose(ops::mul_scalar(a, 2.f).value()));
+}
+
+// Parameterized gradcheck across tensor ranks for the broadcast reducers.
+class BroadcastGradP
+    : public ::testing::TestWithParam<std::pair<Shape, Shape>> {};
+
+TEST_P(BroadcastGradP, MulGradcheck) {
+  auto [sa, sb] = GetParam();
+  Rng rng(101);
+  Var a = Var(Tensor::randn(sa, rng), true);
+  Var b = Var(Tensor::randn(sb, rng), true);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        return ops::sum_all(ops::square(ops::mul(ls[0], ls[1])));
+      },
+      {a, b});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastGradP,
+    ::testing::Values(std::pair<Shape, Shape>{{2, 3}, {3}},
+                      std::pair<Shape, Shape>{{2, 1}, {1, 3}},
+                      std::pair<Shape, Shape>{{1, 2, 2}, {3, 1, 1}},
+                      std::pair<Shape, Shape>{{4}, {4}}));
+
+}  // namespace
+}  // namespace saufno

@@ -1,0 +1,183 @@
+#include "chip/chips.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "chip/power_gen.h"
+
+namespace saufno {
+namespace {
+
+using chip::ChipSpec;
+
+class AllChipsP : public ::testing::TestWithParam<std::string> {
+ protected:
+  ChipSpec spec() const { return chip::chip_by_name(GetParam()); }
+};
+
+TEST_P(AllChipsP, SpecValidates) {
+  const ChipSpec c = spec();
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_GE(c.num_device_layers(), 2);
+  EXPECT_GT(c.num_power_blocks(), 0);
+}
+
+TEST_P(AllChipsP, StackEndsWithCoolingLayers) {
+  const ChipSpec c = spec();
+  const auto& names = c.layers;
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[names.size() - 3].name, "TIM");
+  EXPECT_EQ(names[names.size() - 2].name, "heat-spreader");
+  EXPECT_EQ(names[names.size() - 1].name, "heat-sink-base");
+  // Cooling layers carry no power.
+  EXPECT_FALSE(names[names.size() - 1].is_device);
+}
+
+TEST_P(AllChipsP, PowerSampleWithinConfiguredRange) {
+  const ChipSpec c = spec();
+  chip::PowerGenerator gen(c);
+  Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto pa = gen.sample(rng);
+    const double total = pa.total();
+    EXPECT_GE(total, c.total_power_min - 1e-9);
+    EXPECT_LE(total, c.total_power_max + 1e-9);
+    // Every device block gets strictly positive power.
+    for (std::size_t li = 0; li < c.layers.size(); ++li) {
+      if (!c.layers[li].is_device) continue;
+      for (double p : pa.power[li]) EXPECT_GT(p, 0.0);
+    }
+  }
+}
+
+TEST_P(AllChipsP, RasterizationConservesPower) {
+  // Integral of the W/m^2 map over the die must equal the assigned watts,
+  // at any raster resolution (blocks are axis-aligned so overlap is exact).
+  const ChipSpec c = spec();
+  chip::PowerGenerator gen(c);
+  Rng rng(18);
+  const auto pa = gen.sample(rng);
+  for (int res : {8, 17, 32}) {
+    const auto maps = gen.rasterize(pa, res, res);
+    const double cell_area = (c.die_w / res) * (c.die_h / res);
+    double total = 0.0;
+    for (const auto& m : maps) {
+      for (float v : m) total += static_cast<double>(v) * cell_area;
+    }
+    EXPECT_NEAR(total, pa.total(), 1e-6 * pa.total()) << "res=" << res;
+  }
+}
+
+TEST_P(AllChipsP, CoreDensityExceedsCacheDensity) {
+  // The workload generator's point: cores run hotter per area.
+  const ChipSpec c = spec();
+  chip::PowerGenerator gen(c);
+  Rng rng(19);
+  double core_density = 0, cache_density = 0;
+  int core_n = 0, cache_n = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pa = gen.sample(rng);
+    for (std::size_t li = 0; li < c.layers.size(); ++li) {
+      if (!c.layers[li].is_device) continue;
+      const auto& blocks = c.layers[li].floorplan.blocks;
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const double d = pa.power[li][b] / blocks[b].area_fraction();
+        if (blocks[b].kind == chip::BlockKind::kCore) {
+          core_density += d;
+          ++core_n;
+        } else if (blocks[b].kind == chip::BlockKind::kL2Cache) {
+          cache_density += d;
+          ++cache_n;
+        }
+      }
+    }
+  }
+  if (core_n > 0 && cache_n > 0) {
+    EXPECT_GT(core_density / core_n, 1.5 * cache_density / cache_n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chips, AllChipsP,
+                         ::testing::Values("chip1", "chip2", "chip3"));
+
+TEST(ChipCatalog, MatchesTable1Geometry) {
+  const auto c1 = chip::make_chip1();
+  EXPECT_DOUBLE_EQ(c1.die_w, 16e-3);
+  EXPECT_DOUBLE_EQ(c1.layers[0].thickness, 0.15e-3);  // L2 cache layer
+  const auto c2 = chip::make_chip2();
+  EXPECT_DOUBLE_EQ(c2.die_w, 12.4e-3);
+  EXPECT_DOUBLE_EQ(c2.die_h, 12.76e-3);
+  EXPECT_EQ(c2.num_device_layers(), 3);
+  const auto c3 = chip::make_chip3();
+  EXPECT_DOUBLE_EQ(c3.die_w, 10e-3);
+  EXPECT_DOUBLE_EQ(c3.layers[0].thickness, 0.1e-3);
+  // TIM thickness differs on chip3 per Table I (0.052 mm vs 0.02 mm).
+  EXPECT_NEAR(c3.layers[c3.layers.size() - 3].thickness, 0.052e-3, 1e-9);
+}
+
+TEST(ChipCatalog, Chip1FloorplanBlocks) {
+  const auto c1 = chip::make_chip1();
+  const auto& core_layer = c1.layers[1];
+  ASSERT_TRUE(core_layer.is_device);
+  EXPECT_NE(core_layer.floorplan.find("Core"), nullptr);
+  EXPECT_NE(core_layer.floorplan.find("L1_1"), nullptr);
+  EXPECT_EQ(core_layer.floorplan.find("missing"), nullptr);
+  // Chip1 fig: cache layer has exactly three L2s.
+  EXPECT_EQ(c1.layers[0].floorplan.blocks.size(), 3u);
+}
+
+TEST(ChipCatalog, Chip3HasEightCoresAndCrossbar) {
+  const auto c3 = chip::make_chip3();
+  const auto& cl = c3.layers[1].floorplan;
+  int cores = 0, xbar = 0;
+  for (const auto& b : cl.blocks) {
+    if (b.kind == chip::BlockKind::kCore) ++cores;
+    if (b.kind == chip::BlockKind::kInterconnect) ++xbar;
+  }
+  EXPECT_EQ(cores, 8);
+  EXPECT_EQ(xbar, 1);
+}
+
+TEST(ChipCatalog, UnknownChipThrows) {
+  EXPECT_THROW(chip::chip_by_name("chip9"), std::runtime_error);
+}
+
+TEST(Floorplan, OverlapDetectionRejectsBadPlan) {
+  chip::Floorplan fp;
+  fp.blocks = {
+      {"a", chip::BlockKind::kCore, 0.0, 0.0, 0.6, 0.6},
+      {"b", chip::BlockKind::kCore, 0.5, 0.5, 0.5, 0.5},  // overlaps a
+  };
+  EXPECT_THROW(fp.validate(), std::runtime_error);
+}
+
+TEST(Floorplan, OutsideDieRejected) {
+  chip::Floorplan fp;
+  fp.blocks = {{"a", chip::BlockKind::kCore, 0.8, 0.0, 0.4, 0.4}};
+  EXPECT_THROW(fp.validate(), std::runtime_error);
+}
+
+TEST(Materials, Table1Values) {
+  EXPECT_DOUBLE_EQ(chip::materials::device_silicon().conductivity, 100.0);
+  EXPECT_DOUBLE_EQ(chip::materials::device_silicon().heat_capacity, 1.75e6);
+  EXPECT_DOUBLE_EQ(chip::materials::tim().conductivity, 4.0);
+  EXPECT_DOUBLE_EQ(chip::materials::tim().heat_capacity, 4.0e6);
+  EXPECT_DOUBLE_EQ(chip::materials::copper().conductivity, 400.0);
+}
+
+TEST(Materials, TsvEffectiveConductivity) {
+  // Equal conductivities: identity.
+  EXPECT_NEAR(chip::tsv_effective_conductivity(100, 100, 1e-5, 1e-5), 100.0,
+              1e-9);
+  // Copper vias through oxide raise k by the area-fraction mixture.
+  const double k = chip::tsv_effective_conductivity(1.4, 400, 1e-5, 2e-5);
+  const double f = M_PI / 16.0;  // (pi d^2/4) / pitch^2 with d = pitch/2
+  EXPECT_NEAR(k, (1 - f) * 1.4 + f * 400, 1e-9);
+  // Diameter beyond pitch is geometrically impossible.
+  EXPECT_THROW(chip::tsv_effective_conductivity(1, 1, 2e-5, 1e-5),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace saufno

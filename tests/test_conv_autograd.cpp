@@ -1,0 +1,140 @@
+#include "autograd/conv_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/tensor_ops.h"
+
+namespace saufno {
+namespace {
+
+using testing::expect_gradients_match;
+
+TEST(Conv2dForward, IdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 1, 3, 3}, rng);
+  Var xv(x, false);
+  Var w(Tensor::ones({1, 1, 1, 1}), false);
+  Var out = ops::conv2d(xv, w, Var(), 1, 0);
+  EXPECT_TRUE(out.value().allclose(x));
+}
+
+TEST(Conv2dForward, KnownAveragingKernel) {
+  // 2x2 all-ones kernel on a ramp.
+  Var x(Tensor({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9}), false);
+  Var w(Tensor::ones({1, 1, 2, 2}), false);
+  Var out = ops::conv2d(x, w, Var(), 1, 0);
+  EXPECT_TRUE(out.value().allclose(Tensor({1, 1, 2, 2}, {12, 16, 24, 28})));
+}
+
+TEST(Conv2dForward, PaddingKeepsSize) {
+  Rng rng(2);
+  Var x(Tensor::randn({2, 3, 5, 5}, rng), false);
+  Var w(Tensor::randn({4, 3, 3, 3}, rng), false);
+  Var b(Tensor::randn({4}, rng), false);
+  Var out = ops::conv2d(x, w, b, 1, 1);
+  EXPECT_EQ(out.shape(), (Shape{2, 4, 5, 5}));
+}
+
+TEST(Conv2dForward, StrideTwoHalves) {
+  Rng rng(3);
+  Var x(Tensor::randn({1, 2, 6, 6}, rng), false);
+  Var w(Tensor::randn({2, 2, 3, 3}, rng), false);
+  Var out = ops::conv2d(x, w, Var(), 2, 1);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 3, 3}));
+}
+
+TEST(Conv2dForward, BiasBroadcasts) {
+  Var x(Tensor::zeros({1, 1, 2, 2}), false);
+  Var w(Tensor::ones({3, 1, 1, 1}), false);
+  Var b(Tensor({3}, {1.f, 2.f, 3.f}), false);
+  Var out = ops::conv2d(x, w, b, 1, 0);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(out.value().at(c * 4 + i), static_cast<float>(c + 1));
+    }
+  }
+}
+
+TEST(Conv2dForward, ChannelMismatchThrows) {
+  Var x(Tensor::zeros({1, 2, 4, 4}), false);
+  Var w(Tensor::zeros({1, 3, 3, 3}), false);
+  EXPECT_THROW(ops::conv2d(x, w, Var(), 1, 1), std::runtime_error);
+}
+
+TEST(Conv2dGrad, FullGradcheckSmall) {
+  Rng rng(4);
+  Var x(Tensor::randn({2, 2, 4, 4}, rng), true);
+  Var w(Tensor::randn({3, 2, 3, 3}, rng, 0.f, 0.5f), true);
+  Var b(Tensor::randn({3}, rng), true);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        return ops::mse_loss(
+            ops::conv2d(ls[0], ls[1], ls[2], 1, 1),
+            Var(Tensor::zeros({2, 3, 4, 4}), false));
+      },
+      {x, w, b});
+}
+
+TEST(Conv2dGrad, StridedGradcheck) {
+  Rng rng(5);
+  Var x(Tensor::randn({1, 2, 5, 5}, rng), true);
+  Var w(Tensor::randn({2, 2, 3, 3}, rng, 0.f, 0.5f), true);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var out = ops::conv2d(ls[0], ls[1], Var(), 2, 0);
+        return ops::sum_all(ops::square(out));
+      },
+      {x, w});
+}
+
+TEST(Conv2dGrad, PointwiseKernelGradcheck) {
+  Rng rng(6);
+  Var x(Tensor::randn({2, 3, 3, 3}, rng), true);
+  Var w(Tensor::randn({2, 3, 1, 1}, rng), true);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var out = ops::conv2d(ls[0], ls[1], Var(), 1, 0);
+        return ops::sum_all(ops::square(out));
+      },
+      {x, w});
+}
+
+TEST(MaxPool, ForwardValuesAndShape) {
+  Var x(Tensor({1, 1, 4, 4},
+               {1, 2, 3, 4,
+                5, 6, 7, 8,
+                9, 10, 11, 12,
+                13, 14, 15, 16}),
+        false);
+  Var out = ops::maxpool2d(x, 2);
+  EXPECT_TRUE(out.value().allclose(Tensor({1, 1, 2, 2}, {6, 8, 14, 16})));
+}
+
+TEST(MaxPool, GradientScattersToArgmax) {
+  Var x(Tensor({1, 1, 2, 2}, {1, 4, 3, 2}), true);
+  Var loss = ops::sum_all(ops::maxpool2d(x, 2));
+  loss.backward();
+  EXPECT_TRUE(x.grad().allclose(Tensor({1, 1, 2, 2}, {0, 1, 0, 0})));
+}
+
+TEST(MaxPool, GradcheckAwayFromTies) {
+  Rng rng(7);
+  // Random values make exact ties measure-zero; jitter eps small enough
+  // not to change the argmax.
+  Var x(Tensor::randn({2, 2, 4, 4}, rng), true);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        return ops::sum_all(ops::square(ops::maxpool2d(ls[0], 2)));
+      },
+      {x}, /*eps=*/1e-3f);
+}
+
+TEST(MaxPool, InputSmallerThanKernelThrows) {
+  Var x(Tensor::zeros({1, 1, 1, 1}), false);
+  EXPECT_THROW(ops::maxpool2d(x, 2), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace saufno

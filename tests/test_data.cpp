@@ -1,0 +1,178 @@
+#include "data/generator.h"
+
+#include <cmath>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "data/normalizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace saufno {
+namespace {
+
+data::GenConfig tiny_cfg(int n = 6, int res = 10) {
+  data::GenConfig cfg;
+  cfg.resolution = res;
+  cfg.n_samples = n;
+  cfg.seed = 99;
+  cfg.cache = false;
+  return cfg;
+}
+
+TEST(Generator, ShapesAndChannelLayout) {
+  const auto spec = chip::make_chip1();
+  const auto d = data::generate_dataset(spec, tiny_cfg());
+  EXPECT_EQ(d.size(), 6);
+  // chip1: 2 device layers -> 2 power channels + 2 coord channels.
+  EXPECT_EQ(d.in_channels(), 4);
+  EXPECT_EQ(d.out_channels(), 2);
+  EXPECT_EQ(d.inputs.shape(), (Shape{6, 4, 10, 10}));
+  EXPECT_EQ(d.targets.shape(), (Shape{6, 2, 10, 10}));
+  EXPECT_EQ(d.chip_name, "chip1");
+  EXPECT_DOUBLE_EQ(d.ambient, spec.ambient);
+}
+
+TEST(Generator, CoordinateChannelsNormalized) {
+  const auto d = data::generate_dataset(chip::make_chip1(), tiny_cfg(2, 8));
+  // Channel 2 is y, channel 3 is x; corners are 0 and 1.
+  const int64_t plane = 64;
+  const float* x0 = d.inputs.data();  // sample 0
+  EXPECT_EQ(x0[2 * plane + 0], 0.f);              // y at (0,0)
+  EXPECT_EQ(x0[2 * plane + 63], 1.f);             // y at (7,7)
+  EXPECT_EQ(x0[3 * plane + 7], 1.f);              // x at (0,7)
+}
+
+TEST(Generator, TargetsAreCredibleTemperatures) {
+  const auto spec = chip::make_chip1();
+  const auto d = data::generate_dataset(spec, tiny_cfg(4, 10));
+  const float lo = min_all(d.targets), hi = max_all(d.targets);
+  EXPECT_GT(lo, spec.ambient);   // everything above ambient
+  EXPECT_LT(hi, 520.0);          // nothing absurd
+  EXPECT_GT(hi - lo, 1.0);       // real variation across the die
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto spec = chip::make_chip1();
+  const auto a = data::generate_dataset(spec, tiny_cfg(3, 8));
+  const auto b = data::generate_dataset(spec, tiny_cfg(3, 8));
+  EXPECT_TRUE(a.inputs.allclose(b.inputs));
+  EXPECT_TRUE(a.targets.allclose(b.targets));
+}
+
+TEST(Generator, CacheRoundTrip) {
+  auto cfg = tiny_cfg(3, 8);
+  cfg.cache = true;
+  cfg.cache_dir = ::testing::TempDir() + "/saufno_ds_cache";
+  std::filesystem::remove_all(cfg.cache_dir);
+  const auto spec = chip::make_chip2();
+  const auto fresh = data::generate_dataset(spec, cfg);
+  // Second call must hit the cache and reproduce identical data.
+  const auto cached = data::generate_dataset(spec, cfg);
+  EXPECT_TRUE(fresh.inputs.allclose(cached.inputs));
+  EXPECT_TRUE(fresh.targets.allclose(cached.targets));
+  std::filesystem::remove_all(cfg.cache_dir);
+}
+
+TEST(DatasetOps, SplitAndTake) {
+  const auto d = data::generate_dataset(chip::make_chip1(), tiny_cfg(6, 8));
+  auto [train, test] = d.split(4);
+  EXPECT_EQ(train.size(), 4);
+  EXPECT_EQ(test.size(), 2);
+  // Split is a partition: sample 4 of d equals sample 0 of test.
+  Tensor d4 = slice(d.inputs, 0, 4, 1);
+  Tensor t0 = slice(test.inputs, 0, 0, 1);
+  EXPECT_TRUE(d4.allclose(t0));
+  EXPECT_EQ(d.take(2).size(), 2);
+  EXPECT_THROW(d.take(100), std::runtime_error);
+}
+
+TEST(DatasetOps, GatherSelectsRows) {
+  const auto d = data::generate_dataset(chip::make_chip1(), tiny_cfg(5, 8));
+  auto [xi, yt] = d.gather({4, 0});
+  EXPECT_EQ(xi.size(0), 2);
+  EXPECT_TRUE(slice(xi, 0, 0, 1).allclose(slice(d.inputs, 0, 4, 1)));
+  EXPECT_TRUE(slice(yt, 0, 1, 1).allclose(slice(d.targets, 0, 0, 1)));
+}
+
+TEST(BatchSampler, CoversEveryIndexOncePerEpoch) {
+  Rng rng(1);
+  data::BatchSampler sampler(10, 3, rng);
+  std::vector<int> seen;
+  for (auto b = sampler.next(); !b.empty(); b = sampler.next()) {
+    seen.insert(seen.end(), b.begin(), b.end());
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(sampler.batches_per_epoch(), 4);
+}
+
+TEST(BatchSampler, ReshufflesBetweenEpochs) {
+  Rng rng(2);
+  data::BatchSampler sampler(32, 32, rng);
+  auto e1 = sampler.next();
+  sampler.reset();
+  auto e2 = sampler.next();
+  EXPECT_NE(e1, e2);  // 1/32! chance of false failure
+}
+
+TEST(DatasetIo, RoundTrip) {
+  const auto d = data::generate_dataset(chip::make_chip1(), tiny_cfg(3, 8));
+  const std::string path = ::testing::TempDir() + "/saufno_ds.bin";
+  data::save_dataset(d, path);
+  const auto back = data::load_dataset(path);
+  EXPECT_EQ(back.chip_name, d.chip_name);
+  EXPECT_EQ(back.resolution, d.resolution);
+  EXPECT_DOUBLE_EQ(back.ambient, d.ambient);
+  EXPECT_TRUE(back.inputs.allclose(d.inputs));
+  EXPECT_TRUE(back.targets.allclose(d.targets));
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+  EXPECT_THROW(data::load_dataset("/nonexistent/nope.bin"),
+               std::runtime_error);
+}
+
+TEST(Normalizer, TargetRoundTripAndStats) {
+  const auto d = data::generate_dataset(chip::make_chip1(), tiny_cfg(5, 10));
+  const auto norm = data::Normalizer::fit(d, 2);
+  EXPECT_GT(norm.power_scale(), 0.0);
+  EXPECT_GT(norm.temp_scale(), 0.0);
+  Tensor enc = norm.encode_targets(d.targets);
+  // Encoded rise has roughly unit scale (the mean/std ratio of a skewed
+  // rise distribution on a tiny dataset can reach a few units).
+  EXPECT_LT(std::fabs(mean_all(enc)), 4.f);
+  Tensor dec = norm.decode_targets(enc);
+  EXPECT_TRUE(dec.allclose(d.targets, 1e-4f, 1e-2f));
+}
+
+TEST(Normalizer, InputEncodingLeavesCoordsAlone) {
+  const auto d = data::generate_dataset(chip::make_chip1(), tiny_cfg(3, 8));
+  const auto norm = data::Normalizer::fit(d, 2);
+  Tensor enc = norm.encode_inputs(d.inputs);
+  // Coord channels (2, 3) unchanged; power channels scaled.
+  Tensor coords_raw = slice(d.inputs, 1, 2, 2);
+  Tensor coords_enc = slice(enc, 1, 2, 2);
+  EXPECT_TRUE(coords_raw.allclose(coords_enc));
+  Tensor p_raw = slice(d.inputs, 1, 0, 2);
+  Tensor p_enc = slice(enc, 1, 0, 2);
+  EXPECT_NEAR(max_all(p_enc) * static_cast<float>(norm.power_scale()),
+              max_all(p_raw), 1e-2f * max_all(p_raw));
+}
+
+TEST(RegenerateAssignments, MatchesDatasetSeed) {
+  const auto spec = chip::make_chip1();
+  auto cfg = tiny_cfg(4, 8);
+  const auto as1 = data::regenerate_assignments(spec, cfg);
+  const auto as2 = data::regenerate_assignments(spec, cfg);
+  ASSERT_EQ(as1.size(), 4u);
+  for (std::size_t i = 0; i < as1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(as1[i].total(), as2[i].total());
+  }
+}
+
+}  // namespace
+}  // namespace saufno

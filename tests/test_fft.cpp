@@ -1,0 +1,178 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace saufno {
+namespace {
+
+std::vector<cfloat> random_signal(int64_t n, Rng& rng) {
+  std::vector<cfloat> x(static_cast<std::size_t>(n));
+  for (auto& v : x) {
+    v = cfloat(static_cast<float>(rng.normal()),
+               static_cast<float>(rng.normal()));
+  }
+  return x;
+}
+
+/// O(n^2) reference DFT.
+std::vector<cfloat> naive_dft(const std::vector<cfloat>& x, bool inverse) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  std::vector<cfloat> out(x.size());
+  const double sign = inverse ? 1.0 : -1.0;
+  for (int64_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0, 0);
+    for (int64_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * M_PI * k * j / n;
+      acc += std::complex<double>(x[static_cast<std::size_t>(j)]) *
+             std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    if (inverse) acc /= static_cast<double>(n);
+    out[static_cast<std::size_t>(k)] =
+        cfloat(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+void expect_close(const std::vector<cfloat>& a, const std::vector<cfloat>& b,
+                  float tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "re at " << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "im at " << i;
+  }
+}
+
+TEST(Fft1d, ImpulseGivesFlatSpectrum) {
+  std::vector<cfloat> x(8, cfloat(0, 0));
+  x[0] = cfloat(1, 0);
+  fft_1d(x.data(), 8, false);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.f, 1e-6f);
+    EXPECT_NEAR(v.imag(), 0.f, 1e-6f);
+  }
+}
+
+TEST(Fft1d, SingleToneLandsInOneBin) {
+  const int64_t n = 16;
+  std::vector<cfloat> x(static_cast<std::size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * M_PI * 3 * j / n;  // frequency bin 3
+    x[static_cast<std::size_t>(j)] =
+        cfloat(static_cast<float>(std::cos(ang)),
+               static_cast<float>(std::sin(ang)));
+  }
+  fft_1d(x.data(), n, false);
+  for (int64_t k = 0; k < n; ++k) {
+    const float mag = std::abs(x[static_cast<std::size_t>(k)]);
+    if (k == 3) {
+      EXPECT_NEAR(mag, static_cast<float>(n), 1e-3f);
+    } else {
+      EXPECT_NEAR(mag, 0.f, 1e-3f);
+    }
+  }
+}
+
+TEST(Fft1d, LengthOneIsIdentity) {
+  std::vector<cfloat> x = {cfloat(3.5f, -2.f)};
+  fft_1d(x.data(), 1, false);
+  EXPECT_EQ(x[0], cfloat(3.5f, -2.f));
+}
+
+// Parameterized: forward matches the naive DFT and inverse round-trips,
+// for power-of-two AND Bluestein (non-pow2) lengths — including 40, the
+// paper's training resolution.
+class Fft1dP : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fft1dP, MatchesNaiveDft) {
+  const int64_t n = GetParam();
+  Rng rng(21 + n);
+  auto x = random_signal(n, rng);
+  auto want = naive_dft(x, false);
+  auto got = x;
+  fft_1d(got.data(), n, false);
+  expect_close(got, want, 1e-3f * static_cast<float>(n));
+}
+
+TEST_P(Fft1dP, RoundTripIsIdentity) {
+  const int64_t n = GetParam();
+  Rng rng(90 + n);
+  auto x = random_signal(n, rng);
+  auto y = x;
+  fft_1d(y.data(), n, false);
+  fft_1d(y.data(), n, true);
+  expect_close(y, x, 1e-4f * static_cast<float>(n));
+}
+
+TEST_P(Fft1dP, ParsevalEnergyConservation) {
+  const int64_t n = GetParam();
+  Rng rng(55 + n);
+  auto x = random_signal(n, rng);
+  double time_energy = 0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  auto f = x;
+  fft_1d(f.data(), n, false);
+  double freq_energy = 0;
+  for (const auto& v : f) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-3 * time_energy + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Fft1dP,
+                         ::testing::Values(2, 4, 8, 64, 3, 5, 12, 40, 63, 100));
+
+TEST(Fft2d, RoundTripBatch) {
+  Rng rng(31);
+  const int64_t b = 3, h = 12, w = 40;  // non-pow2 on purpose
+  auto x = random_signal(b * h * w, rng);
+  auto y = x;
+  fft_2d(y.data(), b, h, w, false);
+  fft_2d(y.data(), b, h, w, true);
+  expect_close(y, x, 1e-2f);
+}
+
+TEST(Fft2d, SeparableAgainstNaive1d) {
+  // 2-D DFT == row DFTs then column DFTs (naive on both axes).
+  Rng rng(41);
+  const int64_t h = 4, w = 6;
+  auto x = random_signal(h * w, rng);
+  // Reference: naive on rows, then naive on columns.
+  std::vector<cfloat> ref = x;
+  for (int64_t i = 0; i < h; ++i) {
+    std::vector<cfloat> row(ref.begin() + i * w, ref.begin() + (i + 1) * w);
+    row = naive_dft(row, false);
+    std::copy(row.begin(), row.end(), ref.begin() + i * w);
+  }
+  for (int64_t j = 0; j < w; ++j) {
+    std::vector<cfloat> col(static_cast<std::size_t>(h));
+    for (int64_t i = 0; i < h; ++i) col[static_cast<std::size_t>(i)] = ref[static_cast<std::size_t>(i * w + j)];
+    col = naive_dft(col, false);
+    for (int64_t i = 0; i < h; ++i) ref[static_cast<std::size_t>(i * w + j)] = col[static_cast<std::size_t>(i)];
+  }
+  auto got = x;
+  fft_2d(got.data(), 1, h, w, false);
+  expect_close(got, ref, 1e-3f);
+}
+
+TEST(Fft2d, RealInputHasHermitianSpectrum) {
+  Rng rng(51);
+  const int64_t h = 8, w = 8;
+  std::vector<float> real(static_cast<std::size_t>(h * w));
+  for (auto& v : real) v = static_cast<float>(rng.normal());
+  auto spec = fft_2d_real(real.data(), h, w);
+  // X[k1, k2] == conj(X[-k1 mod h, -k2 mod w]).
+  for (int64_t k1 = 0; k1 < h; ++k1) {
+    for (int64_t k2 = 0; k2 < w; ++k2) {
+      const auto a = spec[static_cast<std::size_t>(k1 * w + k2)];
+      const auto b = spec[static_cast<std::size_t>(((h - k1) % h) * w +
+                                                   (w - k2) % w)];
+      EXPECT_NEAR(a.real(), b.real(), 1e-3f);
+      EXPECT_NEAR(a.imag(), -b.imag(), 1e-3f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saufno

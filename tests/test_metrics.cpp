@@ -1,0 +1,87 @@
+#include "data/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace saufno {
+namespace {
+
+TEST(Metrics, PerfectPredictionIsAllZero) {
+  Rng rng(1);
+  Tensor t = Tensor::rand_uniform({3, 2, 4, 4}, rng, 330.f, 380.f);
+  const auto m = data::compute_metrics(t, t, 318.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mape, 0.0);
+  EXPECT_DOUBLE_EQ(m.pape, 0.0);
+  EXPECT_DOUBLE_EQ(m.max_err, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_err, 0.0);
+}
+
+TEST(Metrics, ConstantOffsetKnownValues) {
+  // pred = true + 2 K everywhere, field is 10 K above a 300 K ambient.
+  Tensor t = Tensor::full({2, 1, 3, 3}, 310.f);
+  Tensor p = Tensor::full({2, 1, 3, 3}, 312.f);
+  const auto m = data::compute_metrics(p, t, 300.0);
+  EXPECT_NEAR(m.rmse, 2.0, 1e-6);
+  EXPECT_NEAR(m.mean_err, 2.0, 1e-6);
+  EXPECT_NEAR(m.max_err, 2.0, 1e-6);
+  EXPECT_NEAR(m.mape, 0.2, 1e-6);  // 2 / 10
+  EXPECT_NEAR(m.pape, 0.2, 1e-6);
+}
+
+TEST(Metrics, RmseExceedsMaeForNonUniformError) {
+  // RMSE >= MAE always; strictly greater when errors vary.
+  Tensor t = Tensor::full({1, 1, 1, 4}, 350.f);
+  Tensor p({1, 1, 1, 4}, {350.f, 354.f, 350.f, 350.f});
+  const auto m = data::compute_metrics(p, t, 318.0);
+  EXPECT_NEAR(m.mean_err, 1.0, 1e-6);
+  EXPECT_NEAR(m.rmse, 2.0, 1e-6);
+  EXPECT_GT(m.rmse, m.mean_err);
+}
+
+TEST(Metrics, JunctionTemperatureUsesFieldMax) {
+  // "Max" compares field maxima, not pixel-wise errors: shifting which
+  // pixel is hottest without changing the max value keeps max_err = 0.
+  Tensor t({1, 1, 1, 3}, {350.f, 340.f, 330.f});
+  Tensor p({1, 1, 1, 3}, {330.f, 340.f, 350.f});  // mirrored
+  const auto m = data::compute_metrics(p, t, 318.0);
+  EXPECT_NEAR(m.max_err, 0.0, 1e-6);
+  EXPECT_GT(m.rmse, 0.0);
+}
+
+TEST(Metrics, PapeIsWorstPixelAveragedOverCases) {
+  // Case 1: one pixel 50% off; case 2: perfect. PAPE = (0.5 + 0) / 2.
+  Tensor t({2, 1, 1, 2}, {328.f, 338.f, 328.f, 338.f});
+  Tensor p({2, 1, 1, 2}, {328.f, 328.f, 328.f, 338.f});
+  const auto m = data::compute_metrics(p, t, 318.0);
+  EXPECT_NEAR(m.pape, 0.25, 1e-6);
+}
+
+TEST(Metrics, RiseFloorGuardsAmbientPixels) {
+  // A pixel at ambient with a small error must not produce a huge APE.
+  Tensor t = Tensor::full({1, 1, 1, 2}, 318.0f);
+  Tensor p = Tensor::full({1, 1, 1, 2}, 318.5f);
+  const auto m = data::compute_metrics(p, t, 318.0);
+  EXPECT_LE(m.mape, 0.5 + 1e-9);  // floored at 1 K rise
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  Tensor a = Tensor::zeros({1, 1, 2, 2});
+  Tensor b = Tensor::zeros({1, 1, 3, 3});
+  EXPECT_THROW(data::compute_metrics(a, b, 300.0), std::runtime_error);
+}
+
+TEST(Metrics, ToStringContainsAllFields) {
+  data::Metrics m;
+  m.rmse = 0.5;
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("RMSE"), std::string::npos);
+  EXPECT_NE(s.find("PAPE"), std::string::npos);
+  EXPECT_NE(s.find("Mean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saufno

@@ -1,0 +1,185 @@
+#include "autograd/spectral_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/spectral_conv.h"
+#include "gradcheck.h"
+#include "tensor/tensor_ops.h"
+
+namespace saufno {
+namespace {
+
+using testing::expect_gradients_match;
+
+/// A spectral weight that multiplies every kept mode by `scale` (real).
+Var uniform_weight(int64_t cin, int64_t cout, int64_t m1, int64_t m2,
+                   float scale, bool requires_grad = false) {
+  Tensor w({cin, cout, 2 * m1, m2, 2});
+  float* p = w.data();
+  for (int64_t i = 0; i < w.numel(); i += 2) p[i] = scale;  // re only
+  return Var(w, requires_grad);
+}
+
+TEST(SpectralConv, ConstantFieldPassesThroughDcWeight) {
+  // A constant field lives entirely in the DC mode; a unit weight on the
+  // kept modes must reproduce it exactly.
+  const int64_t H = 8, W = 8;
+  Var x(Tensor::full({1, 1, H, W}, 3.f), false);
+  Var w = uniform_weight(1, 1, 2, 2, 1.f);
+  Var y = ops::spectral_conv2d(x, w, 2, 2, 1);
+  EXPECT_TRUE(y.value().allclose(x.value(), 1e-4f, 1e-4f));
+}
+
+TEST(SpectralConv, LowPassRemovesHighFrequency) {
+  // Input: DC + the highest row frequency. Keeping only 1 mode must
+  // recover the DC part alone.
+  const int64_t H = 8, W = 8;
+  Tensor x({1, 1, H, W});
+  for (int64_t i = 0; i < H; ++i) {
+    for (int64_t j = 0; j < W; ++j) {
+      x.at(i * W + j) = 2.f + ((i % 2 == 0) ? 1.f : -1.f);  // Nyquist row
+    }
+  }
+  Var xv(x, false);
+  Var w = uniform_weight(1, 1, 1, 1, 1.f);  // keep only k1 in {0,-1}, k2=0
+  Var y = ops::spectral_conv2d(xv, w, 1, 1, 1);
+  EXPECT_TRUE(y.value().allclose(Tensor::full({1, 1, H, W}, 2.f), 1e-4f, 1e-4f));
+}
+
+TEST(SpectralConv, LinearInInput) {
+  Rng rng(1);
+  Var x1(Tensor::randn({1, 2, 8, 8}, rng), false);
+  Var x2(Tensor::randn({1, 2, 8, 8}, rng), false);
+  Rng wr(2);
+  Var w(Tensor::randn({2, 3, 6, 3, 2}, wr, 0.f, 0.3f), false);
+  Var y1 = ops::spectral_conv2d(x1, w, 3, 3, 3);
+  Var y2 = ops::spectral_conv2d(x2, w, 3, 3, 3);
+  Var ysum = ops::spectral_conv2d(ops::add(x1, x2), w, 3, 3, 3);
+  EXPECT_TRUE(
+      ysum.value().allclose(add(y1.value(), y2.value()), 1e-3f, 1e-3f));
+}
+
+TEST(SpectralConv, ChannelMixing) {
+  // Two input channels with weights [1, 0] and [0, 0] on channel-0->out
+  // and channel-1->out: output equals channel 0's content only.
+  const int64_t H = 8, W = 8;
+  Rng rng(3);
+  Tensor x({1, 2, H, W});
+  Tensor c0 = Tensor::full({H * W}, 1.5f);
+  for (int64_t i = 0; i < H * W; ++i) {
+    x.at(i) = c0.at(i);
+    x.at(H * W + i) = static_cast<float>(rng.normal());
+  }
+  Tensor w({2, 1, 4, 2, 2});
+  // channel 0 weight = 1 on all kept modes; channel 1 weight = 0.
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 2; ++c) {
+      w.at(((0 * 1 + 0) * 4 + r) * 2 * 2 + c * 2) = 1.f;
+    }
+  }
+  Var y = ops::spectral_conv2d(Var(x, false), Var(w, false), 2, 2, 1);
+  EXPECT_TRUE(y.value().allclose(Tensor::full({1, 1, H, W}, 1.5f), 1e-4f, 1e-4f));
+}
+
+TEST(SpectralConv, ModesClampedAtCoarseResolution) {
+  // Configured modes exceed H/2: must clamp, not crash — the property the
+  // multi-fidelity transfer relies on.
+  Rng rng(4);
+  Var x(Tensor::randn({1, 1, 4, 4}, rng), false);
+  Var w(Tensor::randn({1, 1, 12, 6, 2}, rng, 0.f, 0.2f), false);
+  Var y = ops::spectral_conv2d(x, w, 6, 6, 1);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 4, 4}));
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.value().at(i)));
+  }
+}
+
+TEST(SpectralConv, WeightShapeMismatchThrows) {
+  Var x(Tensor::zeros({1, 1, 8, 8}), false);
+  Var w(Tensor::zeros({1, 1, 3, 2, 2}), false);  // rows != 2*m1
+  EXPECT_THROW(ops::spectral_conv2d(x, w, 2, 2, 1), std::runtime_error);
+}
+
+TEST(SpectralConvGrad, InputGradcheck) {
+  Rng rng(5);
+  Var x(Tensor::randn({1, 2, 6, 6}, rng), true);
+  Var w(Tensor::randn({2, 2, 4, 2, 2}, rng, 0.f, 0.3f), false);
+  expect_gradients_match(
+      [w](std::vector<Var>& ls) {
+        Var y = ops::spectral_conv2d(ls[0], w, 2, 2, 2);
+        return ops::sum_all(ops::square(y));
+      },
+      {x}, /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
+}
+
+TEST(SpectralConvGrad, WeightGradcheck) {
+  Rng rng(6);
+  Var x(Tensor::randn({2, 1, 6, 6}, rng), false);
+  Var w(Tensor::randn({1, 2, 4, 2, 2}, rng, 0.f, 0.3f), true);
+  expect_gradients_match(
+      [x](std::vector<Var>& ls) {
+        Var y = ops::spectral_conv2d(x, ls[0], 2, 2, 2);
+        return ops::sum_all(ops::square(y));
+      },
+      {w}, /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
+}
+
+TEST(SpectralConvGrad, JointGradcheckNonPow2) {
+  // 6x10 exercises the Bluestein path inside autograd.
+  Rng rng(7);
+  Var x(Tensor::randn({1, 1, 6, 10}, rng), true);
+  Var w(Tensor::randn({1, 1, 4, 3, 2}, rng, 0.f, 0.3f), true);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var y = ops::spectral_conv2d(ls[0], ls[1], 2, 3, 1);
+        return ops::sum_all(ops::square(y));
+      },
+      {x, w}, /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
+}
+
+TEST(SpectralConvModule, ResolutionInvariantShapes) {
+  Rng rng(8);
+  core::SpectralConv2d conv(3, 5, 4, 4, rng);
+  Var x16(Tensor::randn({2, 3, 16, 16}, rng), false);
+  Var x24(Tensor::randn({2, 3, 24, 24}, rng), false);
+  EXPECT_EQ(conv.forward(x16).shape(), (Shape{2, 5, 16, 16}));
+  EXPECT_EQ(conv.forward(x24).shape(), (Shape{2, 5, 24, 24}));
+  EXPECT_EQ(conv.num_parameters(), 3 * 5 * 8 * 4 * 2);
+}
+
+TEST(SpectralConvModule, SameFunctionAcrossResolutionsOnSmoothField) {
+  // Mesh invariance in the operator sense: applying the module to the SAME
+  // band-limited function sampled at two resolutions gives fields that
+  // agree after resampling.
+  Rng rng(9);
+  core::SpectralConv2d conv(1, 1, 2, 2, rng);
+  auto sample = [](int64_t n) {
+    Tensor t({1, 1, n, n});
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        const double u = 2.0 * M_PI * i / n, v = 2.0 * M_PI * j / n;
+        t.at(i * n + j) =
+            static_cast<float>(1.0 + 0.5 * std::cos(u) + 0.25 * std::sin(v));
+      }
+    }
+    return t;
+  };
+  Var y16 = conv.forward(Var(sample(16), false));
+  Var y32 = conv.forward(Var(sample(32), false));
+  // Compare y32 downsampled (every 2nd point) to y16.
+  double max_diff = 0;
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t j = 0; j < 16; ++j) {
+      max_diff = std::max(
+          max_diff,
+          std::fabs(static_cast<double>(y16.value().at(i * 16 + j)) -
+                    y32.value().at((2 * i) * 32 + 2 * j)));
+    }
+  }
+  EXPECT_LT(max_diff, 1e-3);
+}
+
+}  // namespace
+}  // namespace saufno

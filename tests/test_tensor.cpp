@@ -1,0 +1,359 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/kernels.h"
+#include "tensor/tensor_ops.h"
+
+namespace saufno {
+namespace {
+
+TEST(TensorBasics, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.dim(), 3);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(-1), 4);
+  // Zero initialized.
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.f);
+}
+
+TEST(TensorBasics, FromValuesAndItem) {
+  Tensor t({3}, {1.f, 2.f, 3.f});
+  EXPECT_EQ(t.at(1), 2.f);
+  Tensor s({1}, {42.f});
+  EXPECT_EQ(s.item(), 42.f);
+  EXPECT_THROW(t.item(), std::runtime_error);
+}
+
+TEST(TensorBasics, ShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.f, 2.f, 3.f}), std::runtime_error);
+}
+
+TEST(TensorBasics, ReshapeSharesStorage) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape({3, 2});
+  r.at(0) = 99.f;
+  EXPECT_EQ(t.at(0), 99.f);  // same storage
+  EXPECT_THROW(t.reshape({4, 2}), std::runtime_error);
+}
+
+TEST(TensorBasics, ReshapeInfersDimension) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.reshape({-1, 4}).shape(), (Shape{6, 4}));
+  EXPECT_EQ(t.reshape({2, -1}).shape(), (Shape{2, 12}));
+  EXPECT_THROW(t.reshape({-1, -1}), std::runtime_error);
+  EXPECT_THROW(t.reshape({-1, 5}), std::runtime_error);
+}
+
+TEST(TensorBasics, CloneIsDeep) {
+  Tensor t({2}, {1.f, 2.f});
+  Tensor c = t.clone();
+  c.at(0) = 7.f;
+  EXPECT_EQ(t.at(0), 1.f);
+}
+
+TEST(TensorBasics, FillAddMul) {
+  Tensor t({3});
+  t.fill_(2.f);
+  Tensor u({3});
+  u.fill_(1.f);
+  t.add_(u, 3.f);
+  EXPECT_EQ(t.at(0), 5.f);
+  t.mul_(0.5f);
+  EXPECT_EQ(t.at(2), 2.5f);
+}
+
+TEST(TensorBasics, RandnStatistics) {
+  Rng rng(5);
+  Tensor t = Tensor::randn({10000}, rng);
+  const float m = mean_all(t);
+  EXPECT_NEAR(m, 0.f, 0.05f);
+  float var = 0.f;
+  for (int64_t i = 0; i < t.numel(); ++i) var += (t.at(i) - m) * (t.at(i) - m);
+  var /= static_cast<float>(t.numel());
+  EXPECT_NEAR(var, 1.f, 0.1f);
+}
+
+TEST(BroadcastShape, Rules) {
+  EXPECT_EQ(broadcast_shape({2, 3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shape({2, 1}, {1, 3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shape({3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shape({4, 1, 2}, {3, 1}), (Shape{4, 3, 2}));
+  EXPECT_THROW(broadcast_shape({2, 3}, {4, 3}), std::runtime_error);
+}
+
+TEST(ElementwiseOps, AddSameShape) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {10, 20, 30, 40});
+  Tensor c = add(a, b);
+  EXPECT_TRUE(c.allclose(Tensor({2, 2}, {11, 22, 33, 44})));
+}
+
+TEST(ElementwiseOps, AddBroadcastRow) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3}, {10, 20, 30});
+  Tensor c = add(a, b);
+  EXPECT_TRUE(c.allclose(Tensor({2, 3}, {11, 22, 33, 14, 25, 36})));
+}
+
+TEST(ElementwiseOps, MulBroadcastColumn) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({2, 1}, {2, 3});
+  Tensor c = mul(a, b);
+  EXPECT_TRUE(c.allclose(Tensor({2, 3}, {2, 4, 6, 12, 15, 18})));
+}
+
+TEST(ElementwiseOps, DivAndSub) {
+  Tensor a({2}, {8, 9});
+  Tensor b({2}, {2, 3});
+  EXPECT_TRUE(div(a, b).allclose(Tensor({2}, {4, 3})));
+  EXPECT_TRUE(sub(a, b).allclose(Tensor({2}, {6, 6})));
+}
+
+TEST(ElementwiseOps, UnaryFunctions) {
+  Tensor a({3}, {-1.f, 0.f, 2.f});
+  EXPECT_TRUE(relu(a).allclose(Tensor({3}, {0.f, 0.f, 2.f})));
+  EXPECT_TRUE(neg(a).allclose(Tensor({3}, {1.f, 0.f, -2.f})));
+  EXPECT_TRUE(abs(a).allclose(Tensor({3}, {1.f, 0.f, 2.f})));
+  Tensor e = exp(Tensor({2}, {0.f, 1.f}));
+  EXPECT_NEAR(e.at(0), 1.f, 1e-6f);
+  EXPECT_NEAR(e.at(1), 2.718281f, 1e-5f);
+}
+
+TEST(ElementwiseOps, GeluMatchesDefinition) {
+  // GELU(x) = x * Phi(x); spot-check a few points.
+  Tensor x({3}, {-1.f, 0.f, 1.f});
+  Tensor g = gelu(x);
+  EXPECT_NEAR(g.at(0), -0.158655f, 1e-4f);
+  EXPECT_NEAR(g.at(1), 0.f, 1e-7f);
+  EXPECT_NEAR(g.at(2), 0.841345f, 1e-4f);
+}
+
+TEST(ElementwiseOps, GeluGradMatchesFiniteDifference) {
+  Tensor x({5}, {-2.f, -0.5f, 0.f, 0.7f, 1.9f});
+  Tensor g = gelu_grad(x);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    Tensor up = x.clone(), dn = x.clone();
+    up.at(i) += eps;
+    dn.at(i) -= eps;
+    const float num = (gelu(up).at(i) - gelu(dn).at(i)) / (2 * eps);
+    EXPECT_NEAR(g.at(i), num, 1e-3f);
+  }
+}
+
+TEST(Reductions, SumMeanMaxMin) {
+  Tensor a({2, 2}, {1, -5, 3, 9});
+  EXPECT_EQ(sum_all(a), 8.f);
+  EXPECT_EQ(mean_all(a), 2.f);
+  EXPECT_EQ(max_all(a), 9.f);
+  EXPECT_EQ(min_all(a), -5.f);
+}
+
+TEST(Reductions, SumDim) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(sum_dim(a, 0, false).allclose(Tensor({3}, {5, 7, 9})));
+  EXPECT_TRUE(sum_dim(a, 1, false).allclose(Tensor({2}, {6, 15})));
+  EXPECT_TRUE(sum_dim(a, 1, true).allclose(Tensor({2, 1}, {6, 15})));
+}
+
+TEST(Reductions, ReduceToBroadcastAdjoint) {
+  Tensor g({2, 3}, {1, 1, 1, 1, 1, 1});
+  EXPECT_TRUE(reduce_to(g, {3}).allclose(Tensor({3}, {2, 2, 2})));
+  EXPECT_TRUE(reduce_to(g, {2, 1}).allclose(Tensor({2, 1}, {3, 3})));
+  EXPECT_TRUE(reduce_to(g, {2, 3}).allclose(g));
+}
+
+TEST(LayoutOps, Transpose2d) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(transpose2d(a).allclose(Tensor({3, 2}, {1, 4, 2, 5, 3, 6})));
+}
+
+TEST(LayoutOps, PermuteRoundTrip) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({2, 3, 4, 5}, rng);
+  Tensor p = permute(a, {2, 0, 3, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 5, 3}));
+  Tensor back = permute(p, {1, 3, 0, 2});
+  EXPECT_TRUE(back.allclose(a));
+}
+
+TEST(LayoutOps, SliceAndCatInverse) {
+  Rng rng(4);
+  Tensor a = Tensor::randn({3, 4, 5}, rng);
+  Tensor s0 = slice(a, 1, 0, 2);
+  Tensor s1 = slice(a, 1, 2, 2);
+  EXPECT_EQ(s0.shape(), (Shape{3, 2, 5}));
+  Tensor back = cat({s0, s1}, 1);
+  EXPECT_TRUE(back.allclose(a));
+}
+
+TEST(LayoutOps, SliceOutOfRangeThrows) {
+  Tensor a({2, 2});
+  EXPECT_THROW(slice(a, 0, 1, 2), std::runtime_error);
+  EXPECT_THROW(slice(a, 3, 0, 1), std::runtime_error);
+}
+
+TEST(LayoutOps, Pad2dZeroBorder) {
+  Tensor a({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor p = pad2d(a, 1, 0, 0, 1);
+  EXPECT_EQ(p.shape(), (Shape{1, 1, 3, 3}));
+  // Row 0 is padding; column 2 is padding.
+  EXPECT_EQ(p.at(0), 0.f);
+  EXPECT_EQ(p.at(3), 1.f);
+  EXPECT_EQ(p.at(5), 0.f);
+  EXPECT_EQ(p.at(7), 4.f);
+}
+
+TEST(MatMul, Known2x2) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  EXPECT_TRUE(matmul(a, b).allclose(Tensor({2, 2}, {19, 22, 43, 50})));
+}
+
+TEST(MatMul, RectangularAndMismatch) {
+  Tensor a({2, 3}, {1, 0, 2, 0, 1, 1});
+  Tensor b({3, 1}, {1, 2, 3});
+  EXPECT_TRUE(matmul(a, b).allclose(Tensor({2, 1}, {7, 5})));
+  EXPECT_THROW(matmul(a, a), std::runtime_error);
+}
+
+TEST(MatMul, BatchedWithBroadcast) {
+  Tensor a({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b({1, 2, 2}, {1, 0, 0, 1});  // identity, broadcast over batch
+  Tensor c = bmm(a, b);
+  EXPECT_TRUE(c.allclose(a));
+}
+
+TEST(Softmax, RowsSumToOneAndStable) {
+  // Large magnitudes must not overflow (stability shift).
+  Tensor a({2, 3}, {1000.f, 1000.f, 1000.f, -1000.f, 0.f, 1000.f});
+  Tensor s = softmax_lastdim(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.f;
+    for (int c = 0; c < 3; ++c) sum += s.at(r * 3 + c);
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+  EXPECT_NEAR(s.at(0), 1.f / 3.f, 1e-5f);
+  EXPECT_NEAR(s.at(5), 1.f, 1e-5f);
+}
+
+TEST(Resize, IdentityWhenSameSize) {
+  Rng rng(6);
+  Tensor a = Tensor::randn({2, 3, 4, 4}, rng);
+  EXPECT_TRUE(resize_bilinear(a, 4, 4).allclose(a, 1e-5f, 1e-6f));
+}
+
+TEST(Resize, CornersExactWithAlignCorners) {
+  Tensor a({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor r = resize_bilinear(a, 5, 5);
+  EXPECT_NEAR(r.at(0), 1.f, 1e-6f);
+  EXPECT_NEAR(r.at(4), 2.f, 1e-6f);
+  EXPECT_NEAR(r.at(20), 3.f, 1e-6f);
+  EXPECT_NEAR(r.at(24), 4.f, 1e-6f);
+  // Center is the mean of the corners.
+  EXPECT_NEAR(r.at(12), 2.5f, 1e-6f);
+}
+
+TEST(Resize, AdjointIsTransposeOfForward) {
+  // <R x, y> == <x, R^T y> for random x, y — the defining property the
+  // autograd rule depends on.
+  Rng rng(7);
+  Tensor x = Tensor::randn({1, 1, 3, 4}, rng);
+  Tensor y = Tensor::randn({1, 1, 7, 5}, rng);
+  Tensor rx = resize_bilinear(x, 7, 5);
+  Tensor rty = resize_bilinear_adjoint(y, 3, 4);
+  EXPECT_NEAR(sum_all(mul(rx, y)), sum_all(mul(x, rty)), 1e-3f);
+}
+
+TEST(Gemm, AccumulateFlag) {
+  Tensor a({2, 2}, {1, 0, 0, 1});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c({2, 2}, {1, 1, 1, 1});
+  gemm(a.data(), b.data(), c.data(), 2, 2, 2, /*accumulate=*/true);
+  EXPECT_TRUE(c.allclose(Tensor({2, 2}, {6, 7, 8, 9})));
+}
+
+TEST(Im2Col, RoundTripAgainstDirectConvolution) {
+  // conv of a 1-channel 3x3 image with a 2x2 kernel via im2col+gemm must
+  // match the direct sliding-window sum.
+  Tensor img({1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor ker({1, 1, 2, 2}, {1, 0, 0, 1});  // picks x[i][j] + x[i+1][j+1]
+  const int64_t oh = conv_out_size(3, 2, 1, 0), ow = oh;
+  std::vector<float> cols(1 * 2 * 2 * oh * ow);
+  im2col(img.data(), cols.data(), 1, 3, 3, 2, 2, 1, 0);
+  Tensor out({oh * ow});
+  gemm(ker.data(), cols.data(), out.data(), 1, oh * ow, 4, false);
+  EXPECT_TRUE(out.allclose(Tensor({4}, {6, 8, 12, 14})));
+}
+
+// Property sweep: resize adjoint identity across a grid of sizes.
+class ResizeAdjointP
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ResizeAdjointP, DotProductIdentity) {
+  auto [ih, iw, oh, ow] = GetParam();
+  Rng rng(11);
+  Tensor x = Tensor::randn({1, 2, ih, iw}, rng);
+  Tensor y = Tensor::randn({1, 2, oh, ow}, rng);
+  Tensor rx = resize_bilinear(x, oh, ow);
+  Tensor rty = resize_bilinear_adjoint(y, ih, iw);
+  EXPECT_NEAR(sum_all(mul(rx, y)), sum_all(mul(x, rty)),
+              2e-3f * (1 + std::abs(sum_all(mul(rx, y)))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ResizeAdjointP,
+    ::testing::Values(std::tuple{2, 2, 4, 4}, std::tuple{4, 4, 2, 2},
+                      std::tuple{3, 5, 7, 2}, std::tuple{8, 8, 16, 16},
+                      std::tuple{1, 4, 3, 3}, std::tuple{5, 5, 5, 5}));
+
+// Property sweep: broadcasting binary ops agree with manual loops.
+class BroadcastP : public ::testing::TestWithParam<std::pair<Shape, Shape>> {};
+
+TEST_P(BroadcastP, AddMatchesManualExpansion) {
+  auto [sa, sb] = GetParam();
+  Rng rng(13);
+  Tensor a = Tensor::randn(sa, rng);
+  Tensor b = Tensor::randn(sb, rng);
+  Tensor c = add(a, b);
+  const Shape out = broadcast_shape(sa, sb);
+  ASSERT_EQ(c.shape(), out);
+  // Verify a handful of entries by explicit index math.
+  const auto strides_of = [](const Shape& s, const Shape& full) {
+    std::vector<int64_t> st(full.size(), 0);
+    const auto cs = contiguous_strides(s);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != 1) st[full.size() - s.size() + i] = cs[i];
+    }
+    return st;
+  };
+  const auto sta = strides_of(sa, out);
+  const auto stb = strides_of(sb, out);
+  const auto sto = contiguous_strides(out);
+  for (int64_t lin = 0; lin < c.numel(); lin += std::max<int64_t>(1, c.numel() / 13)) {
+    int64_t rem = lin, oa = 0, ob = 0;
+    for (std::size_t d = 0; d < out.size(); ++d) {
+      const int64_t id = rem / sto[d];
+      rem %= sto[d];
+      oa += id * sta[d];
+      ob += id * stb[d];
+    }
+    EXPECT_NEAR(c.at(lin), a.at(oa) + b.at(ob), 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastP,
+    ::testing::Values(std::pair<Shape, Shape>{{4, 5}, {5}},
+                      std::pair<Shape, Shape>{{4, 1}, {1, 5}},
+                      std::pair<Shape, Shape>{{2, 3, 4}, {3, 1}},
+                      std::pair<Shape, Shape>{{1}, {3, 2, 2}},
+                      std::pair<Shape, Shape>{{2, 1, 4}, {2, 3, 1}},
+                      std::pair<Shape, Shape>{{6}, {6}}));
+
+}  // namespace
+}  // namespace saufno

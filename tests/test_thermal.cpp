@@ -1,0 +1,261 @@
+#include "thermal/fdm_solver.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "chip/chips.h"
+#include "thermal/compact_rc.h"
+
+namespace saufno {
+namespace {
+
+using chip::ChipSpec;
+
+chip::PowerAssignment sample_power(const ChipSpec& c, std::uint64_t seed) {
+  chip::PowerGenerator gen(c);
+  Rng rng(seed);
+  return gen.sample(rng);
+}
+
+TEST(Grid, LayoutMatchesSpec) {
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 1);
+  const auto g = thermal::build_grid(c, pa, 12, 12);
+  EXPECT_EQ(g.nx, 12);
+  EXPECT_EQ(g.ny, 12);
+  // chip1: 2 device (1 cell each) + TIM (1) + spreader (2) + sink (3) = 8.
+  EXPECT_EQ(g.nz, 8);
+  EXPECT_EQ(g.layer_of_z.front(), 0);
+  EXPECT_EQ(g.layer_of_z.back(), static_cast<int>(c.layers.size()) - 1);
+  // z-cell thicknesses sum to the physical stack height.
+  double stack = 0;
+  for (const auto& l : c.layers) stack += l.thickness;
+  double zsum = 0;
+  for (double dz : g.dz) zsum += dz;
+  EXPECT_NEAR(zsum, stack, 1e-12);
+}
+
+TEST(Grid, PowerConservedThroughVoxelization) {
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 2);
+  const auto g = thermal::build_grid(c, pa, 16, 16);
+  EXPECT_NEAR(g.total_power(), pa.total(), 1e-6 * pa.total());
+}
+
+TEST(Grid, RefinementPreservesPowerAndGeometry) {
+  const auto c = chip::make_chip2();
+  const auto pa = sample_power(c, 3);
+  const auto g1 = thermal::build_grid(c, pa, 10, 10, 1);
+  const auto g2 = thermal::build_grid(c, pa, 10, 10, 2);
+  EXPECT_EQ(g2.nx, 20);
+  EXPECT_EQ(g2.nz, g1.nz * 2);
+  EXPECT_NEAR(g1.total_power(), g2.total_power(), 1e-6 * g1.total_power());
+}
+
+TEST(FdmSolver, ConvergesOnChip1) {
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 4);
+  const auto g = thermal::build_grid(c, pa, 16, 16);
+  thermal::FdmSolver solver;
+  const auto sol = solver.solve(g);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_LT(sol.residual, 1e-7);
+  EXPECT_GT(sol.iterations, 0);
+}
+
+TEST(FdmSolver, TemperatureAboveAmbientEverywhere) {
+  // With positive power and positive-k materials the steady field is
+  // strictly above ambient (maximum principle).
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 5);
+  const auto g = thermal::build_grid(c, pa, 12, 12);
+  const auto sol = thermal::FdmSolver().solve(g);
+  for (double t : sol.temperature) EXPECT_GT(t, c.ambient);
+}
+
+TEST(FdmSolver, EnergyBalanceAtBoundaries) {
+  // In steady state the heat leaving through the Robin faces equals the
+  // injected power. Flux out = sum h_eff A (T_face - T_amb), with the
+  // half-cell conduction in series exactly as the solver discretizes it.
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 6);
+  const auto g = thermal::build_grid(c, pa, 12, 12);
+  thermal::FdmSolver::Options opt;
+  opt.tol = 1e-10;
+  const auto sol = thermal::FdmSolver(opt).solve(g);
+  ASSERT_TRUE(sol.converged);
+  const double a = g.dx * g.dy;
+  double out = 0.0;
+  for (int iy = 0; iy < g.ny; ++iy) {
+    for (int ix = 0; ix < g.nx; ++ix) {
+      {
+        const int iz = g.nz - 1;
+        const double k = g.k[static_cast<std::size_t>(g.cell(iz, iy, ix))];
+        const double r = 0.5 * g.dz[static_cast<std::size_t>(iz)] / k + 1.0 / g.h_top;
+        out += (sol.temperature[static_cast<std::size_t>(g.cell(iz, iy, ix))] -
+                g.ambient) *
+               a / r;
+      }
+      {
+        const double k = g.k[static_cast<std::size_t>(g.cell(0, iy, ix))];
+        const double r = 0.5 * g.dz[0] / k + 1.0 / g.h_bottom;
+        out += (sol.temperature[static_cast<std::size_t>(g.cell(0, iy, ix))] -
+                g.ambient) *
+               a / r;
+      }
+    }
+  }
+  EXPECT_NEAR(out, pa.total(), 1e-3 * pa.total());
+}
+
+TEST(FdmSolver, MonotoneInPower) {
+  // Doubling every block power doubles the temperature rise (linearity of
+  // the steady heat equation with linear BCs).
+  const auto c = chip::make_chip1();
+  auto pa = sample_power(c, 7);
+  const auto g1 = thermal::build_grid(c, pa, 10, 10);
+  auto pa2 = pa;
+  for (auto& layer : pa2.power) {
+    for (double& p : layer) p *= 2.0;
+  }
+  const auto g2 = thermal::build_grid(c, pa2, 10, 10);
+  thermal::FdmSolver solver;
+  const auto s1 = solver.solve(g1);
+  const auto s2 = solver.solve(g2);
+  const double rise1 = s1.max_temperature() - c.ambient;
+  const double rise2 = s2.max_temperature() - c.ambient;
+  EXPECT_NEAR(rise2, 2.0 * rise1, 1e-3 * rise2);
+}
+
+TEST(FdmSolver, HotspotSitsInHighestDensityBlock) {
+  // Put all power into one core block: the lateral argmax of the core
+  // layer temperature must fall inside that block's rectangle.
+  const auto c = chip::make_chip1();
+  chip::PowerAssignment pa;
+  pa.power.resize(c.layers.size());
+  pa.power[0] = {1e-6, 1e-6, 1e-6};         // cache layer: negligible
+  pa.power[1] = {80.0, 1e-6, 1e-6, 1e-6};   // everything in "Core"
+  const int res = 16;
+  const auto g = thermal::build_grid(c, pa, res, res);
+  const auto sol = thermal::FdmSolver().solve(g);
+  const auto map = sol.layer_map(g, 1);
+  int best = 0;
+  for (int i = 1; i < res * res; ++i) {
+    if (map[static_cast<std::size_t>(i)] > map[static_cast<std::size_t>(best)]) best = i;
+  }
+  const double y = (best / res + 0.5) / res;
+  const double x = (best % res + 0.5) / res;
+  const auto* core = c.layers[1].floorplan.find("Core");
+  ASSERT_NE(core, nullptr);
+  EXPECT_GE(x, core->x);
+  EXPECT_LE(x, core->x + core->w);
+  EXPECT_GE(y, core->y);
+  EXPECT_LE(y, core->h + core->y);
+}
+
+TEST(FdmSolver, RefinedMeshAgreesWithCoarse) {
+  // The refine=2 "COMSOL" mesh must agree with the production mesh within
+  // discretization error (~tenths of a kelvin), mirroring Table IV where
+  // COMSOL and MTA differ by < 0.2 K.
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 8);
+  thermal::FdmSolver solver;
+  const auto s1 = solver.solve(thermal::build_grid(c, pa, 12, 12, 1));
+  const auto s2 = solver.solve(thermal::build_grid(c, pa, 12, 12, 2));
+  EXPECT_NEAR(s1.max_temperature(), s2.max_temperature(), 0.8);
+  EXPECT_NEAR(s1.min_temperature(), s2.min_temperature(), 0.8);
+}
+
+TEST(FdmSolver, LayerMapShapeAndRange) {
+  const auto c = chip::make_chip3();
+  const auto pa = sample_power(c, 9);
+  const auto g = thermal::build_grid(c, pa, 14, 14);
+  const auto sol = thermal::FdmSolver().solve(g);
+  const auto map = sol.layer_map(g, 1);
+  EXPECT_EQ(map.size(), 14u * 14u);
+  for (float t : map) {
+    EXPECT_GT(t, c.ambient);
+    EXPECT_LT(t, 600.0);  // sanity: no runaway temperatures
+  }
+}
+
+TEST(FdmSolver, NoEscapePathIsRejected) {
+  auto c = chip::make_chip1();
+  c.h_top = 0.0;
+  c.h_bottom = 0.0;
+  const auto pa = sample_power(c, 10);
+  const auto g = thermal::build_grid(c, pa, 8, 8);
+  EXPECT_THROW(thermal::FdmSolver().solve(g), std::runtime_error);
+}
+
+class RcAllChipsP : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RcAllChipsP, CompactRcSanityAndHotspotBias) {
+  const auto c = chip::chip_by_name(GetParam());
+  const auto pa = sample_power(c, 11);
+  thermal::CompactRcSolver rc(c);
+  const auto res = rc.solve(pa);
+  EXPECT_GT(res.blocks.size(), 3u);
+  EXPECT_GT(res.min_temperature(), c.ambient);
+  EXPECT_GT(res.max_temperature(), res.min_temperature());
+
+  // The paper's Table IV: HotSpot reads systematically HOTTER than the
+  // field solvers. Verify the bias direction against our FDM solver.
+  const auto g = thermal::build_grid(c, pa, 16, 16);
+  const auto fdm = thermal::FdmSolver().solve(g);
+  EXPECT_GT(res.max_temperature(), fdm.max_temperature() - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chips, RcAllChipsP,
+                         ::testing::Values("chip1", "chip2", "chip3"));
+
+TEST(CompactRc, GridModeMatchesBlockModeBias) {
+  // Grid mode shares block mode's derated sink, so both read hotter than
+  // the field solver; grid mode resolves intra-block structure, so its
+  // max is at least the neighbourhood of block mode's.
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 21);
+  thermal::CompactRcSolver rc(c);
+  const auto block = rc.solve(pa);
+  const auto grid = rc.solve_grid(pa, 12);
+  EXPECT_TRUE(grid.converged);
+  EXPECT_GT(grid.iterations, 0);
+  EXPECT_GT(grid.min_temperature, c.ambient);
+  EXPECT_GT(grid.max_temperature, block.max_temperature() - 2.0);
+  // Both biased above the field solver.
+  const auto fdm =
+      thermal::FdmSolver().solve(thermal::build_grid(c, pa, 12, 12));
+  EXPECT_GT(grid.max_temperature, fdm.max_temperature());
+}
+
+TEST(CompactRc, GridModeRejectsTinyGrid) {
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 22);
+  thermal::CompactRcSolver rc(c);
+  EXPECT_THROW(rc.solve_grid(pa, 2), std::runtime_error);
+}
+
+TEST(CompactRc, MoreCorePowerRaisesCoreBlock) {
+  const auto c = chip::make_chip1();
+  chip::PowerAssignment pa;
+  pa.power.resize(c.layers.size());
+  pa.power[0] = {5.0, 5.0, 5.0};
+  pa.power[1] = {10.0, 2.0, 2.0, 5.0};
+  thermal::CompactRcSolver rc(c);
+  const auto base = rc.solve(pa);
+  auto hot = pa;
+  hot.power[1][0] = 40.0;  // crank the core
+  const auto hotter = rc.solve(hot);
+  double base_core = 0, hot_core = 0;
+  for (const auto& b : base.blocks) {
+    if (b.name == "Core") base_core = b.temperature;
+  }
+  for (const auto& b : hotter.blocks) {
+    if (b.name == "Core") hot_core = b.temperature;
+  }
+  EXPECT_GT(hot_core, base_core + 1.0);
+}
+
+}  // namespace
+}  // namespace saufno

@@ -1,0 +1,153 @@
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+#include "data/generator.h"
+#include "train/model_zoo.h"
+#include "train/transfer.h"
+
+namespace saufno {
+namespace {
+
+struct Fixture {
+  data::Dataset train_set, test_set;
+  data::Normalizer norm;
+};
+
+Fixture make_fixture(int n = 16, int res = 12) {
+  set_log_level(LogLevel::kWarn);
+  data::GenConfig cfg;
+  cfg.resolution = res;
+  cfg.n_samples = n;
+  cfg.seed = 4242;
+  cfg.cache = false;
+  auto d = data::generate_dataset(chip::make_chip1(), cfg);
+  Fixture f;
+  auto [tr, te] = d.split(d.size() * 3 / 4);
+  f.train_set = std::move(tr);
+  f.test_set = std::move(te);
+  f.norm = data::Normalizer::fit(f.train_set, 2);
+  return f;
+}
+
+train::TrainConfig fast_cfg(int epochs = 6) {
+  train::TrainConfig c;
+  c.epochs = epochs;
+  c.batch_size = 4;
+  c.lr = 2e-3;
+  c.seed = 7;
+  return c;
+}
+
+TEST(Trainer, LossDecreasesOnSmallFno) {
+  auto f = make_fixture();
+  auto model = train::make_model("FNO", 4, 2, 1);
+  train::Trainer tr(*model, f.norm, fast_cfg(8));
+  const auto report = tr.fit(f.train_set);
+  ASSERT_EQ(report.epoch_loss.size(), 8u);
+  EXPECT_LT(report.final_loss(), 0.6 * report.epoch_loss.front());
+  EXPECT_GT(report.seconds, 0.0);
+}
+
+TEST(Trainer, EvaluateProducesFiniteKelvinMetrics) {
+  auto f = make_fixture();
+  auto model = train::make_model("FNO", 4, 2, 2);
+  train::Trainer tr(*model, f.norm, fast_cfg(4));
+  tr.fit(f.train_set);
+  const auto m = tr.evaluate(f.test_set);
+  EXPECT_GT(m.rmse, 0.0);
+  EXPECT_LT(m.rmse, 100.0);
+  EXPECT_GE(m.max_err, 0.0);
+  EXPECT_GE(m.pape, m.mape - 1e-12);  // the peak bounds the mean
+}
+
+TEST(Trainer, TrainingBeatsUntrainedBaseline) {
+  auto f = make_fixture(20);
+  auto untrained = train::make_model("FNO", 4, 2, 3);
+  auto trained = train::make_model("FNO", 4, 2, 3);
+  train::Trainer t0(*untrained, f.norm, fast_cfg(0));
+  train::Trainer t1(*trained, f.norm, fast_cfg(10));
+  t1.fit(f.train_set);
+  const auto m0 = t0.evaluate(f.test_set);
+  const auto m1 = t1.evaluate(f.test_set);
+  EXPECT_LT(m1.rmse, m0.rmse);
+}
+
+TEST(Trainer, PredictShapeAndDecodedRange) {
+  auto f = make_fixture();
+  auto model = train::make_model("FNO", 4, 2, 4);
+  train::Trainer tr(*model, f.norm, fast_cfg(6));
+  tr.fit(f.train_set);
+  Tensor pred = tr.predict(f.test_set.inputs);
+  EXPECT_EQ(pred.shape(), f.test_set.targets.shape());
+  // Decoded predictions live near the kelvin range of the data.
+  EXPECT_GT(mean_all(pred), 300.f);
+  EXPECT_LT(mean_all(pred), 450.f);
+}
+
+TEST(Trainer, TimeInferenceIsPositiveAndSmall) {
+  auto f = make_fixture(8);
+  auto model = train::make_model("FNO", 4, 2, 5);
+  train::Trainer tr(*model, f.norm, fast_cfg(1));
+  const double sec = tr.time_inference(f.test_set.inputs, 2);
+  EXPECT_GT(sec, 0.0);
+  EXPECT_LT(sec, 5.0);
+}
+
+TEST(Transfer, PipelineRunsAndKeepsAccuracy) {
+  set_log_level(LogLevel::kWarn);
+  // Low fidelity: coarse grid; high fidelity: finer grid, fewer samples.
+  data::GenConfig lo_cfg;
+  lo_cfg.resolution = 10;
+  lo_cfg.n_samples = 16;
+  lo_cfg.seed = 11;
+  lo_cfg.cache = false;
+  data::GenConfig hi_cfg;
+  hi_cfg.resolution = 16;
+  hi_cfg.n_samples = 6;
+  hi_cfg.seed = 12;
+  hi_cfg.cache = false;
+  const auto spec = chip::make_chip1();
+  auto lo = data::generate_dataset(spec, lo_cfg);
+  auto hi = data::generate_dataset(spec, hi_cfg);
+  auto [hi_train, hi_test] = hi.split(4);
+
+  const auto norm = data::Normalizer::fit(lo, 2);
+  auto model = train::make_model("FNO", 4, 2, 21);
+
+  train::TransferConfig tc = train::TransferConfig::defaults();
+  tc.pretrain = fast_cfg(6);
+  tc.finetune = fast_cfg(3);
+  tc.finetune.lr = tc.pretrain.lr / 10;
+  const auto report =
+      train::transfer_train(*model, norm, lo, hi_train, tc);
+  EXPECT_EQ(report.pretrain.epoch_loss.size(), 6u);
+  EXPECT_EQ(report.finetune.epoch_loss.size(), 3u);
+  EXPECT_GT(report.total_seconds(), 0.0);
+
+  // The fine-tuned model must beat an untrained one on the high-fidelity
+  // test split (basic sanity that transfer actually learned).
+  train::Trainer eval_tr(*model, norm, fast_cfg(0));
+  auto fresh = train::make_model("FNO", 4, 2, 22);
+  train::Trainer fresh_tr(*fresh, norm, fast_cfg(0));
+  EXPECT_LT(eval_tr.evaluate(hi_test).rmse, fresh_tr.evaluate(hi_test).rmse);
+}
+
+TEST(TransferConfig, DefaultsFollowPaperRatios) {
+  const auto c = train::TransferConfig::defaults();
+  EXPECT_NEAR(c.finetune.lr, c.pretrain.lr / 10.0, 1e-12);
+  EXPECT_LE(c.finetune.epochs, c.pretrain.epochs);
+}
+
+TEST(Trainer, EmptyTrainingSetThrows) {
+  auto f = make_fixture(8);
+  auto model = train::make_model("FNO", 4, 2, 30);
+  train::Trainer tr(*model, f.norm, fast_cfg(1));
+  data::Dataset empty;
+  EXPECT_THROW(tr.fit(empty), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace saufno

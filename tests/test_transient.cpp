@@ -1,0 +1,153 @@
+#include "thermal/transient.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "chip/chips.h"
+
+namespace saufno {
+namespace {
+
+chip::PowerAssignment sample_power(const chip::ChipSpec& c,
+                                   std::uint64_t seed) {
+  chip::PowerGenerator gen(c);
+  Rng rng(seed);
+  return gen.sample(rng);
+}
+
+TEST(Transient, HeatingCurveIsMonotoneFromAmbient) {
+  // Power step from ambient: the junction temperature must rise
+  // monotonically toward the steady state (no oscillation — implicit
+  // Euler on an SPD system is L-stable).
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 1);
+  const auto g = thermal::build_grid(c, pa, 10, 10);
+  thermal::TransientSolver::Options opt;
+  opt.dt = 2e-3;
+  opt.steps = 30;
+  const auto res = thermal::TransientSolver(opt).solve(g);
+  ASSERT_EQ(res.max_temperature_history.size(), 30u);
+  for (std::size_t i = 1; i < res.max_temperature_history.size(); ++i) {
+    EXPECT_GE(res.max_temperature_history[i],
+              res.max_temperature_history[i - 1] - 1e-9);
+  }
+  EXPECT_GT(res.max_temperature_history.front(), c.ambient);
+}
+
+TEST(Transient, RelaxesToSteadyState) {
+  // Long integration converges to the FdmSolver solution — the transient
+  // operator's fixed point IS the steady problem.
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 2);
+  const auto g = thermal::build_grid(c, pa, 8, 8);
+  const auto steady = thermal::FdmSolver().solve(g);
+
+  thermal::TransientSolver::Options opt;
+  opt.dt = 0.2;  // large steps: implicit Euler is unconditionally stable
+  opt.steps = 200;
+  const auto res = thermal::TransientSolver(opt).solve(g);
+  EXPECT_NEAR(res.final_state.max_temperature(), steady.max_temperature(),
+              0.05);
+  double max_diff = 0;
+  for (std::size_t i = 0; i < steady.temperature.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(res.final_state.temperature[i] -
+                                  steady.temperature[i]));
+  }
+  EXPECT_LT(max_diff, 0.1);
+}
+
+TEST(Transient, CoolingFromHotStartDecays) {
+  // Power-off cooldown from a hot uniform start: with q = 0 the maximum
+  // principle guarantees a monotone decay toward ambient.
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 3);
+  auto g = thermal::build_grid(c, pa, 8, 8);
+  for (auto& q : g.q) q = 0.0;  // chip switched off
+  thermal::TransientSolver::Options opt;
+  opt.dt = 5e-3;
+  opt.steps = 20;
+  const auto res = thermal::TransientSolver(opt).solve(g, /*initial_K=*/500.0);
+  for (std::size_t i = 1; i < res.max_temperature_history.size(); ++i) {
+    EXPECT_LE(res.max_temperature_history[i],
+              res.max_temperature_history[i - 1] + 1e-9);
+  }
+}
+
+TEST(Transient, SmallerTimeStepTracksSlowerRise) {
+  // After the same wall-clock window the temperature must be (almost)
+  // independent of dt — consistency of the integrator. Compare T(40 ms)
+  // computed with dt = 4 ms vs dt = 2 ms.
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 4);
+  const auto g = thermal::build_grid(c, pa, 8, 8);
+  thermal::TransientSolver::Options coarse;
+  coarse.dt = 4e-3;
+  coarse.steps = 10;
+  thermal::TransientSolver::Options fine;
+  fine.dt = 2e-3;
+  fine.steps = 20;
+  const auto a = thermal::TransientSolver(coarse).solve(g);
+  const auto b = thermal::TransientSolver(fine).solve(g);
+  // First-order method: agreement to a few percent of the rise.
+  const double rise = a.final_state.max_temperature() - c.ambient;
+  EXPECT_NEAR(a.final_state.max_temperature(),
+              b.final_state.max_temperature(), 0.1 * rise + 0.05);
+}
+
+TEST(Transient, ThermalTimeConstantIsPhysical) {
+  // The stack's dominant RC time constant: tau = C_total * R_total. With
+  // Table I's capacities and our h_top, tau is tens of milliseconds —
+  // check the step response reaches ~63% of the final rise within a
+  // factor-of-5 band of that estimate. Guards against unit slips (mm vs m,
+  // J vs kJ) that a pure convergence test would not catch.
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 5);
+  const auto g = thermal::build_grid(c, pa, 8, 8);
+  const auto steady = thermal::FdmSolver().solve(g);
+  const double rise_inf = steady.max_temperature() - c.ambient;
+
+  // Analytic estimate.
+  double c_total = 0, r_total;
+  {
+    double area = c.die_w * c.die_h;
+    for (const auto& l : c.layers) {
+      c_total += l.material.heat_capacity * l.thickness * area;
+    }
+    r_total = 1.0 / (c.h_top * area);
+    for (const auto& l : c.layers) {
+      r_total += 0.5 * l.thickness / (l.material.conductivity * area);
+    }
+  }
+  const double tau = c_total * r_total;
+
+  thermal::TransientSolver::Options opt;
+  opt.dt = tau / 20;
+  opt.steps = 200;
+  const auto res = thermal::TransientSolver(opt).solve(g);
+  // Find the time where the rise crosses 63.2% of final.
+  int cross = -1;
+  for (std::size_t i = 0; i < res.max_temperature_history.size(); ++i) {
+    if (res.max_temperature_history[i] - c.ambient >= 0.632 * rise_inf) {
+      cross = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(cross, 0) << "never reached 63% of the steady rise";
+  const double t63 = (cross + 1) * opt.dt;
+  EXPECT_GT(t63, tau / 5);
+  EXPECT_LT(t63, tau * 5);
+}
+
+TEST(Transient, RejectsBadOptions) {
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 6);
+  const auto g = thermal::build_grid(c, pa, 6, 6);
+  thermal::TransientSolver::Options opt;
+  opt.dt = 0;
+  EXPECT_THROW(thermal::TransientSolver(opt).solve(g), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace saufno
