@@ -125,7 +125,7 @@ Var maxpool2d(const Var& x, int64_t kernel) {
                       argmax->data() + n * c * oh * ow, c, h, w, kernel,
                       kernel);
   }
-  if (!x.requires_grad()) return Var(std::move(out));
+  if (!should_record(x)) return Var(std::move(out));
   auto node = std::make_shared<Node>();
   node->name = "maxpool2d";
   node->inputs.push_back(x.impl());

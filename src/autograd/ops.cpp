@@ -77,7 +77,7 @@ Var div(const Var& a, const Var& b) {
 
 Var add_scalar(const Var& a, float s) {
   Tensor out = saufno::add_scalar(a.value(), s);
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("add_scalar", {a});
   auto ia = a.impl();
   node->backward = [ia](const Tensor& g) { accumulate_grad(ia, g); };
@@ -86,7 +86,7 @@ Var add_scalar(const Var& a, float s) {
 
 Var mul_scalar(const Var& a, float s) {
   Tensor out = saufno::mul_scalar(a.value(), s);
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("mul_scalar", {a});
   auto ia = a.impl();
   node->backward = [ia, s](const Tensor& g) {
@@ -102,7 +102,7 @@ namespace {
 template <typename FwdF, typename GradF>
 Var unary_op(const char* name, const Var& a, FwdF fwd, GradF grad_of_input) {
   Tensor out = fwd(a.value());
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node(name, {a});
   auto ia = a.impl();
   node->backward = [ia, grad_of_input](const Tensor& g) {
@@ -189,7 +189,7 @@ Var abs(const Var& a) {
 
 Var reshape(const Var& a, Shape new_shape) {
   Tensor out = a.value().reshape(std::move(new_shape));
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("reshape", {a});
   auto ia = a.impl();
   const Shape in_shape = a.shape();
@@ -203,7 +203,7 @@ Var reshape(const Var& a, Shape new_shape) {
 
 Var permute(const Var& a, const std::vector<int64_t>& perm) {
   Tensor out = saufno::permute(a.value(), perm);
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("permute", {a});
   auto ia = a.impl();
   std::vector<int64_t> inv(perm.size());
@@ -218,7 +218,7 @@ Var permute(const Var& a, const std::vector<int64_t>& perm) {
 
 Var slice(const Var& a, int64_t dim, int64_t start, int64_t length) {
   Tensor out = saufno::slice(a.value(), dim, start, length);
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("slice", {a});
   auto ia = a.impl();
   const Shape in_shape = a.shape();
@@ -270,7 +270,7 @@ Var cat(const std::vector<Var>& vs, int64_t dim) {
 Var pad2d(const Var& a, int64_t top, int64_t bottom, int64_t left,
           int64_t right) {
   Tensor out = saufno::pad2d(a.value(), top, bottom, left, right);
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("pad2d", {a});
   auto ia = a.impl();
   const int64_t rank = a.value().dim();
@@ -325,7 +325,7 @@ Var bmm(const Var& a, const Var& b) {
 
 Var sum_all(const Var& a) {
   Tensor out({1}, {saufno::sum_all(a.value())});
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("sum_all", {a});
   auto ia = a.impl();
   node->backward = [ia](const Tensor& g) {
@@ -341,7 +341,7 @@ Var mean_all(const Var& a) {
 
 Var sum_dim(const Var& a, int64_t dim, bool keepdim) {
   Tensor out = saufno::sum_dim(a.value(), dim, keepdim);
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("sum_dim", {a});
   auto ia = a.impl();
   const int64_t rank = a.value().dim();
@@ -367,7 +367,7 @@ Var sum_dim(const Var& a, int64_t dim, bool keepdim) {
 
 Var softmax_lastdim(const Var& a) {
   Tensor out = saufno::softmax_lastdim(a.value());
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("softmax", {a});
   auto ia = a.impl();
   Tensor s = out;  // keep the softmax output for the backward rule
@@ -383,7 +383,7 @@ Var softmax_lastdim(const Var& a) {
 
 Var resize_bilinear(const Var& a, int64_t oh, int64_t ow) {
   Tensor out = saufno::resize_bilinear(a.value(), oh, ow);
-  if (!a.requires_grad()) return Var(std::move(out));
+  if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("resize_bilinear", {a});
   auto ia = a.impl();
   const int64_t rank = a.value().dim();

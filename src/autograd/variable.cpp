@@ -22,6 +22,14 @@ void accumulate_grad(const std::shared_ptr<VarImpl>& impl, const Tensor& g) {
 
 }  // namespace detail
 
+namespace {
+thread_local bool tl_grad_enabled = true;
+}  // namespace
+
+bool GradMode::enabled() { return tl_grad_enabled; }
+
+void GradMode::set_enabled(bool enabled) { tl_grad_enabled = enabled; }
+
 Var::Var() = default;
 
 Var::Var(Tensor value, bool requires_grad)
@@ -117,6 +125,7 @@ Var Var::from_op(Tensor value, std::shared_ptr<detail::Node> node) {
 }
 
 bool any_requires_grad(const std::vector<Var>& vars) {
+  if (!GradMode::enabled()) return false;
   for (const auto& v : vars) {
     if (v.requires_grad()) return true;
   }

@@ -42,6 +42,34 @@ void accumulate_grad(const std::shared_ptr<VarImpl>& impl, const Tensor& g);
 
 }  // namespace detail
 
+/// Thread-local autograd switch. While disabled, every op behaves as if no
+/// input required a gradient: values are computed with the same kernels but
+/// no Node is recorded and no input handles are retained. Vars themselves
+/// keep reporting their own requires_grad flag (so parameter registration
+/// and optimizers see the true flag, as in torch.no_grad()); only the
+/// record/don't-record decision consults the mode, via should_record /
+/// any_requires_grad. The inference engine wraps each batched forward in a
+/// NoGradGuard so serving never pays for (or leaks) tape construction.
+/// Per-thread on purpose: a training loop and a serving thread can coexist
+/// in one process.
+class GradMode {
+ public:
+  static bool enabled();
+  static void set_enabled(bool enabled);
+};
+
+/// RAII scope that disables gradient recording on the current thread.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradMode::enabled()) { GradMode::set_enabled(false); }
+  ~NoGradGuard() { GradMode::set_enabled(prev_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Differentiable tensor handle (the "torch.Tensor with requires_grad" of
 /// this library). Copying a Var is O(1) and shares value, grad and graph.
 ///
@@ -87,7 +115,13 @@ class Var {
   std::shared_ptr<detail::VarImpl> impl_;
 };
 
-/// True if any input requires grad (i.e. the op must record a node).
+/// True if the op must record a node: grad mode enabled AND some input
+/// requires grad.
 bool any_requires_grad(const std::vector<Var>& vars);
+
+/// Single-input variant of the recording decision (avoids a vector).
+inline bool should_record(const Var& v) {
+  return GradMode::enabled() && v.requires_grad();
+}
 
 }  // namespace saufno

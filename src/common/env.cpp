@@ -1,7 +1,10 @@
 #include "common/env.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/logging.h"
 
 namespace saufno {
 
@@ -21,6 +24,25 @@ int env_int(const char* name, int fallback) {
   char* end = nullptr;
   const long parsed = std::strtol(v, &end, 10);
   if (end == v || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+int env_int_in_range(const char* name, int fallback, int lo, int hi) {
+  fallback = std::min(std::max(fallback, lo), hi);
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') {
+    SAUFNO_WARN << name << "=\"" << v << "\" is not an integer; using "
+                << fallback;
+    return fallback;
+  }
+  if (parsed < lo || parsed > hi) {
+    SAUFNO_WARN << name << "=" << parsed << " outside [" << lo << ", " << hi
+                << "]; using " << fallback;
+    return fallback;
+  }
   return static_cast<int>(parsed);
 }
 

@@ -19,6 +19,12 @@ const char* scale_name(Scale s);
 /// Integer environment override helper: returns `fallback` when unset/bad.
 int env_int(const char* name, int fallback);
 
+/// Range-validated integer environment override — the single parser for
+/// runtime knobs (SAUFNO_NUM_THREADS, batching limits, ...). Malformed or
+/// out-of-range values log a warning and fall back; `fallback` itself is
+/// clamped into [lo, hi] so callers cannot smuggle a bad default through.
+int env_int_in_range(const char* name, int fallback, int lo, int hi);
+
 /// Pick `smoke_v` or `paper_v` according to bench_scale().
 int scaled(int smoke_v, int paper_v);
 

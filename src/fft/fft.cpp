@@ -1,8 +1,10 @@
 #include "fft/fft.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "runtime/parallel_for.h"
 
 namespace saufno {
 namespace {
@@ -101,36 +103,46 @@ void fft_1d(cfloat* x, int64_t n, bool inverse) {
 }
 
 void fft_2d(cfloat* x, int64_t batch, int64_t h, int64_t w, bool inverse) {
-  std::vector<cfloat> col(static_cast<std::size_t>(h));
-  for (int64_t b = 0; b < batch; ++b) {
-    cfloat* plane = x + b * h * w;
-    for (int64_t i = 0; i < h; ++i) fft_1d(plane + i * w, w, inverse);
-    for (int64_t j = 0; j < w; ++j) {
-      for (int64_t i = 0; i < h; ++i) col[static_cast<std::size_t>(i)] = plane[i * w + j];
-      fft_1d(col.data(), h, inverse);
-      for (int64_t i = 0; i < h; ++i) plane[i * w + j] = col[static_cast<std::size_t>(i)];
+  // The batch axis is the parallel seam: each [h, w] plane is transformed
+  // independently by one chunk (its own column gather buffer), so results
+  // are bit-identical for any thread count. The spectral layers batch all
+  // B*C channel planes into one call, which is what makes this pay off.
+  const int64_t grain = std::max<int64_t>(1, 2048 / std::max<int64_t>(1, h * w));
+  runtime::parallel_for(0, batch, grain, [&](int64_t b0, int64_t b1) {
+    std::vector<cfloat> col(static_cast<std::size_t>(h));
+    for (int64_t b = b0; b < b1; ++b) {
+      cfloat* plane = x + b * h * w;
+      for (int64_t i = 0; i < h; ++i) fft_1d(plane + i * w, w, inverse);
+      for (int64_t j = 0; j < w; ++j) {
+        for (int64_t i = 0; i < h; ++i) col[static_cast<std::size_t>(i)] = plane[i * w + j];
+        fft_1d(col.data(), h, inverse);
+        for (int64_t i = 0; i < h; ++i) plane[i * w + j] = col[static_cast<std::size_t>(i)];
+      }
     }
-  }
+  });
 }
 
 void fft_3d(cfloat* x, int64_t batch, int64_t d, int64_t h, int64_t w,
             bool inverse) {
-  // Planes first (h, w), then 1-D transforms along the depth axis.
+  // Planes first (h, w), then 1-D transforms along the depth axis. Each
+  // volume's depth pass is independent, so volumes parallelize like planes.
   fft_2d(x, batch * d, h, w, inverse);
-  std::vector<cfloat> line(static_cast<std::size_t>(d));
   const int64_t plane = h * w;
-  for (int64_t b = 0; b < batch; ++b) {
-    cfloat* vol = x + b * d * plane;
-    for (int64_t p = 0; p < plane; ++p) {
-      for (int64_t iz = 0; iz < d; ++iz) {
-        line[static_cast<std::size_t>(iz)] = vol[iz * plane + p];
-      }
-      fft_1d(line.data(), d, inverse);
-      for (int64_t iz = 0; iz < d; ++iz) {
-        vol[iz * plane + p] = line[static_cast<std::size_t>(iz)];
+  runtime::parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    std::vector<cfloat> line(static_cast<std::size_t>(d));
+    for (int64_t b = b0; b < b1; ++b) {
+      cfloat* vol = x + b * d * plane;
+      for (int64_t p = 0; p < plane; ++p) {
+        for (int64_t iz = 0; iz < d; ++iz) {
+          line[static_cast<std::size_t>(iz)] = vol[iz * plane + p];
+        }
+        fft_1d(line.data(), d, inverse);
+        for (int64_t iz = 0; iz < d; ++iz) {
+          vol[iz * plane + p] = line[static_cast<std::size_t>(iz)];
+        }
       }
     }
-  }
+  });
 }
 
 std::vector<cfloat> fft_2d_real(const float* x, int64_t h, int64_t w) {

@@ -1,0 +1,158 @@
+#include "runtime/inference_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+#include "train/model_zoo.h"
+
+namespace saufno {
+namespace runtime {
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(std::shared_ptr<nn::Module> model, Config cfg)
+    : model_(std::move(model)), cfg_(cfg) {
+  SAUFNO_CHECK(model_ != nullptr, "InferenceEngine needs a model");
+  SAUFNO_CHECK(cfg_.max_batch >= 1, "max_batch must be >= 1");
+  SAUFNO_CHECK(cfg_.max_wait_us >= 0, "max_wait_us must be >= 0");
+  model_->set_training(false);
+  started_at_ = std::chrono::steady_clock::now();
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+std::unique_ptr<InferenceEngine> InferenceEngine::from_zoo(
+    const std::string& model_name, int64_t in_channels, int64_t out_channels,
+    std::uint64_t seed, const std::string& checkpoint, Config cfg) {
+  auto model =
+      train::make_model(model_name, in_channels, out_channels, seed);
+  if (!checkpoint.empty()) {
+    nn::load_checkpoint(*model, checkpoint);
+  }
+  return std::make_unique<InferenceEngine>(std::move(model), cfg);
+}
+
+InferenceEngine::~InferenceEngine() { stop(); }
+
+std::future<Tensor> InferenceEngine::submit(Tensor power_map) {
+  SAUFNO_CHECK(!stopped_.load(), "submit() after stop()");
+  SAUFNO_CHECK(power_map.dim() == 3,
+               "submit expects a [C, H, W] field, got " +
+                   shape_str(power_map.shape()));
+  InferenceRequest req;
+  req.input = std::move(power_map);
+  req.enqueued_at = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = req.result.get_future();
+  // push() refuses after shutdown, closing the submit/stop race: either the
+  // batcher will serve this request, or the caller gets an error here.
+  SAUFNO_CHECK(queue_.push(std::move(req)), "submit() raced with stop()");
+  return fut;
+}
+
+void InferenceEngine::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.shutdown();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+void InferenceEngine::batcher_loop() {
+  for (;;) {
+    std::vector<InferenceRequest> batch = queue_.pop_batch(
+        static_cast<std::size_t>(cfg_.max_batch), cfg_.max_wait_us);
+    if (batch.empty()) return;  // shutdown + drained
+    serve_batch(std::move(batch));
+  }
+}
+
+void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
+  const int64_t bsz = static_cast<int64_t>(batch.size());
+  const Shape& in_shape = batch.front().input.shape();  // [C, H, W]
+  const int64_t sample = numel_of(in_shape);
+  const int64_t padded = cfg_.pad_to_full_batch ? cfg_.max_batch : bsz;
+
+  Tensor stacked({padded, in_shape[0], in_shape[1], in_shape[2]});
+  for (int64_t i = 0; i < bsz; ++i) {
+    std::memcpy(stacked.data() + i * sample, batch[static_cast<std::size_t>(i)].input.data(),
+                sizeof(float) * static_cast<std::size_t>(sample));
+  }
+
+  try {
+    // No tape: serving forwards must not retain graph nodes or grads.
+    NoGradGuard no_grad;
+    Var out = model_->forward(Var(std::move(stacked)));
+    const Shape& os = out.shape();  // [padded, C_out, H, W]
+    SAUFNO_CHECK(os.size() == 4 && os[0] == padded,
+                 "model returned unexpected shape " + shape_str(os));
+    const Shape result_shape{os[1], os[2], os[3]};
+    const int64_t out_sample = numel_of(result_shape);
+    // Record stats BEFORE fulfilling promises so a caller that observes its
+    // future ready also observes this batch in stats().
+    {
+      const auto now = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lk(stats_m_);
+      batches_ += 1;
+      requests_done_ += bsz;
+      for (const auto& req : batch) {
+        const double ms =
+            std::chrono::duration<double, std::milli>(now - req.enqueued_at)
+                .count();
+        if (latencies_ms_.size() < kLatencyWindow) {
+          latencies_ms_.push_back(ms);
+        } else {
+          latencies_ms_[latency_next_] = ms;
+        }
+        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      }
+    }
+    for (int64_t i = 0; i < bsz; ++i) {
+      Tensor result(result_shape);
+      std::memcpy(result.data(), out.value().data() + i * out_sample,
+                  sizeof(float) * static_cast<std::size_t>(out_sample));
+      batch[static_cast<std::size_t>(i)].result.set_value(std::move(result));
+    }
+  } catch (...) {
+    const std::exception_ptr e = std::current_exception();
+    {
+      std::lock_guard<std::mutex> lk(stats_m_);
+      batches_ += 1;
+      requests_done_ += bsz;
+    }
+    for (auto& req : batch) req.result.set_exception(e);
+  }
+}
+
+InferenceStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lk(stats_m_);
+  InferenceStats s;
+  s.requests = requests_done_;
+  s.batches = batches_;
+  s.avg_batch_size =
+      batches_ > 0 ? static_cast<double>(requests_done_) / batches_ : 0.0;
+  s.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started_at_)
+                       .count();
+  s.throughput_rps =
+      s.wall_seconds > 0.0 ? static_cast<double>(requests_done_) / s.wall_seconds : 0.0;
+  std::vector<double> sorted = latencies_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  s.latency_p50_ms = percentile(sorted, 0.50);
+  s.latency_p95_ms = percentile(sorted, 0.95);
+  s.latency_p99_ms = percentile(sorted, 0.99);
+  s.latency_max_ms = sorted.empty() ? 0.0 : sorted.back();
+  return s;
+}
+
+}  // namespace runtime
+}  // namespace saufno

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/module.h"
+#include "runtime/request_queue.h"
+
+namespace saufno {
+namespace runtime {
+
+/// Serving-side throughput/latency counters. Latency is measured from
+/// submit() to promise fulfilment, i.e. it includes queueing + batching
+/// wait, which is what a caller actually experiences. Percentiles are over
+/// the most recent completions (a bounded window, see kLatencyWindow).
+struct InferenceStats {
+  int64_t requests = 0;
+  int64_t batches = 0;
+  double avg_batch_size = 0.0;
+  double wall_seconds = 0.0;     // since engine construction
+  double throughput_rps = 0.0;   // completed requests / wall_seconds
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+};
+
+/// Batched inference engine: owns a frozen model and a batcher thread that
+/// coalesces concurrent `submit` calls into [B, C, H, W] forwards.
+///
+/// - Requests are [C, H, W] power-map fields; responses are the model's
+///   [C_out, H, W] temperature maps.
+/// - Batching: up to `max_batch` same-shape requests, waiting at most
+///   `max_wait_us` after the first request of a batch arrives. With
+///   `pad_to_full_batch` the batch dimension is zero-padded to `max_batch`
+///   so every forward sees one shape (useful when a backend JITs per shape;
+///   padding rows cost compute but never change real rows' results, since
+///   every kernel in this library is per-sample independent).
+/// - Every forward runs under NoGradGuard: no autograd tape is recorded.
+/// - Results are bit-identical to calling `model->forward` one sample at a
+///   time, whatever the batch composition or SAUFNO_NUM_THREADS.
+class InferenceEngine {
+ public:
+  struct Config {
+    int64_t max_batch = 8;
+    int64_t max_wait_us = 2000;
+    bool pad_to_full_batch = false;
+  };
+
+  /// Takes shared ownership of `model`, switches it to eval mode and starts
+  /// the batcher thread.
+  InferenceEngine(std::shared_ptr<nn::Module> model, Config cfg);
+
+  /// Build the model from the zoo (train::make_model) and, when `checkpoint`
+  /// is non-empty, load weights from a nn::save_checkpoint file.
+  static std::unique_ptr<InferenceEngine> from_zoo(
+      const std::string& model_name, int64_t in_channels, int64_t out_channels,
+      std::uint64_t seed, const std::string& checkpoint, Config cfg);
+
+  /// Drains pending requests, then stops the batcher.
+  ~InferenceEngine();
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Thread-safe async submission of one [C, H, W] input field.
+  std::future<Tensor> submit(Tensor power_map);
+
+  /// Stop accepting work and join the batcher (idempotent; the destructor
+  /// calls it). Pending requests are still served before it returns.
+  void stop();
+
+  InferenceStats stats() const;
+  const Config& config() const { return cfg_; }
+
+ private:
+  void batcher_loop();
+  void serve_batch(std::vector<InferenceRequest> batch);
+
+  std::shared_ptr<nn::Module> model_;
+  Config cfg_;
+  RequestQueue queue_;
+  std::thread batcher_;
+  std::atomic<bool> stopped_{false};
+
+  /// Percentiles are computed over a bounded ring of the most recent
+  /// completions so a long-lived server neither grows without bound nor
+  /// sorts millions of samples per stats() call.
+  static constexpr std::size_t kLatencyWindow = 8192;
+
+  mutable std::mutex stats_m_;
+  std::vector<double> latencies_ms_;   // ring buffer, capacity kLatencyWindow
+  std::size_t latency_next_ = 0;       // ring write cursor
+  int64_t batches_ = 0;
+  int64_t requests_done_ = 0;
+  std::chrono::steady_clock::time_point started_at_;
+};
+
+}  // namespace runtime
+}  // namespace saufno

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace saufno {
+namespace runtime {
+
+/// Chunked parallel loop over [begin, end). `fn(chunk_begin, chunk_end)` is
+/// invoked over consecutive chunks of exactly `grain` iterations (the last
+/// chunk may be short). Chunk boundaries depend only on `grain` — never on
+/// the thread count or on scheduling order — so a kernel that writes each
+/// output index from exactly one chunk, or a reduction that keeps one
+/// partial per chunk and combines them in chunk order, is bit-identical for
+/// every SAUFNO_NUM_THREADS. Chunks are claimed dynamically by the pool
+/// workers plus the calling thread; the call returns once all chunks have
+/// finished. The first exception thrown by `fn` is rethrown on the caller.
+///
+/// Nested calls (fn itself calling parallel_for) run sequentially on the
+/// calling thread: no deadlock, no oversubscription.
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn);
+
+/// Run independent tasks concurrently; returns when all have finished.
+void parallel_invoke(std::vector<std::function<void()>> fns);
+
+/// Deterministic parallel sum over [0, n): `chunk_sum(b, e)` returns the
+/// double partial for one grain-sized chunk; partials are combined in chunk
+/// order, so the result is identical for every thread count.
+double parallel_sum(int64_t n, int64_t grain,
+                    const std::function<double(int64_t, int64_t)>& chunk_sum);
+
+/// True while the calling thread is executing a parallel_for chunk (used by
+/// kernels that want different grain choices at top level vs nested).
+bool in_parallel_region();
+
+}  // namespace runtime
+}  // namespace saufno

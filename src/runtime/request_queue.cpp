@@ -1,0 +1,61 @@
+#include "runtime/request_queue.h"
+
+namespace saufno {
+namespace runtime {
+
+bool RequestQueue::push(InferenceRequest req) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (shutdown_) return false;  // batcher may already have drained + exited
+    q_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<InferenceRequest> RequestQueue::pop_batch(std::size_t max_batch,
+                                                      int64_t max_wait_us) {
+  if (max_batch < 1) max_batch = 1;
+  std::vector<InferenceRequest> batch;
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk, [this] { return shutdown_ || !q_.empty(); });
+  if (q_.empty()) return batch;  // shut down and drained
+
+  batch.push_back(std::move(q_.front()));
+  q_.pop_front();
+  const Shape& shape = batch.front().input.shape();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(max_wait_us);
+  while (batch.size() < max_batch) {
+    if (q_.empty()) {
+      if (shutdown_) break;
+      if (cv_.wait_until(lk, deadline, [this] {
+            return shutdown_ || !q_.empty();
+          })) {
+        if (q_.empty()) break;  // woken by shutdown
+      } else {
+        break;  // max_wait elapsed with a partial batch
+      }
+    }
+    if (q_.front().input.shape() != shape) break;  // next batch's head
+    batch.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return batch;
+}
+
+void RequestQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return q_.size();
+}
+
+}  // namespace runtime
+}  // namespace saufno

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace saufno {
+namespace runtime {
+
+/// One in-flight inference request: a [C, H, W] input field, the promise
+/// its caller is waiting on, and the enqueue timestamp used for latency
+/// percentiles.
+struct InferenceRequest {
+  Tensor input;
+  std::promise<Tensor> result;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+/// MPSC queue the batcher thread drains. `pop_batch` implements the
+/// coalescing policy: block for the first request, then keep collecting
+/// same-shape requests until the batch is full or `max_wait_us` has elapsed
+/// since the first one was taken. A request whose shape differs from the
+/// batch head is left at the front for the next batch, so mixed-resolution
+/// traffic still makes progress (in shape-homogeneous batches).
+class RequestQueue {
+ public:
+  /// Enqueue; returns false (without taking ownership of the promise's
+  /// consumer-side obligations) if the queue has already been shut down, so
+  /// a racing submit cannot strand a request with no batcher to serve it.
+  bool push(InferenceRequest req);
+
+  /// Collect up to `max_batch` same-shape requests. Returns an empty vector
+  /// only when the queue has been shut down and fully drained.
+  std::vector<InferenceRequest> pop_batch(std::size_t max_batch,
+                                          int64_t max_wait_us);
+
+  /// Wake the batcher; pop_batch keeps returning queued work until the
+  /// queue is empty, then returns empty batches.
+  void shutdown();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<InferenceRequest> q_;
+  bool shutdown_ = false;
+};
+
+}  // namespace runtime
+}  // namespace saufno

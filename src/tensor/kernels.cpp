@@ -3,25 +3,36 @@
 #include <algorithm>
 #include <cstring>
 
+#include "runtime/parallel_for.h"
+
 namespace saufno {
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
           int64_t k, bool accumulate) {
-  if (!accumulate) {
-    std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m * n));
-  }
-  // i-k-j order: c_row accumulates A[i,k] * B[k, :]; the inner loop is a
-  // contiguous saxpy that GCC auto-vectorizes.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    const float* arow = a + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.f) continue;  // power maps are block-sparse; worth a branch
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // Row-block partitioning: every output row is produced by exactly one
+  // chunk with the same sequential i-k-j body, so any thread count yields
+  // bit-identical C. Grain targets ~32k mul-adds per chunk so small gemms
+  // do not pay scheduling overhead.
+  const int64_t row_cost = std::max<int64_t>(1, n * k);
+  const int64_t grain = std::max<int64_t>(1, 32768 / row_cost);
+  runtime::parallel_for(0, m, grain, [&](int64_t r0, int64_t r1) {
+    if (!accumulate) {
+      std::memset(c + r0 * n, 0,
+                  sizeof(float) * static_cast<std::size_t>((r1 - r0) * n));
     }
-  }
+    // i-k-j order: c_row accumulates A[i,k] * B[k, :]; the inner loop is a
+    // contiguous saxpy that GCC auto-vectorizes.
+    for (int64_t i = r0; i < r1; ++i) {
+      float* crow = c + i * n;
+      const float* arow = a + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.f) continue;  // power maps are block-sparse; worth a branch
+        const float* brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  });
 }
 
 void im2col(const float* img, float* cols, int64_t c, int64_t h, int64_t w,
@@ -30,7 +41,10 @@ void im2col(const float* img, float* cols, int64_t c, int64_t h, int64_t w,
   const int64_t ow = conv_out_size(w, kw, stride, pad);
   const int64_t plane = oh * ow;
   // cols layout: [(ci*kh*kw + ki*kw + kj), (oi*ow + oj)]
-  for (int64_t ci = 0; ci < c; ++ci) {
+  // Channels write disjoint blocks of `cols`, so the channel loop is the
+  // natural deterministic parallel axis.
+  runtime::parallel_for(0, c, 1, [&](int64_t c0, int64_t c1) {
+  for (int64_t ci = c0; ci < c1; ++ci) {
     const float* src = img + ci * h * w;
     for (int64_t ki = 0; ki < kh; ++ki) {
       for (int64_t kj = 0; kj < kw; ++kj) {
@@ -51,6 +65,7 @@ void im2col(const float* img, float* cols, int64_t c, int64_t h, int64_t w,
       }
     }
   }
+  });
 }
 
 void col2im(const float* cols, float* img, int64_t c, int64_t h, int64_t w,
@@ -58,7 +73,10 @@ void col2im(const float* cols, float* img, int64_t c, int64_t h, int64_t w,
   const int64_t oh = conv_out_size(h, kh, stride, pad);
   const int64_t ow = conv_out_size(w, kw, stride, pad);
   const int64_t plane = oh * ow;
-  for (int64_t ci = 0; ci < c; ++ci) {
+  // Scatter-adds from different (ki, kj) taps overlap within a channel but
+  // never across channels, so channels are the safe parallel axis.
+  runtime::parallel_for(0, c, 1, [&](int64_t c0, int64_t c1) {
+  for (int64_t ci = c0; ci < c1; ++ci) {
     float* dst = img + ci * h * w;
     for (int64_t ki = 0; ki < kh; ++ki) {
       for (int64_t kj = 0; kj < kw; ++kj) {
@@ -74,13 +92,15 @@ void col2im(const float* cols, float* img, int64_t c, int64_t h, int64_t w,
       }
     }
   }
+  });
 }
 
 void maxpool2d(const float* img, float* out, int64_t* argmax, int64_t c,
                int64_t h, int64_t w, int64_t kernel, int64_t stride) {
   const int64_t oh = conv_out_size(h, kernel, stride, /*pad=*/0);
   const int64_t ow = conv_out_size(w, kernel, stride, /*pad=*/0);
-  for (int64_t ci = 0; ci < c; ++ci) {
+  runtime::parallel_for(0, c, 1, [&](int64_t c0, int64_t c1) {
+  for (int64_t ci = c0; ci < c1; ++ci) {
     const float* src = img + ci * h * w;
     float* dst = out + ci * oh * ow;
     int64_t* arg = argmax + ci * oh * ow;
@@ -103,6 +123,7 @@ void maxpool2d(const float* img, float* out, int64_t* argmax, int64_t c,
       }
     }
   }
+  });
 }
 
 void bilinear_resize_kernel(const float* src, float* dst, int64_t batch,
@@ -112,7 +133,11 @@ void bilinear_resize_kernel(const float* src, float* dst, int64_t batch,
   // o * (in-1)/(out-1); degenerate 1-pixel axes map to 0.
   const double sy = oh > 1 ? static_cast<double>(ih - 1) / (oh - 1) : 0.0;
   const double sx = ow > 1 ? static_cast<double>(iw - 1) / (ow - 1) : 0.0;
-  for (int64_t b = 0; b < batch; ++b) {
+  // Each plane (forward) / gradient plane (adjoint) is written by exactly
+  // one chunk; the adjoint's scatter-adds stay within its own plane.
+  const int64_t grain = std::max<int64_t>(1, 4096 / std::max<int64_t>(1, oh * ow));
+  runtime::parallel_for(0, batch, grain, [&](int64_t b0, int64_t b1) {
+  for (int64_t b = b0; b < b1; ++b) {
     const float* in_plane = src + b * (adjoint ? oh * ow : ih * iw);
     float* out_plane = dst + b * (adjoint ? ih * iw : oh * ow);
     for (int64_t oi = 0; oi < oh; ++oi) {
@@ -142,6 +167,7 @@ void bilinear_resize_kernel(const float* src, float* dst, int64_t batch,
       }
     }
   }
+  });
 }
 
 }  // namespace saufno

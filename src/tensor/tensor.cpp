@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "runtime/parallel_for.h"
 
 namespace saufno {
 
@@ -169,7 +170,11 @@ void Tensor::add_(const Tensor& other, float alpha) {
                    shape_str(other.shape_));
   float* p = data();
   const float* q = other.data();
-  for (int64_t i = 0; i < numel_; ++i) p[i] += alpha * q[i];
+  // Gradient accumulation and optimizer steps funnel through this axpy;
+  // disjoint chunks keep it bit-identical for any thread count.
+  runtime::parallel_for(0, numel_, 8192, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) p[i] += alpha * q[i];
+  });
 }
 
 void Tensor::mul_(float v) {

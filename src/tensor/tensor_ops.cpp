@@ -4,10 +4,16 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "runtime/parallel_for.h"
 #include "tensor/kernels.h"
 
 namespace saufno {
 namespace {
+
+/// Grain for flat elementwise loops: big enough that chunk dispatch is
+/// noise, small enough that the smoke-scale tensors (tens of thousands of
+/// elements) still split across threads.
+constexpr int64_t kElemwiseGrain = 8192;
 
 /// Iterate a broadcasted binary op. Shapes are right-aligned; a dim of 1
 /// broadcasts by using stride 0, exactly as in numpy.
@@ -31,13 +37,16 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b, F f) {
     }
   }
 
-  // Fast path: identical shapes -> single flat loop.
+  // Fast path: identical shapes -> single flat loop, split across threads
+  // (each output index is written by exactly one chunk).
   if (a.shape() == b.shape()) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
     const int64_t n = out.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    runtime::parallel_for(0, n, kElemwiseGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
+    });
     return out;
   }
 
@@ -70,7 +79,9 @@ Tensor unary(const Tensor& a, F f) {
   const float* p = a.data();
   float* q = out.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) q[i] = f(p[i]);
+  runtime::parallel_for(0, n, kElemwiseGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) q[i] = f(p[i]);
+  });
   return out;
 }
 
@@ -155,11 +166,17 @@ Tensor map(const Tensor& a, const std::function<float(float)>& f) {
 }
 
 float sum_all(const Tensor& a) {
-  // Kahan summation: datasets hold thousands of ~300 K temperatures and a
-  // naive float accumulator loses digits that the metrics actually need.
+  // Double accumulation: datasets hold thousands of ~300 K temperatures and
+  // a naive float accumulator loses digits that the metrics actually need.
+  // One double partial per fixed-grain chunk, combined in chunk order, so
+  // the sum is identical for every SAUFNO_NUM_THREADS.
   const float* p = a.data();
-  double s = 0.0;
-  for (int64_t i = 0; i < a.numel(); ++i) s += p[i];
+  const double s = runtime::parallel_sum(
+      a.numel(), kElemwiseGrain, [&](int64_t i0, int64_t i1) {
+        double acc = 0.0;
+        for (int64_t i = i0; i < i1; ++i) acc += p[i];
+        return acc;
+      });
   return static_cast<float>(s);
 }
 
@@ -207,15 +224,21 @@ Tensor sum_dim(const Tensor& a, int64_t dim, bool keepdim) {
 
   const float* p = a.data();
   float* q = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t in = 0; in < inner; ++in) {
-      double s = 0.0;
-      for (int64_t r = 0; r < red; ++r) {
-        s += p[(o * red + r) * inner + in];
-      }
-      q[o * inner + in] = static_cast<float>(s);
-    }
-  }
+  // Parallel over output elements: each is a fully sequential reduction, so
+  // the result does not depend on the thread count.
+  const int64_t grain =
+      std::max<int64_t>(1, kElemwiseGrain / std::max<int64_t>(1, red));
+  runtime::parallel_for(
+      0, outer * inner, grain, [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+          const int64_t o = t / inner, in = t % inner;
+          double s = 0.0;
+          for (int64_t r = 0; r < red; ++r) {
+            s += p[(o * red + r) * inner + in];
+          }
+          q[o * inner + in] = static_cast<float>(s);
+        }
+      });
   return out;
 }
 
@@ -244,9 +267,13 @@ Tensor transpose2d(const Tensor& a) {
   Tensor out({n, m});
   const float* p = a.data();
   float* q = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) q[j * m + i] = p[i * n + j];
-  }
+  const int64_t grain =
+      std::max<int64_t>(1, kElemwiseGrain / std::max<int64_t>(1, n));
+  runtime::parallel_for(0, m, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int64_t j = 0; j < n; ++j) q[j * m + i] = p[i * n + j];
+    }
+  });
   return out;
 }
 
@@ -266,19 +293,29 @@ Tensor permute(const Tensor& a, const std::vector<int64_t>& perm) {
   }
   const float* p = a.data();
   float* q = out.data();
-  std::vector<int64_t> idx(perm.size(), 0);
-  int64_t off = 0;
   const int64_t n = out.numel();
-  for (int64_t lin = 0; lin < n; ++lin) {
-    q[lin] = p[off];
+  // Each chunk re-seeds the odometer from its first linear index, then
+  // walks sequentially; chunks cover disjoint output ranges.
+  runtime::parallel_for(0, n, 4096, [&](int64_t lin0, int64_t lin1) {
+    std::vector<int64_t> idx(static_cast<std::size_t>(rank), 0);
+    int64_t off = 0;
+    int64_t rem = lin0;
     for (int64_t d = rank - 1; d >= 0; --d) {
-      ++idx[d];
-      off += strides[d];
-      if (idx[d] < out_shape[d]) break;
-      idx[d] = 0;
-      off -= strides[d] * out_shape[d];
+      idx[static_cast<std::size_t>(d)] = rem % out_shape[static_cast<std::size_t>(d)];
+      rem /= out_shape[static_cast<std::size_t>(d)];
+      off += idx[static_cast<std::size_t>(d)] * strides[static_cast<std::size_t>(d)];
     }
-  }
+    for (int64_t lin = lin0; lin < lin1; ++lin) {
+      q[lin] = p[off];
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++idx[d];
+        off += strides[d];
+        if (idx[d] < out_shape[d]) break;
+        idx[d] = 0;
+        off -= strides[d] * out_shape[d];
+      }
+    }
+  });
   return out;
 }
 
@@ -387,11 +424,16 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   const int64_t m = a.shape()[1], k = a.shape()[2], n = b.shape()[2];
   SAUFNO_CHECK(b.shape()[1] == k, "bmm inner dims mismatch");
   Tensor out({batch, m, n});
-  for (int64_t i = 0; i < batch; ++i) {
-    const float* pa = a.data() + (ba == 1 ? 0 : i) * m * k;
-    const float* pb = b.data() + (bb == 1 ? 0 : i) * k * n;
-    gemm(pa, pb, out.data() + i * m * n, m, n, k, /*accumulate=*/false);
-  }
+  // Parallel over the batch; the nested gemm's own parallel_for detects it
+  // is inside a parallel region and runs inline (no oversubscription). With
+  // batch == 1 the gemm row-block parallelism takes over instead.
+  runtime::parallel_for(0, batch, 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* pa = a.data() + (ba == 1 ? 0 : i) * m * k;
+      const float* pb = b.data() + (bb == 1 ? 0 : i) * k * n;
+      gemm(pa, pb, out.data() + i * m * n, m, n, k, /*accumulate=*/false);
+    }
+  });
   return out;
 }
 
@@ -403,7 +445,10 @@ Tensor softmax_lastdim(const Tensor& a) {
   Tensor out(a.shape());
   const float* p = a.data();
   float* q = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
+  const int64_t grain =
+      std::max<int64_t>(1, kElemwiseGrain / std::max<int64_t>(1, n));
+  runtime::parallel_for(0, rows, grain, [&](int64_t r0, int64_t r1) {
+  for (int64_t r = r0; r < r1; ++r) {
     const float* row = p + r * n;
     float* orow = q + r * n;
     float mx = row[0];
@@ -416,6 +461,7 @@ Tensor softmax_lastdim(const Tensor& a) {
     const float inv = static_cast<float>(1.0 / s);
     for (int64_t i = 0; i < n; ++i) orow[i] *= inv;
   }
+  });
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "gradcheck.h"
 #include "tensor/tensor_ops.h"
+#include "train/model_zoo.h"
 
 namespace saufno {
 namespace {
@@ -12,6 +13,63 @@ using testing::expect_gradients_match;
 
 Var leaf(Shape s, Rng& rng) {
   return Var(Tensor::randn(std::move(s), rng), /*requires_grad=*/true);
+}
+
+TEST(NoGradMode, GuardSkipsTapeConstruction) {
+  Rng rng(99);
+  Var a = leaf({3, 3}, rng);
+  {
+    NoGradGuard no_grad;
+    EXPECT_FALSE(GradMode::enabled());
+    // As in torch.no_grad(): the leaf keeps its flag, only recording stops.
+    EXPECT_TRUE(a.requires_grad());
+    Var y = ops::gelu(ops::add(ops::mul(a, a), a));
+    // No graph nodes recorded anywhere on the chain.
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_EQ(y.impl()->node, nullptr);
+  }
+  // Guard is scoped: recording resumes and values still match.
+  EXPECT_TRUE(GradMode::enabled());
+  Var z = ops::mul(a, a);
+  EXPECT_TRUE(z.requires_grad());
+  EXPECT_NE(z.impl()->node, nullptr);
+}
+
+TEST(NoGradMode, ModelsConstructUnderGuard) {
+  // register_parameter checks requires_grad(); building a model inside a
+  // serving scope (NoGradGuard) must still work.
+  NoGradGuard no_grad;
+  auto model = train::make_model("SAU-FNO", 3, 1, /*seed=*/5);
+  EXPECT_GT(model->num_parameters(), 0);
+  Rng rng(6);
+  Var out = model->forward(Var(Tensor::randn({1, 3, 8, 8}, rng)));
+  EXPECT_FALSE(out.requires_grad());
+  EXPECT_EQ(out.impl()->node, nullptr);
+}
+
+TEST(NoGradMode, GuardNestsAndRestores) {
+  EXPECT_TRUE(GradMode::enabled());
+  {
+    NoGradGuard outer;
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradMode::enabled());
+    }
+    EXPECT_FALSE(GradMode::enabled());  // inner restored outer's "disabled"
+  }
+  EXPECT_TRUE(GradMode::enabled());
+}
+
+TEST(NoGradMode, ValuesMatchGradModeValues) {
+  Rng rng(100);
+  Var a = leaf({4, 4}, rng);
+  Var with_grad = ops::tanh(ops::matmul(a, a));
+  Tensor without;
+  {
+    NoGradGuard no_grad;
+    without = ops::tanh(ops::matmul(a, a)).value();
+  }
+  EXPECT_TRUE(without.allclose(with_grad.value(), 0.f, 0.f));
 }
 
 TEST(AutogradCore, BackwardRequiresScalar) {

@@ -1,0 +1,193 @@
+#include "runtime/inference_engine.h"
+
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+#include "tensor/tensor.h"
+#include "train/model_zoo.h"
+
+namespace saufno {
+namespace {
+
+using runtime::InferenceEngine;
+using runtime::ThreadPool;
+
+std::shared_ptr<nn::Module> smoke_model() {
+  return train::make_model("SAU-FNO", /*in_channels=*/3, /*out_channels=*/1,
+                           /*seed=*/42, /*size_hint=*/0);
+}
+
+std::vector<Tensor> random_maps(int n, int64_t res, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> maps;
+  for (int i = 0; i < n; ++i) {
+    maps.push_back(Tensor::randn({3, res, res}, rng));
+  }
+  return maps;
+}
+
+TEST(InferenceEngine, BatchedResultsMatchSequentialForward) {
+  auto model = smoke_model();
+  const auto maps = random_maps(6, 12, 7);
+
+  // Reference: one-at-a-time forwards, no engine involved.
+  std::vector<Tensor> expected;
+  for (const auto& m : maps) {
+    Var out = model->forward(Var(m.reshape({1, 3, 12, 12}).clone()));
+    expected.push_back(out.value().reshape({1, 12, 12}).clone());
+  }
+
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50000;  // generous: all submits must coalesce
+  InferenceEngine engine(model, cfg);
+  std::vector<std::future<Tensor>> futs;
+  for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Tensor got = futs[i].get();
+    ASSERT_EQ(got.shape(), expected[i].shape());
+    EXPECT_EQ(std::memcmp(got.data(), expected[i].data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(got.numel())),
+              0)
+        << "request " << i << " differs from the sequential forward";
+  }
+}
+
+TEST(InferenceEngine, ConcurrentSubmittersGetSequentialResults) {
+  auto model = smoke_model();
+  const auto maps = random_maps(8, 10, 8);
+  std::vector<Tensor> expected;
+  for (const auto& m : maps) {
+    Var out = model->forward(Var(m.reshape({1, 3, 10, 10}).clone()));
+    expected.push_back(out.value().reshape({1, 10, 10}).clone());
+  }
+
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 20000;
+  InferenceEngine engine(model, cfg);
+  std::vector<Tensor> got(maps.size());
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    clients.emplace_back([&, i] { got[i] = engine.submit(maps[i].clone()).get(); });
+  }
+  for (auto& t : clients) t.join();
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    EXPECT_EQ(std::memcmp(got[i].data(), expected[i].data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(expected[i].numel())),
+              0)
+        << "client " << i;
+  }
+}
+
+TEST(InferenceEngine, PaddedBatchesDoNotChangeRealRows) {
+  auto model = smoke_model();
+  const auto maps = random_maps(3, 12, 9);
+  std::vector<Tensor> expected;
+  for (const auto& m : maps) {
+    Var out = model->forward(Var(m.reshape({1, 3, 12, 12}).clone()));
+    expected.push_back(out.value().reshape({1, 12, 12}).clone());
+  }
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 8;  // > number of requests: every batch gets zero-padded
+  cfg.max_wait_us = 20000;
+  cfg.pad_to_full_batch = true;
+  InferenceEngine engine(model, cfg);
+  std::vector<std::future<Tensor>> futs;
+  for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Tensor got = futs[i].get();
+    EXPECT_EQ(std::memcmp(got.data(), expected[i].data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(got.numel())),
+              0);
+  }
+}
+
+TEST(InferenceEngine, CoalescesAndReportsStats) {
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 100000;
+  InferenceEngine engine(smoke_model(), cfg);
+  const auto maps = random_maps(8, 10, 10);
+  std::vector<std::future<Tensor>> futs;
+  for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+  for (auto& f : futs) f.get();
+
+  const auto s = engine.stats();
+  EXPECT_EQ(s.requests, 8);
+  EXPECT_GE(s.batches, 2);        // 8 requests cannot fit one batch of 4
+  EXPECT_LE(s.avg_batch_size, 4.0);
+  EXPECT_GT(s.avg_batch_size, 0.0);
+  EXPECT_GT(s.latency_p50_ms, 0.0);
+  EXPECT_GE(s.latency_p99_ms, s.latency_p50_ms);
+  EXPECT_GE(s.latency_max_ms, s.latency_p99_ms);
+  EXPECT_GT(s.throughput_rps, 0.0);
+}
+
+TEST(InferenceEngine, MixedResolutionsServeInSeparateBatches) {
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 20000;
+  InferenceEngine engine(smoke_model(), cfg);
+  Rng rng(11);
+  auto small = engine.submit(Tensor::randn({3, 10, 10}, rng));
+  auto large = engine.submit(Tensor::randn({3, 14, 14}, rng));
+  const Tensor ts = small.get();
+  const Tensor tl = large.get();
+  EXPECT_EQ(ts.shape(), (Shape{1, 10, 10}));
+  EXPECT_EQ(tl.shape(), (Shape{1, 14, 14}));
+  EXPECT_EQ(engine.stats().batches, 2);
+}
+
+TEST(InferenceEngine, StopDrainsPendingRequests) {
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 2;
+  cfg.max_wait_us = 1000;
+  auto engine = std::make_unique<InferenceEngine>(smoke_model(), cfg);
+  const auto maps = random_maps(5, 10, 12);
+  std::vector<std::future<Tensor>> futs;
+  for (const auto& m : maps) futs.push_back(engine->submit(m.clone()));
+  engine->stop();  // must not abandon the 5 in-flight promises
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  EXPECT_THROW(engine->submit(maps[0].clone()), std::runtime_error);
+}
+
+TEST(InferenceEngine, DeterministicAcrossThreadCounts) {
+  auto model = smoke_model();
+  const auto maps = random_maps(4, 12, 13);
+  auto run = [&](int threads) {
+    ThreadPool::instance().resize(threads);
+    InferenceEngine::Config cfg;
+    cfg.max_batch = 4;
+    cfg.max_wait_us = 20000;
+    InferenceEngine engine(model, cfg);
+    std::vector<std::future<Tensor>> futs;
+    for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+    std::vector<Tensor> out;
+    for (auto& f : futs) out.push_back(f.get());
+    return out;
+  };
+  const auto ref = run(1);
+  for (const int threads : {2, 8}) {
+    const auto got = run(threads);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(std::memcmp(got[i].data(), ref[i].data(),
+                            sizeof(float) *
+                                static_cast<std::size_t>(ref[i].numel())),
+                0)
+          << "threads=" << threads << " request=" << i;
+    }
+  }
+  ThreadPool::instance().resize(1);
+}
+
+}  // namespace
+}  // namespace saufno

@@ -1,0 +1,218 @@
+#include "runtime/parallel_for.h"
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fft/fft.h"
+#include "runtime/thread_pool.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace saufno {
+namespace {
+
+using runtime::ThreadPool;
+using runtime::parallel_for;
+using runtime::parallel_invoke;
+using runtime::parallel_sum;
+
+/// RAII thread-count override so a failing assertion cannot leak a resized
+/// pool into later tests.
+struct PoolSize {
+  explicit PoolSize(int n) { ThreadPool::instance().resize(n); }
+  ~PoolSize() { ThreadPool::instance().resize(1); }
+};
+
+TEST(ThreadPool, ResizeReportsLanes) {
+  PoolSize guard(4);
+  EXPECT_EQ(ThreadPool::instance().num_threads(), 4);
+  ThreadPool::instance().resize(1);
+  EXPECT_EQ(ThreadPool::instance().num_threads(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  PoolSize guard(4);
+  constexpr int64_t kN = 10007;  // prime, so chunks never divide evenly
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  parallel_for(3, kN, 17, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 0);
+  for (int64_t i = 3; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleChunkRanges) {
+  PoolSize guard(2);
+  int calls = 0;
+  parallel_for(5, 5, 4, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(0, 3, 100, [&](int64_t b, int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 3);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  PoolSize guard(4);
+  std::atomic<int> total{0};
+  parallel_for(0, 8, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      EXPECT_TRUE(runtime::in_parallel_region());
+      parallel_for(0, 10, 1, [&](int64_t nb, int64_t ne) {
+        total += static_cast<int>(ne - nb);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  PoolSize guard(4);
+  EXPECT_THROW(
+      parallel_for(0, 100, 1,
+                   [&](int64_t b, int64_t) {
+                     if (b == 37) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelInvoke, RunsAllTasks) {
+  PoolSize guard(4);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> fns;
+  for (int i = 0; i < 13; ++i) fns.push_back([&ran] { ++ran; });
+  parallel_invoke(std::move(fns));
+  EXPECT_EQ(ran.load(), 13);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: every parallelized kernel must produce bit-identical results
+// for SAUFNO_NUM_THREADS in {1, 2, 8}.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+void expect_bitwise_stable(Fn compute) {
+  ThreadPool::instance().resize(1);
+  const Tensor ref = compute();
+  for (const int threads : {2, 8}) {
+    ThreadPool::instance().resize(threads);
+    const Tensor got = compute();
+    ASSERT_EQ(got.shape(), ref.shape());
+    EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                          sizeof(float) * static_cast<std::size_t>(ref.numel())),
+              0)
+        << "result differs at " << threads << " threads";
+  }
+  ThreadPool::instance().resize(1);
+}
+
+TEST(RuntimeDeterminism, Gemm) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn({37, 53}, rng);
+  const Tensor b = Tensor::randn({53, 41}, rng);
+  expect_bitwise_stable([&] { return matmul(a, b); });
+}
+
+TEST(RuntimeDeterminism, GemmAccumulate) {
+  Rng rng(12);
+  const Tensor a = Tensor::randn({19, 31}, rng);
+  const Tensor b = Tensor::randn({31, 23}, rng);
+  expect_bitwise_stable([&] {
+    Tensor c = Tensor::ones({19, 23});
+    gemm(a.data(), b.data(), c.data(), 19, 23, 31, /*accumulate=*/true);
+    return c;
+  });
+}
+
+TEST(RuntimeDeterminism, Fft2dBatched) {
+  Rng rng(13);
+  // 12x12 is not a power of two -> exercises the Bluestein path too.
+  const Tensor real = Tensor::randn({6 * 12 * 12}, rng);
+  const Tensor imag = Tensor::randn({6 * 12 * 12}, rng);
+  expect_bitwise_stable([&] {
+    std::vector<cfloat> buf(6 * 12 * 12);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = cfloat(real.at(static_cast<int64_t>(i)),
+                      imag.at(static_cast<int64_t>(i)));
+    }
+    fft_2d(buf.data(), 6, 12, 12, /*inverse=*/false);
+    fft_2d(buf.data(), 6, 12, 12, /*inverse=*/true);
+    Tensor out({6 * 12 * 12 * 2});
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      out.at(static_cast<int64_t>(2 * i)) = buf[i].real();
+      out.at(static_cast<int64_t>(2 * i + 1)) = buf[i].imag();
+    }
+    return out;
+  });
+}
+
+TEST(RuntimeDeterminism, ElementwiseAndReductions) {
+  Rng rng(14);
+  const Tensor a = Tensor::randn({50000}, rng);
+  const Tensor b = Tensor::randn({50000}, rng);
+  expect_bitwise_stable([&] { return add(a, b); });
+  expect_bitwise_stable([&] { return gelu(a); });
+  expect_bitwise_stable([&] {
+    return Tensor({1}, {sum_all(a)});
+  });
+  expect_bitwise_stable([&] { return softmax_lastdim(a.reshape({100, 500})); });
+  expect_bitwise_stable([&] { return sum_dim(a.reshape({100, 500}), 1, false); });
+}
+
+TEST(RuntimeDeterminism, Im2colCol2im) {
+  Rng rng(15);
+  const int64_t c = 5, h = 17, w = 13, kh = 3, kw = 3, stride = 1, pad = 1;
+  const int64_t oh = conv_out_size(h, kh, stride, pad);
+  const int64_t ow = conv_out_size(w, kw, stride, pad);
+  const Tensor img = Tensor::randn({c, h, w}, rng);
+  const Tensor cols_in = Tensor::randn({c * kh * kw, oh * ow}, rng);
+  expect_bitwise_stable([&] {
+    Tensor cols({c * kh * kw, oh * ow});
+    im2col(img.data(), cols.data(), c, h, w, kh, kw, stride, pad);
+    return cols;
+  });
+  expect_bitwise_stable([&] {
+    Tensor grad = Tensor::zeros({c, h, w});
+    col2im(cols_in.data(), grad.data(), c, h, w, kh, kw, stride, pad);
+    return grad;
+  });
+}
+
+TEST(RuntimeDeterminism, PermuteAndBmm) {
+  Rng rng(16);
+  const Tensor a = Tensor::randn({7, 9, 11, 5}, rng);
+  expect_bitwise_stable([&] { return permute(a, {2, 0, 3, 1}); });
+  const Tensor x = Tensor::randn({6, 14, 10}, rng);
+  const Tensor y = Tensor::randn({6, 10, 12}, rng);
+  expect_bitwise_stable([&] { return bmm(x, y); });
+}
+
+TEST(ParallelSum, MatchesSequentialForEveryThreadCount) {
+  Rng rng(17);
+  const Tensor a = Tensor::randn({123457}, rng);
+  const float* p = a.data();
+  auto chunk = [&](int64_t b, int64_t e) {
+    double s = 0.0;
+    for (int64_t i = b; i < e; ++i) s += p[i];
+    return s;
+  };
+  ThreadPool::instance().resize(1);
+  const double ref = parallel_sum(a.numel(), 4096, chunk);
+  for (const int threads : {2, 8}) {
+    ThreadPool::instance().resize(threads);
+    EXPECT_EQ(parallel_sum(a.numel(), 4096, chunk), ref);
+  }
+  ThreadPool::instance().resize(1);
+}
+
+}  // namespace
+}  // namespace saufno
