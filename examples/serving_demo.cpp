@@ -1,13 +1,20 @@
 // Minimal serving deployment of the SAU-FNO thermal predictor.
 //
-// Starts an InferenceEngine around a zoo model (optionally restored from a
-// checkpoint saved by nn::save_checkpoint), fires concurrent client threads
-// at it with random power maps, and prints the throughput/latency report.
+// Starts an InferenceEngine and fires concurrent client threads at it with
+// power maps at TWO resolutions (even clients 16x16, odd clients 20x20) to
+// exercise the shape-sharded batching, then prints the throughput/latency
+// report.
+//
+// With SAUFNO_CHECKPOINT pointing at a self-describing v2 artifact (written
+// by train::save_deployable), the whole pipeline — model identity, weights
+// and normalizer — is rebuilt from the file and the engine serves
+// raw-in/kelvin-out. A weights-only checkpoint (or none) falls back to the
+// zoo model and raw model outputs.
 //
 //   SAUFNO_NUM_THREADS   pool lanes for the kernels (default: all cores)
 //   SAUFNO_MAX_BATCH     coalescing limit per forward        (default 8)
 //   SAUFNO_MAX_WAIT_US   batching wait after first request   (default 2000)
-//   SAUFNO_CHECKPOINT    optional checkpoint path to restore weights from
+//   SAUFNO_CHECKPOINT    optional checkpoint path to restore from
 //
 // Usage: serving_demo [n_clients] [requests_per_client]
 
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "nn/serialize.h"
 #include "runtime/inference_engine.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
@@ -28,28 +36,44 @@ int main(int argc, char** argv) {
 
   const int n_clients = argc > 1 ? std::atoi(argv[1]) : 4;
   const int per_client = argc > 2 ? std::atoi(argv[2]) : 8;
-  const int64_t res = 16;
 
   runtime::InferenceEngine::Config cfg;
   cfg.max_batch = env_int_in_range("SAUFNO_MAX_BATCH", 8, 1, 1024);
   cfg.max_wait_us = env_int_in_range("SAUFNO_MAX_WAIT_US", 2000, 0, 10000000);
+
   const char* ckpt = std::getenv("SAUFNO_CHECKPOINT");
-  auto engine = runtime::InferenceEngine::from_zoo(
-      "SAU-FNO", /*in_channels=*/3, /*out_channels=*/1, /*seed=*/42,
-      ckpt != nullptr ? std::string(ckpt) : std::string(), cfg);
+  std::unique_ptr<runtime::InferenceEngine> engine;
+  const bool self_describing =
+      ckpt != nullptr && !nn::read_checkpoint_meta(ckpt).model_name.empty();
+  if (self_describing) {
+    engine = runtime::InferenceEngine::from_checkpoint(ckpt, cfg);
+    std::printf("restored self-describing v2 checkpoint %s\n", ckpt);
+  } else {
+    engine = runtime::InferenceEngine::from_zoo(
+        "SAU-FNO", /*in_channels=*/3, /*out_channels=*/1, /*seed=*/42,
+        ckpt != nullptr ? std::string(ckpt) : std::string(), cfg);
+  }
 
   std::printf("serving SAU-FNO on %d kernel lanes, max_batch=%lld, "
               "max_wait=%lldus\n",
               runtime::ThreadPool::instance().num_threads(),
               static_cast<long long>(cfg.max_batch),
               static_cast<long long>(cfg.max_wait_us));
-  std::printf("%d clients x %d requests, %lldx%lld power maps\n\n", n_clients,
-              per_client, static_cast<long long>(res),
-              static_cast<long long>(res));
+  std::printf("contract: %s\n",
+              engine->has_normalizer()
+                  ? "raw W-per-pixel power maps in -> kelvin fields out"
+                  : "normalized tensors in -> raw model outputs out "
+                    "(weights-only checkpoint)");
+  std::printf("%d clients x %d requests, 16x16 and 20x20 power maps "
+              "interleaved\n\n",
+              n_clients, per_client);
 
   std::vector<std::thread> clients;
   for (int c = 0; c < n_clients; ++c) {
     clients.emplace_back([&, c] {
+      // Two live resolutions: the shape-sharded queue batches each shape
+      // separately instead of collapsing to single-request forwards.
+      const int64_t res = (c % 2 == 0) ? 16 : 20;
       Rng rng(static_cast<std::uint64_t>(1000 + c));
       for (int r = 0; r < per_client; ++r) {
         // A power map plus the two coordinate channels the model lifts.
@@ -57,9 +81,10 @@ int main(int argc, char** argv) {
         const Tensor temperature = engine->submit(std::move(request)).get();
         if (r == 0 && c == 0) {
           std::printf("first response: temperature field %s, range "
-                      "[%.3f, %.3f]\n",
+                      "[%.3f, %.3f]%s\n",
                       shape_str(temperature.shape()).c_str(),
-                      min_all(temperature), max_all(temperature));
+                      min_all(temperature), max_all(temperature),
+                      engine->has_normalizer() ? " K" : " (normalized)");
         }
       }
     });
@@ -71,8 +96,8 @@ int main(int argc, char** argv) {
   std::printf("requests        %lld\n", static_cast<long long>(s.requests));
   std::printf("batches         %lld (avg batch %.2f)\n",
               static_cast<long long>(s.batches), s.avg_batch_size);
-  std::printf("throughput      %.1f req/s over %.3f s\n", s.throughput_rps,
-              s.wall_seconds);
+  std::printf("throughput      %.1f req/s over %.3f s busy window\n",
+              s.throughput_rps, s.wall_seconds);
   std::printf("latency p50     %.2f ms\n", s.latency_p50_ms);
   std::printf("latency p95     %.2f ms\n", s.latency_p95_ms);
   std::printf("latency p99     %.2f ms\n", s.latency_p99_ms);

@@ -8,27 +8,36 @@
 namespace saufno {
 namespace data {
 
+namespace {
+
+Tensor gather_rows(const Tensor& src, const std::vector<int>& indices,
+                   int64_t n_rows) {
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Shape shape = src.shape();
+  shape[0] = n;
+  Tensor out(shape);
+  const int64_t stride = src.numel() / src.size(0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t s = indices[static_cast<std::size_t>(i)];
+    SAUFNO_CHECK(s >= 0 && s < n_rows, "gather index out of range");
+    std::copy(src.data() + s * stride, src.data() + (s + 1) * stride,
+              out.data() + i * stride);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::pair<Tensor, Tensor> Dataset::gather(
     const std::vector<int>& indices) const {
   SAUFNO_CHECK(!indices.empty(), "gather of zero indices");
-  const int64_t n = static_cast<int64_t>(indices.size());
-  Shape in_shape = inputs.shape();
-  Shape out_shape = targets.shape();
-  in_shape[0] = n;
-  out_shape[0] = n;
-  Tensor xi(in_shape), yt(out_shape);
-  const int64_t in_stride = inputs.numel() / inputs.size(0);
-  const int64_t out_stride = targets.numel() / targets.size(0);
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t s = indices[static_cast<std::size_t>(i)];
-    SAUFNO_CHECK(s >= 0 && s < size(), "gather index out of range");
-    std::copy(inputs.data() + s * in_stride,
-              inputs.data() + (s + 1) * in_stride, xi.data() + i * in_stride);
-    std::copy(targets.data() + s * out_stride,
-              targets.data() + (s + 1) * out_stride,
-              yt.data() + i * out_stride);
-  }
-  return {std::move(xi), std::move(yt)};
+  return {gather_rows(inputs, indices, size()),
+          gather_rows(targets, indices, size())};
+}
+
+Tensor Dataset::gather_inputs(const std::vector<int>& indices) const {
+  SAUFNO_CHECK(!indices.empty(), "gather of zero indices");
+  return gather_rows(inputs, indices, size());
 }
 
 std::pair<Dataset, Dataset> Dataset::split(int64_t n_first) const {

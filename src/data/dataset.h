@@ -29,6 +29,10 @@ struct Dataset {
   /// Row-gather of the given sample indices into fresh tensors.
   std::pair<Tensor, Tensor> gather(const std::vector<int>& indices) const;
 
+  /// Inputs-only row-gather, for inference paths that never touch the
+  /// targets (e.g. batched evaluation) and shouldn't pay for copying them.
+  Tensor gather_inputs(const std::vector<int>& indices) const;
+
   /// Deterministic split into [first `n_first` samples, rest]. Generation
   /// already randomizes sample order, so a prefix split is unbiased.
   std::pair<Dataset, Dataset> split(int64_t n_first) const;

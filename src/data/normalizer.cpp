@@ -1,6 +1,8 @@
 #include "data/normalizer.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/logging.h"
 
@@ -52,6 +54,40 @@ Normalizer Normalizer::fit(const Dataset& train, int64_t n_power_channels) {
     n.temp_scale_ = std::sqrt(var);
   }
   return n;
+}
+
+Normalizer Normalizer::from_stats(double ambient, double power_scale,
+                                  double temp_scale,
+                                  int64_t n_power_channels) {
+  SAUFNO_CHECK(power_scale > 0.0 && temp_scale > 0.0,
+               "normalizer scales must be positive");
+  SAUFNO_CHECK(n_power_channels >= 0, "bad power channel count");
+  Normalizer n;
+  n.ambient_ = ambient;
+  n.power_scale_ = power_scale;
+  n.temp_scale_ = temp_scale;
+  n.n_power_ = n_power_channels;
+  return n;
+}
+
+void Normalizer::serialize(std::ostream& out) const {
+  out.write(reinterpret_cast<const char*>(&ambient_), sizeof(ambient_));
+  out.write(reinterpret_cast<const char*>(&power_scale_),
+            sizeof(power_scale_));
+  out.write(reinterpret_cast<const char*>(&temp_scale_), sizeof(temp_scale_));
+  const std::int64_t n_power = n_power_;
+  out.write(reinterpret_cast<const char*>(&n_power), sizeof(n_power));
+}
+
+Normalizer Normalizer::deserialize(std::istream& in) {
+  double ambient = 0.0, power_scale = 0.0, temp_scale = 0.0;
+  std::int64_t n_power = 0;
+  in.read(reinterpret_cast<char*>(&ambient), sizeof(ambient));
+  in.read(reinterpret_cast<char*>(&power_scale), sizeof(power_scale));
+  in.read(reinterpret_cast<char*>(&temp_scale), sizeof(temp_scale));
+  in.read(reinterpret_cast<char*>(&n_power), sizeof(n_power));
+  SAUFNO_CHECK(in.good(), "corrupt checkpoint (normalizer)");
+  return from_stats(ambient, power_scale, temp_scale, n_power);
 }
 
 Tensor Normalizer::encode_inputs(const Tensor& raw) const {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <iosfwd>
+
 #include "data/dataset.h"
 
 namespace saufno {
@@ -21,6 +23,16 @@ class Normalizer {
 
   /// Fit statistics on a training set.
   static Normalizer fit(const Dataset& train, int64_t n_power_channels);
+
+  /// Rebuild from previously fitted statistics (checkpoint loading).
+  static Normalizer from_stats(double ambient, double power_scale,
+                               double temp_scale, int64_t n_power_channels);
+
+  /// Binary round-trip of the fitted statistics, used by the v2 checkpoint
+  /// format so a deployed artifact carries its own encoding. Layout:
+  /// ambient f64, power_scale f64, temp_scale f64, n_power i64.
+  void serialize(std::ostream& out) const;
+  static Normalizer deserialize(std::istream& in);
 
   Tensor encode_inputs(const Tensor& raw) const;
   Tensor encode_targets(const Tensor& kelvin) const;

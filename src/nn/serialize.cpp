@@ -8,8 +8,124 @@
 namespace saufno {
 namespace nn {
 namespace {
-constexpr std::uint64_t kMagic = 0x53415546'4e4f4331ULL;  // "SAUFNOC1"
+
+constexpr std::uint64_t kMagicV1 = 0x53415546'4e4f4331ULL;  // "SAUFNOC1"
+constexpr std::uint64_t kMagicV2 = 0x53415546'4e4f4332ULL;  // "SAUFNOC2"
+
+// Sanity bounds for reading untrusted files: no real parameter tensor in
+// this codebase comes close to these, so anything larger is corruption,
+// and rejecting it up front keeps a garbage dim from turning into a
+// multi-gigabyte (or negative-size) allocation.
+constexpr std::uint64_t kMaxNameLen = 1u << 20;
+constexpr std::uint64_t kMaxRank = 8;
+constexpr std::int64_t kMaxDim = int64_t{1} << 24;       // 16M per axis
+constexpr std::int64_t kMaxNumel = int64_t{1} << 28;     // 1 GiB of floats
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
+
+template <typename T>
+T read_pod(std::istream& in, const char* what) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  SAUFNO_CHECK(in.good(), std::string("corrupt checkpoint (truncated ") +
+                              what + ")");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in, const char* what) {
+  const auto len = read_pod<std::uint64_t>(in, what);
+  SAUFNO_CHECK(len <= kMaxNameLen,
+               std::string("corrupt checkpoint (oversized ") + what + ")");
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  SAUFNO_CHECK(in.good(), std::string("corrupt checkpoint (truncated ") +
+                              what + ")");
+  return s;
+}
+
+void write_params(std::ostream& out, const Module& m) {
+  auto params = m.named_parameters();
+  write_pod<std::uint64_t>(out, params.size());
+  for (const auto& [name, v] : params) {
+    write_string(out, name);
+    write_pod<std::uint64_t>(out, static_cast<std::uint64_t>(v.value().dim()));
+    for (int64_t d : v.value().shape()) write_pod<std::int64_t>(out, d);
+    out.write(reinterpret_cast<const char*>(v.value().data()),
+              static_cast<std::streamsize>(v.value().numel() *
+                                           static_cast<int64_t>(sizeof(float))));
+  }
+}
+
+std::map<std::string, Tensor> read_params(std::istream& in,
+                                          const std::string& path) {
+  const auto count = read_pod<std::uint64_t>(in, "count");
+  std::map<std::string, Tensor> state;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = read_string(in, "parameter name");
+    const auto rank = read_pod<std::uint64_t>(in, "rank");
+    SAUFNO_CHECK(rank <= kMaxRank, "corrupt checkpoint (rank)");
+    // Validate every dim and the running element count BEFORE constructing
+    // the tensor: a truncated or corrupt file must fail here, not inside a
+    // huge allocation.
+    Shape shape(rank);
+    std::int64_t numel = 1;
+    for (auto& d : shape) {
+      const auto dd = read_pod<std::int64_t>(in, "dim");
+      SAUFNO_CHECK(dd >= 1 && dd <= kMaxDim, "corrupt checkpoint (dim)");
+      SAUFNO_CHECK(numel <= kMaxNumel / dd, "corrupt checkpoint (numel)");
+      numel *= dd;
+      d = dd;
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() *
+                                         static_cast<int64_t>(sizeof(float))));
+    SAUFNO_CHECK(in.good(), "corrupt checkpoint (data) in " + path);
+    state.emplace(std::move(name), std::move(t));
+  }
+  return state;
+}
+
+void write_meta(std::ostream& out, const CheckpointMeta& meta) {
+  write_string(out, meta.model_name);
+  write_pod<std::int64_t>(out, meta.in_channels);
+  write_pod<std::int64_t>(out, meta.out_channels);
+  write_pod<std::int64_t>(out, meta.size_hint);
+  write_pod<std::uint8_t>(out, meta.has_normalizer ? 1 : 0);
+  if (meta.has_normalizer) meta.normalizer.serialize(out);
+}
+
+CheckpointMeta read_meta(std::istream& in) {
+  CheckpointMeta meta;
+  meta.version = 2;
+  meta.model_name = read_string(in, "model name");
+  meta.in_channels = read_pod<std::int64_t>(in, "in_channels");
+  meta.out_channels = read_pod<std::int64_t>(in, "out_channels");
+  // Same validate-before-allocating rule as parameter dims: these feed
+  // straight into make_model's tensor sizes, so a corrupt header must fail
+  // here. 0 is legal (weights-only v2 meta, identity unknown).
+  SAUFNO_CHECK(meta.in_channels >= 0 && meta.in_channels <= kMaxDim &&
+                   meta.out_channels >= 0 && meta.out_channels <= kMaxDim,
+               "corrupt checkpoint (channels)");
+  meta.size_hint = static_cast<int>(read_pod<std::int64_t>(in, "size_hint"));
+  SAUFNO_CHECK(meta.size_hint >= 0 && meta.size_hint <= 8,
+               "corrupt checkpoint (size_hint)");
+  meta.has_normalizer = read_pod<std::uint8_t>(in, "normalizer flag") != 0;
+  if (meta.has_normalizer) {
+    meta.normalizer = data::Normalizer::deserialize(in);
+  }
+  return meta;
+}
+
+}  // namespace
 
 std::map<std::string, Tensor> state_dict(const Module& m) {
   std::map<std::string, Tensor> out;
@@ -37,62 +153,53 @@ void load_state_dict(Module& m, const std::map<std::string, Tensor>& state,
   }
 }
 
-void save_checkpoint(const Module& m, const std::string& path) {
+void save_checkpoint(const Module& m, const std::string& path,
+                     const CheckpointMeta& meta) {
   std::ofstream out(path, std::ios::binary);
   SAUFNO_CHECK(out.good(), "cannot open checkpoint for writing: " + path);
-  auto params = m.named_parameters();
-  const std::uint64_t magic = kMagic;
-  const std::uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& [name, v] : params) {
-    const std::uint64_t name_len = name.size();
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(name.data(), static_cast<std::streamsize>(name_len));
-    const std::uint64_t rank = static_cast<std::uint64_t>(v.value().dim());
-    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-    for (int64_t d : v.value().shape()) {
-      const std::int64_t dd = d;
-      out.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
-    }
-    out.write(reinterpret_cast<const char*>(v.value().data()),
-              static_cast<std::streamsize>(v.value().numel() *
-                                           static_cast<int64_t>(sizeof(float))));
-  }
+  write_pod<std::uint64_t>(out, kMagicV2);
+  write_meta(out, meta);
+  write_params(out, m);
   SAUFNO_CHECK(out.good(), "checkpoint write failed: " + path);
 }
 
-void load_checkpoint(Module& m, const std::string& path, bool strict) {
+void save_checkpoint_v1(const Module& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SAUFNO_CHECK(out.good(), "cannot open checkpoint for writing: " + path);
+  write_pod<std::uint64_t>(out, kMagicV1);
+  write_params(out, m);
+  SAUFNO_CHECK(out.good(), "checkpoint write failed: " + path);
+}
+
+CheckpointMeta load_checkpoint(Module& m, const std::string& path,
+                               bool strict) {
   std::ifstream in(path, std::ios::binary);
   SAUFNO_CHECK(in.good(), "cannot open checkpoint: " + path);
-  std::uint64_t magic = 0, count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  SAUFNO_CHECK(magic == kMagic, "bad checkpoint magic in " + path);
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  std::map<std::string, Tensor> state;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    std::uint64_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    SAUFNO_CHECK(in.good() && name_len < (1u << 20), "corrupt checkpoint");
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    std::uint64_t rank = 0;
-    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-    SAUFNO_CHECK(in.good() && rank <= 8, "corrupt checkpoint (rank)");
-    Shape shape(rank);
-    for (auto& d : shape) {
-      std::int64_t dd = 0;
-      in.read(reinterpret_cast<char*>(&dd), sizeof(dd));
-      d = dd;
-    }
-    Tensor t(shape);
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() *
-                                         static_cast<int64_t>(sizeof(float))));
-    SAUFNO_CHECK(in.good(), "corrupt checkpoint (data) in " + path);
-    state.emplace(std::move(name), std::move(t));
+  const auto magic = read_pod<std::uint64_t>(in, "magic");
+  SAUFNO_CHECK(magic == kMagicV1 || magic == kMagicV2,
+               "bad checkpoint magic in " + path);
+  CheckpointMeta meta;
+  if (magic == kMagicV2) {
+    meta = read_meta(in);
+  } else {
+    meta.version = 1;  // legacy weights-only file
   }
-  load_state_dict(m, state, strict);
+  load_state_dict(m, read_params(in, path), strict);
+  return meta;
+}
+
+CheckpointMeta read_checkpoint_meta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SAUFNO_CHECK(in.good(), "cannot open checkpoint: " + path);
+  const auto magic = read_pod<std::uint64_t>(in, "magic");
+  SAUFNO_CHECK(magic == kMagicV1 || magic == kMagicV2,
+               "bad checkpoint magic in " + path);
+  if (magic == kMagicV1) {
+    CheckpointMeta meta;
+    meta.version = 1;
+    return meta;
+  }
+  return read_meta(in);
 }
 
 }  // namespace nn

@@ -3,6 +3,7 @@
 #include <map>
 #include <string>
 
+#include "data/normalizer.h"
 #include "nn/module.h"
 
 namespace saufno {
@@ -19,10 +20,40 @@ std::map<std::string, Tensor> state_dict(const Module& m);
 void load_state_dict(Module& m, const std::map<std::string, Tensor>& state,
                      bool strict = true);
 
-/// Binary checkpoint IO. Format: magic, count, then per entry
+/// Self-describing header persisted by the v2 checkpoint format. A v2
+/// artifact records everything needed to rebuild and serve the model:
+/// the model-zoo identity (`train::make_model` arguments) and the fitted
+/// input/target normalizer, so the serving path can accept raw W-per-pixel
+/// power maps and return kelvin fields without out-of-band configuration.
+struct CheckpointMeta {
+  int version = 2;            // 1 for legacy weights-only files
+  std::string model_name;     // train::make_model name ("" when unknown)
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int size_hint = 0;          // model-zoo capacity knob
+  bool has_normalizer = false;
+  data::Normalizer normalizer;  // valid only when has_normalizer
+};
+
+/// Binary checkpoint IO.
+///
+/// v2 ("SAUFNOC2"): magic, meta (model name, channels, size hint,
+/// optional normalizer statistics), count, then per parameter
 /// (name, rank, dims..., float data). Little-endian, float32.
-void save_checkpoint(const Module& m, const std::string& path);
-void load_checkpoint(Module& m, const std::string& path, bool strict = true);
+/// v1 ("SAUFNOC1"): magic, count, parameters — no meta.
+///
+/// `save_checkpoint` always writes v2; `load_checkpoint` reads both and
+/// returns the meta (defaulted, with version = 1, for legacy files).
+void save_checkpoint(const Module& m, const std::string& path,
+                     const CheckpointMeta& meta = {});
+CheckpointMeta load_checkpoint(Module& m, const std::string& path,
+                               bool strict = true);
+
+/// Read only the meta header (cheap; does not touch parameter data).
+CheckpointMeta read_checkpoint_meta(const std::string& path);
+
+/// Legacy v1 writer, kept so the v1 compatibility path stays testable.
+void save_checkpoint_v1(const Module& m, const std::string& path);
 
 }  // namespace nn
 }  // namespace saufno

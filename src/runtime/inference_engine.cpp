@@ -24,12 +24,16 @@ double percentile(const std::vector<double>& sorted, double p) {
 }  // namespace
 
 InferenceEngine::InferenceEngine(std::shared_ptr<nn::Module> model, Config cfg)
-    : model_(std::move(model)), cfg_(cfg) {
+    : InferenceEngine(std::move(model), std::nullopt, cfg) {}
+
+InferenceEngine::InferenceEngine(std::shared_ptr<nn::Module> model,
+                                 std::optional<data::Normalizer> norm,
+                                 Config cfg)
+    : model_(std::move(model)), norm_(std::move(norm)), cfg_(cfg) {
   SAUFNO_CHECK(model_ != nullptr, "InferenceEngine needs a model");
   SAUFNO_CHECK(cfg_.max_batch >= 1, "max_batch must be >= 1");
   SAUFNO_CHECK(cfg_.max_wait_us >= 0, "max_wait_us must be >= 0");
   model_->set_training(false);
-  started_at_ = std::chrono::steady_clock::now();
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
@@ -38,19 +42,40 @@ std::unique_ptr<InferenceEngine> InferenceEngine::from_zoo(
     std::uint64_t seed, const std::string& checkpoint, Config cfg) {
   auto model =
       train::make_model(model_name, in_channels, out_channels, seed);
+  std::optional<data::Normalizer> norm;
   if (!checkpoint.empty()) {
-    nn::load_checkpoint(*model, checkpoint);
+    nn::CheckpointMeta meta = nn::load_checkpoint(*model, checkpoint);
+    if (meta.has_normalizer) norm = meta.normalizer;
   }
-  return std::make_unique<InferenceEngine>(std::move(model), cfg);
+  return std::make_unique<InferenceEngine>(std::move(model), std::move(norm),
+                                           cfg);
+}
+
+std::unique_ptr<InferenceEngine> InferenceEngine::from_checkpoint(
+    const std::string& checkpoint, Config cfg) {
+  train::LoadedModel loaded = train::load_deployable(checkpoint);
+  std::optional<data::Normalizer> norm;
+  if (loaded.meta.has_normalizer) norm = loaded.meta.normalizer;
+  return std::make_unique<InferenceEngine>(std::move(loaded.model),
+                                           std::move(norm), cfg);
 }
 
 InferenceEngine::~InferenceEngine() { stop(); }
+
+const data::Normalizer& InferenceEngine::normalizer() const {
+  SAUFNO_CHECK(norm_.has_value(),
+               "engine has no normalizer (weights-only checkpoint?)");
+  return *norm_;
+}
 
 std::future<Tensor> InferenceEngine::submit(Tensor power_map) {
   SAUFNO_CHECK(!stopped_.load(), "submit() after stop()");
   SAUFNO_CHECK(power_map.dim() == 3,
                "submit expects a [C, H, W] field, got " +
                    shape_str(power_map.shape()));
+  SAUFNO_CHECK(!norm_ || power_map.size(0) >= norm_->n_power_channels(),
+               "submit: input has fewer channels than the checkpoint's "
+               "normalizer expects");
   InferenceRequest req;
   req.input = std::move(power_map);
   req.enqueued_at = std::chrono::steady_clock::now();
@@ -88,47 +113,59 @@ void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
                 sizeof(float) * static_cast<std::size_t>(sample));
   }
 
+  // One critical section per batch: counters, busy window and latency
+  // samples move together, so stats() always sees a consistent snapshot.
+  auto record_batch_done = [&](bool record_latencies) {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lk(stats_m_);
+    batches_ += 1;
+    requests_done_ += bsz;
+    for (const auto& req : batch) {
+      if (!window_open_ || req.enqueued_at < window_start_) {
+        window_start_ = req.enqueued_at;
+        window_open_ = true;
+      }
+      if (!record_latencies) continue;
+      const double ms =
+          std::chrono::duration<double, std::milli>(now - req.enqueued_at)
+              .count();
+      if (latencies_ms_.size() < kLatencyWindow) {
+        latencies_ms_.push_back(ms);
+      } else {
+        latencies_ms_[latency_next_] = ms;
+      }
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+    window_end_ = now;
+  };
+
   try {
+    // Raw-in/kelvin-out: encode exactly like Trainer::predict does. Both
+    // transforms are per-element affine maps, so encoding the stacked batch
+    // is bit-identical to encoding each sample alone (padding rows stay 0).
+    if (norm_) stacked = norm_->encode_inputs(stacked);
     // No tape: serving forwards must not retain graph nodes or grads.
     NoGradGuard no_grad;
     Var out = model_->forward(Var(std::move(stacked)));
     const Shape& os = out.shape();  // [padded, C_out, H, W]
     SAUFNO_CHECK(os.size() == 4 && os[0] == padded,
                  "model returned unexpected shape " + shape_str(os));
+    Tensor decoded =
+        norm_ ? norm_->decode_targets(out.value()) : out.value();
     const Shape result_shape{os[1], os[2], os[3]};
     const int64_t out_sample = numel_of(result_shape);
     // Record stats BEFORE fulfilling promises so a caller that observes its
     // future ready also observes this batch in stats().
-    {
-      const auto now = std::chrono::steady_clock::now();
-      std::lock_guard<std::mutex> lk(stats_m_);
-      batches_ += 1;
-      requests_done_ += bsz;
-      for (const auto& req : batch) {
-        const double ms =
-            std::chrono::duration<double, std::milli>(now - req.enqueued_at)
-                .count();
-        if (latencies_ms_.size() < kLatencyWindow) {
-          latencies_ms_.push_back(ms);
-        } else {
-          latencies_ms_[latency_next_] = ms;
-        }
-        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-      }
-    }
+    record_batch_done(/*record_latencies=*/true);
     for (int64_t i = 0; i < bsz; ++i) {
       Tensor result(result_shape);
-      std::memcpy(result.data(), out.value().data() + i * out_sample,
+      std::memcpy(result.data(), decoded.data() + i * out_sample,
                   sizeof(float) * static_cast<std::size_t>(out_sample));
       batch[static_cast<std::size_t>(i)].result.set_value(std::move(result));
     }
   } catch (...) {
     const std::exception_ptr e = std::current_exception();
-    {
-      std::lock_guard<std::mutex> lk(stats_m_);
-      batches_ += 1;
-      requests_done_ += bsz;
-    }
+    record_batch_done(/*record_latencies=*/false);
     for (auto& req : batch) req.result.set_exception(e);
   }
 }
@@ -140,9 +177,13 @@ InferenceStats InferenceEngine::stats() const {
   s.batches = batches_;
   s.avg_batch_size =
       batches_ > 0 ? static_cast<double>(requests_done_) / batches_ : 0.0;
-  s.wall_seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - started_at_)
-                       .count();
+  // Busy window only — an engine idle before its first request (or after
+  // its last batch) reports its actual serving rate, not a lifetime
+  // average diluted by idle time.
+  s.wall_seconds =
+      window_open_
+          ? std::chrono::duration<double>(window_end_ - window_start_).count()
+          : 0.0;
   s.throughput_rps =
       s.wall_seconds > 0.0 ? static_cast<double>(requests_done_) / s.wall_seconds : 0.0;
   std::vector<double> sorted = latencies_ms_;

@@ -3,10 +3,12 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "data/normalizer.h"
 #include "nn/module.h"
 #include "runtime/request_queue.h"
 
@@ -21,7 +23,7 @@ struct InferenceStats {
   int64_t requests = 0;
   int64_t batches = 0;
   double avg_batch_size = 0.0;
-  double wall_seconds = 0.0;     // since engine construction
+  double wall_seconds = 0.0;     // first request enqueued -> last batch done
   double throughput_rps = 0.0;   // completed requests / wall_seconds
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
@@ -34,15 +36,25 @@ struct InferenceStats {
 ///
 /// - Requests are [C, H, W] power-map fields; responses are the model's
 ///   [C_out, H, W] temperature maps.
+/// - When constructed with a Normalizer (the deployable path:
+///   `from_checkpoint`, or `from_zoo` on a v2 checkpoint), the contract is
+///   raw-in/kelvin-out: `submit` takes unnormalized power maps, inputs are
+///   encoded before the forward and outputs decoded after, bit-identical
+///   to `Trainer::predict` on the same weights. Without a normalizer the
+///   engine forwards tensors untouched (the pre-v2 behavior).
 /// - Batching: up to `max_batch` same-shape requests, waiting at most
-///   `max_wait_us` after the first request of a batch arrives. With
-///   `pad_to_full_batch` the batch dimension is zero-padded to `max_batch`
-///   so every forward sees one shape (useful when a backend JITs per shape;
-///   padding rows cost compute but never change real rows' results, since
-///   every kernel in this library is per-sample independent).
+///   `max_wait_us` after the first request of a batch ARRIVES (the deadline
+///   is anchored to enqueue time). The queue is sharded by shape, so
+///   interleaved multi-resolution traffic still coalesces per shape instead
+///   of collapsing to batch size 1. With `pad_to_full_batch` the batch
+///   dimension is zero-padded to `max_batch` so every forward sees one
+///   shape (useful when a backend JITs per shape; padding rows cost compute
+///   but never change real rows' results, since every kernel in this
+///   library is per-sample independent).
 /// - Every forward runs under NoGradGuard: no autograd tape is recorded.
-/// - Results are bit-identical to calling `model->forward` one sample at a
-///   time, whatever the batch composition or SAUFNO_NUM_THREADS.
+/// - Results are bit-identical to calling the same encode/forward/decode
+///   one sample at a time, whatever the batch composition or
+///   SAUFNO_NUM_THREADS.
 class InferenceEngine {
  public:
   struct Config {
@@ -52,14 +64,27 @@ class InferenceEngine {
   };
 
   /// Takes shared ownership of `model`, switches it to eval mode and starts
-  /// the batcher thread.
+  /// the batcher thread. Without a normalizer the engine serves raw model
+  /// outputs.
   InferenceEngine(std::shared_ptr<nn::Module> model, Config cfg);
 
+  /// Same, with the fitted normalizer: submit() then takes raw W-per-pixel
+  /// power maps and futures resolve to kelvin temperature fields.
+  InferenceEngine(std::shared_ptr<nn::Module> model,
+                  std::optional<data::Normalizer> norm, Config cfg);
+
   /// Build the model from the zoo (train::make_model) and, when `checkpoint`
-  /// is non-empty, load weights from a nn::save_checkpoint file.
+  /// is non-empty, load weights from it. A v2 checkpoint that carries a
+  /// normalizer switches the engine to raw-in/kelvin-out serving.
   static std::unique_ptr<InferenceEngine> from_zoo(
       const std::string& model_name, int64_t in_channels, int64_t out_channels,
       std::uint64_t seed, const std::string& checkpoint, Config cfg);
+
+  /// Build the entire serving pipeline from a self-describing v2 checkpoint
+  /// (train::load_deployable): model identity, weights and normalizer all
+  /// come from the file.
+  static std::unique_ptr<InferenceEngine> from_checkpoint(
+      const std::string& checkpoint, Config cfg);
 
   /// Drains pending requests, then stops the batcher.
   ~InferenceEngine();
@@ -75,12 +100,16 @@ class InferenceEngine {
 
   InferenceStats stats() const;
   const Config& config() const { return cfg_; }
+  bool has_normalizer() const { return norm_.has_value(); }
+  /// Throws when the engine was built without one (has_normalizer() false).
+  const data::Normalizer& normalizer() const;
 
  private:
   void batcher_loop();
   void serve_batch(std::vector<InferenceRequest> batch);
 
   std::shared_ptr<nn::Module> model_;
+  std::optional<data::Normalizer> norm_;
   Config cfg_;
   RequestQueue queue_;
   std::thread batcher_;
@@ -96,7 +125,13 @@ class InferenceEngine {
   std::size_t latency_next_ = 0;       // ring write cursor
   int64_t batches_ = 0;
   int64_t requests_done_ = 0;
-  std::chrono::steady_clock::time_point started_at_;
+  /// Throughput is measured over the busy window [earliest enqueue seen,
+  /// latest batch completion], NOT engine lifetime: an engine that sat idle
+  /// for an hour before its first request still reports its real serving
+  /// rate.
+  std::chrono::steady_clock::time_point window_start_;
+  std::chrono::steady_clock::time_point window_end_;
+  bool window_open_ = false;
 };
 
 }  // namespace runtime

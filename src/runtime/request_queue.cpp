@@ -7,7 +7,8 @@ bool RequestQueue::push(InferenceRequest req) {
   {
     std::lock_guard<std::mutex> lk(m_);
     if (shutdown_) return false;  // batcher may already have drained + exited
-    q_.push_back(std::move(req));
+    shards_[req.input.shape()].push_back(std::move(req));
+    ++pending_;
   }
   cv_.notify_one();
   return true;
@@ -18,29 +19,46 @@ std::vector<InferenceRequest> RequestQueue::pop_batch(std::size_t max_batch,
   if (max_batch < 1) max_batch = 1;
   std::vector<InferenceRequest> batch;
   std::unique_lock<std::mutex> lk(m_);
-  cv_.wait(lk, [this] { return shutdown_ || !q_.empty(); });
-  if (q_.empty()) return batch;  // shut down and drained
+  cv_.wait(lk, [this] { return shutdown_ || pending_ > 0; });
+  if (pending_ == 0) return batch;  // shut down and drained
 
-  batch.push_back(std::move(q_.front()));
-  q_.pop_front();
-  const Shape& shape = batch.front().input.shape();
-  const auto deadline = std::chrono::steady_clock::now() +
+  // Round-robin shard pick: the first shape after the last one served, in
+  // key order, wrapping. With K live shapes each gets every K-th batch, so
+  // one hot resolution cannot starve the others.
+  auto it = shards_.upper_bound(last_served_);
+  if (it == shards_.end()) it = shards_.begin();
+  // push() never leaves an empty shard behind and pop_batch erases drained
+  // ones, so every map entry is non-empty here.
+  std::deque<InferenceRequest>& shard = it->second;
+
+  batch.push_back(std::move(shard.front()));
+  shard.pop_front();
+  --pending_;
+  // Anchor the straggler deadline to when the head request was ENQUEUED,
+  // not to now: if it already sat in the queue for max_wait_us (behind
+  // other shards, or behind a slow forward), it must not wait again.
+  const auto deadline = batch.front().enqueued_at +
                         std::chrono::microseconds(max_wait_us);
   while (batch.size() < max_batch) {
-    if (q_.empty()) {
+    if (shard.empty()) {
       if (shutdown_) break;
-      if (cv_.wait_until(lk, deadline, [this] {
-            return shutdown_ || !q_.empty();
+      // Map inserts don't invalidate `shard`/`it`, and this (sole) consumer
+      // only erases the shard below, so the reference stays valid across
+      // the wait.
+      if (cv_.wait_until(lk, deadline, [this, &shard] {
+            return shutdown_ || !shard.empty();
           })) {
-        if (q_.empty()) break;  // woken by shutdown
+        if (shard.empty()) break;  // woken by shutdown
       } else {
-        break;  // max_wait elapsed with a partial batch
+        break;  // the head has now waited max_wait_us; ship a partial batch
       }
     }
-    if (q_.front().input.shape() != shape) break;  // next batch's head
-    batch.push_back(std::move(q_.front()));
-    q_.pop_front();
+    batch.push_back(std::move(shard.front()));
+    shard.pop_front();
+    --pending_;
   }
+  last_served_ = it->first;
+  if (shard.empty()) shards_.erase(it);
   return batch;
 }
 
@@ -54,7 +72,12 @@ void RequestQueue::shutdown() {
 
 std::size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lk(m_);
-  return q_.size();
+  return pending_;
+}
+
+std::size_t RequestQueue::shard_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return shards_.size();
 }
 
 }  // namespace runtime

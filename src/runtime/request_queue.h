@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -15,19 +16,27 @@ namespace runtime {
 
 /// One in-flight inference request: a [C, H, W] input field, the promise
 /// its caller is waiting on, and the enqueue timestamp used for latency
-/// percentiles.
+/// percentiles and the batching deadline.
 struct InferenceRequest {
   Tensor input;
   std::promise<Tensor> result;
   std::chrono::steady_clock::time_point enqueued_at;
 };
 
-/// MPSC queue the batcher thread drains. `pop_batch` implements the
-/// coalescing policy: block for the first request, then keep collecting
-/// same-shape requests until the batch is full or `max_wait_us` has elapsed
-/// since the first one was taken. A request whose shape differs from the
-/// batch head is left at the front for the next batch, so mixed-resolution
-/// traffic still makes progress (in shape-homogeneous batches).
+/// Shape-sharded MPSC queue the batcher thread drains. Requests are
+/// bucketed by input shape, and `pop_batch` drains the buckets round-robin:
+/// it picks the next non-empty shard, takes its head, then keeps collecting
+/// from that shard (only) until the batch is full or the head request's
+/// age exceeds `max_wait_us`.
+///
+/// Sharding is what keeps mixed-resolution traffic batchable: with a single
+/// FIFO, an interleaved A,B,A,B,... stream makes every batch end at the
+/// first foreign shape (head-of-line blocking, batch size collapses to 1).
+/// Here a foreign-shape arrival lands in its own shard and the current
+/// batch keeps filling. The deadline is anchored to the head request's
+/// `enqueued_at` — not to pop time — so no request ever waits more than
+/// `max_wait_us` for stragglers, no matter how long it sat queued behind
+/// other shards.
 class RequestQueue {
  public:
   /// Enqueue; returns false (without taking ownership of the promise's
@@ -35,8 +44,9 @@ class RequestQueue {
   /// a racing submit cannot strand a request with no batcher to serve it.
   bool push(InferenceRequest req);
 
-  /// Collect up to `max_batch` same-shape requests. Returns an empty vector
-  /// only when the queue has been shut down and fully drained.
+  /// Collect up to `max_batch` same-shape requests from the next shard in
+  /// round-robin order. Returns an empty vector only when the queue has
+  /// been shut down and fully drained.
   std::vector<InferenceRequest> pop_batch(std::size_t max_batch,
                                           int64_t max_wait_us);
 
@@ -44,12 +54,21 @@ class RequestQueue {
   /// queue is empty, then returns empty batches.
   void shutdown();
 
+  /// Total pending requests across all shards.
   std::size_t size() const;
+
+  /// Number of distinct shapes currently queued.
+  std::size_t shard_count() const;
 
  private:
   mutable std::mutex m_;
   std::condition_variable cv_;
-  std::deque<InferenceRequest> q_;
+  /// Per-shape buckets. Shards are created on first push of a shape and
+  /// erased once drained, so long-lived servers don't accumulate entries
+  /// for resolutions they no longer see.
+  std::map<Shape, std::deque<InferenceRequest>> shards_;
+  Shape last_served_;        // round-robin cursor over shard keys
+  std::size_t pending_ = 0;  // total across shards
   bool shutdown_ = false;
 };
 

@@ -128,5 +128,35 @@ std::vector<std::string> table2_model_names() {
   return {"DeepOHeat", "FNO", "U-FNO", "GAR", "SAU-FNO"};
 }
 
+void save_deployable(const nn::Module& m, const std::string& name,
+                     int64_t in_channels, int64_t out_channels,
+                     const data::Normalizer& norm, const std::string& path,
+                     int size_hint) {
+  nn::CheckpointMeta meta;
+  meta.model_name = name;
+  meta.in_channels = in_channels;
+  meta.out_channels = out_channels;
+  meta.size_hint = size_hint;
+  meta.has_normalizer = true;
+  meta.normalizer = norm;
+  nn::save_checkpoint(m, path, meta);
+}
+
+LoadedModel load_deployable(const std::string& path) {
+  nn::CheckpointMeta meta = nn::read_checkpoint_meta(path);
+  SAUFNO_CHECK(meta.version >= 2 && !meta.model_name.empty(),
+               "checkpoint " + path +
+                   " is not self-describing (v1 or missing model name); "
+                   "re-save it with train::save_deployable");
+  SAUFNO_CHECK(meta.in_channels >= 1 && meta.out_channels >= 1,
+               "checkpoint " + path + " has no channel counts");
+  // The seed only initializes parameters, and every one of them is about to
+  // be overwritten by the stored weights (strict load), so any value works.
+  auto model = make_model(meta.model_name, meta.in_channels,
+                          meta.out_channels, /*seed=*/0, meta.size_hint);
+  nn::load_checkpoint(*model, path);
+  return {std::move(model), std::move(meta)};
+}
+
 }  // namespace train
 }  // namespace saufno

@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "data/normalizer.h"
 #include "nn/module.h"
+#include "nn/serialize.h"
 
 namespace saufno {
 namespace train {
@@ -24,6 +26,27 @@ std::shared_ptr<nn::Module> make_model(const std::string& name,
 
 /// The Table II comparison order.
 std::vector<std::string> table2_model_names();
+
+/// Write a self-describing v2 checkpoint: weights plus the zoo identity
+/// (`name`, channels, `size_hint`) and the fitted normalizer. The result is
+/// a deployable artifact — `load_deployable` / `InferenceEngine::
+/// from_checkpoint` can rebuild the exact serving pipeline from the file
+/// alone.
+void save_deployable(const nn::Module& m, const std::string& name,
+                     int64_t in_channels, int64_t out_channels,
+                     const data::Normalizer& norm, const std::string& path,
+                     int size_hint = 0);
+
+struct LoadedModel {
+  std::shared_ptr<nn::Module> model;
+  nn::CheckpointMeta meta;
+};
+
+/// Rebuild a model from a self-describing v2 checkpoint (zoo name and
+/// channels come from the file; every parameter is overwritten by the
+/// stored weights). Rejects v1 files, which don't record the model
+/// identity.
+LoadedModel load_deployable(const std::string& path);
 
 }  // namespace train
 }  // namespace saufno

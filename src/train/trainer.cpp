@@ -86,8 +86,9 @@ data::Metrics Trainer::evaluate(const data::Dataset& test_set) const {
     std::vector<int> idx(static_cast<std::size_t>(len));
     for (int64_t i = 0; i < len; ++i) idx[static_cast<std::size_t>(i)] =
         static_cast<int>(start + i);
-    auto [bx, by] = test_set.gather(idx);
-    preds.push_back(predict(bx));
+    // Inputs only: the per-sample targets are never touched here (metrics
+    // compare against the full target tensor below), so don't copy them.
+    preds.push_back(predict(test_set.gather_inputs(idx)));
   }
   Tensor all = preds.size() == 1 ? preds[0] : cat(preds, 0);
   return data::compute_metrics(all, test_set.targets, test_set.ambient);

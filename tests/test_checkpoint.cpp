@@ -1,0 +1,210 @@
+// Checkpoint format v2 ("SAUFNOC2"): self-describing artifacts that carry
+// the model-zoo identity and the fitted normalizer, legacy-v1 loading, and
+// clean rejection of corrupt or truncated files.
+
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/normalizer.h"
+#include "train/model_zoo.h"
+
+namespace saufno {
+namespace {
+
+std::shared_ptr<nn::Module> tiny_model(std::uint64_t seed) {
+  return train::make_model("CNN", /*in_channels=*/3, /*out_channels=*/1, seed);
+}
+
+data::Normalizer fitted_norm() {
+  return data::Normalizer::from_stats(/*ambient=*/298.15,
+                                      /*power_scale=*/2.5,
+                                      /*temp_scale=*/7.25,
+                                      /*n_power_channels=*/1);
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool same_params(const nn::Module& a, const nn::Module& b) {
+  auto sa = nn::state_dict(a);
+  auto sb = nn::state_dict(b);
+  if (sa.size() != sb.size()) return false;
+  for (const auto& [name, t] : sa) {
+    auto it = sb.find(name);
+    if (it == sb.end() || it->second.shape() != t.shape()) return false;
+    if (std::memcmp(it->second.data(), t.data(),
+                    sizeof(float) * static_cast<std::size_t>(t.numel())) != 0)
+      return false;
+  }
+  return true;
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+TEST(CheckpointV2, RoundTripPreservesMetaAndWeights) {
+  auto model = tiny_model(1);
+  const std::string path = temp_path("saufno_v2.ckpt");
+  train::save_deployable(*model, "CNN", 3, 1, fitted_norm(), path);
+
+  auto model2 = tiny_model(2);
+  ASSERT_FALSE(same_params(*model, *model2));
+  const nn::CheckpointMeta meta = nn::load_checkpoint(*model2, path);
+  EXPECT_TRUE(same_params(*model, *model2));
+  EXPECT_EQ(meta.version, 2);
+  EXPECT_EQ(meta.model_name, "CNN");
+  EXPECT_EQ(meta.in_channels, 3);
+  EXPECT_EQ(meta.out_channels, 1);
+  ASSERT_TRUE(meta.has_normalizer);
+  EXPECT_DOUBLE_EQ(meta.normalizer.ambient(), 298.15);
+  EXPECT_DOUBLE_EQ(meta.normalizer.power_scale(), 2.5);
+  EXPECT_DOUBLE_EQ(meta.normalizer.temp_scale(), 7.25);
+  EXPECT_EQ(meta.normalizer.n_power_channels(), 1);
+
+  // Meta-only read must agree without touching parameter data.
+  const nn::CheckpointMeta peek = nn::read_checkpoint_meta(path);
+  EXPECT_EQ(peek.model_name, "CNN");
+  EXPECT_TRUE(peek.has_normalizer);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, DefaultSaveHasNoNormalizer) {
+  auto model = tiny_model(3);
+  const std::string path = temp_path("saufno_v2_plain.ckpt");
+  nn::save_checkpoint(*model, path);  // weights-only, but still v2
+  const nn::CheckpointMeta meta = nn::read_checkpoint_meta(path);
+  EXPECT_EQ(meta.version, 2);
+  EXPECT_FALSE(meta.has_normalizer);
+  auto model2 = tiny_model(4);
+  nn::load_checkpoint(*model2, path);
+  EXPECT_TRUE(same_params(*model, *model2));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, LegacyV1FilesStillLoad) {
+  auto model = tiny_model(5);
+  const std::string path = temp_path("saufno_v1.ckpt");
+  nn::save_checkpoint_v1(*model, path);
+
+  auto model2 = tiny_model(6);
+  const nn::CheckpointMeta meta = nn::load_checkpoint(*model2, path);
+  EXPECT_TRUE(same_params(*model, *model2));
+  EXPECT_EQ(meta.version, 1);
+  EXPECT_TRUE(meta.model_name.empty());
+  EXPECT_FALSE(meta.has_normalizer);
+  EXPECT_EQ(nn::read_checkpoint_meta(path).version, 1);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, LoadDeployableRebuildsModelFromFileAlone) {
+  auto model = tiny_model(7);
+  const std::string path = temp_path("saufno_deploy.ckpt");
+  train::save_deployable(*model, "CNN", 3, 1, fitted_norm(), path);
+
+  const train::LoadedModel loaded = train::load_deployable(path);
+  ASSERT_NE(loaded.model, nullptr);
+  EXPECT_TRUE(same_params(*model, *loaded.model));
+  EXPECT_EQ(loaded.meta.model_name, "CNN");
+  ASSERT_TRUE(loaded.meta.has_normalizer);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, LoadDeployableRejectsV1) {
+  auto model = tiny_model(8);
+  const std::string path = temp_path("saufno_v1_only.ckpt");
+  nn::save_checkpoint_v1(*model, path);
+  EXPECT_THROW(train::load_deployable(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, TruncatedFilesAreRejected) {
+  auto model = tiny_model(9);
+  const std::string full_path = temp_path("saufno_full.ckpt");
+  train::save_deployable(*model, "CNN", 3, 1, fitted_norm(), full_path);
+
+  std::ifstream in(full_path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Cut mid-meta, mid-header and mid-tensor-data: every prefix must fail
+  // with a clean error, never a garbage tensor.
+  const std::string cut_path = temp_path("saufno_cut.ckpt");
+  for (const std::size_t keep :
+       {std::size_t{12}, std::size_t{40}, bytes.size() / 2,
+        bytes.size() - 5}) {
+    std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    auto victim = tiny_model(10);
+    EXPECT_THROW(nn::load_checkpoint(*victim, cut_path), std::runtime_error)
+        << "truncation at byte " << keep << " was not rejected";
+  }
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(CheckpointV2, GarbageDimsRejectedBeforeAllocation) {
+  // Hand-crafted v1 files whose header claims absurd tensor geometry. The
+  // loader must bound per-dim size and total numel BEFORE allocating.
+  struct Case {
+    const char* what;
+    std::vector<std::int64_t> dims;
+  };
+  const Case cases[] = {
+      {"negative dim", {4, -3}},
+      {"zero dim", {0, 4}},
+      {"oversized dim", {std::int64_t{1} << 40, 2}},
+      // Each dim individually fine, product overflows the numel bound.
+      {"oversized numel", {std::int64_t{1} << 20, std::int64_t{1} << 20}},
+  };
+  const std::string path = temp_path("saufno_garbage.ckpt");
+  for (const Case& c : cases) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    write_pod<std::uint64_t>(out, 0x53415546'4e4f4331ULL);  // "SAUFNOC1"
+    write_pod<std::uint64_t>(out, 1);                       // one parameter
+    write_pod<std::uint64_t>(out, 1);                       // name length
+    out.put('w');
+    write_pod<std::uint64_t>(out, c.dims.size());           // rank
+    for (std::int64_t d : c.dims) write_pod<std::int64_t>(out, d);
+    out.close();
+    auto victim = tiny_model(11);
+    EXPECT_THROW(nn::load_checkpoint(*victim, path), std::runtime_error)
+        << c.what << " was not rejected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, GarbageMetaChannelsRejected) {
+  // A corrupt v2 header must not feed absurd channel counts into
+  // make_model's tensor sizing.
+  const std::string path = temp_path("saufno_badmeta.ckpt");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  write_pod<std::uint64_t>(out, 0x53415546'4e4f4332ULL);  // "SAUFNOC2"
+  write_pod<std::uint64_t>(out, 3);
+  out.write("CNN", 3);
+  write_pod<std::int64_t>(out, std::int64_t{1} << 40);  // in_channels
+  write_pod<std::int64_t>(out, 1);                      // out_channels
+  write_pod<std::int64_t>(out, 0);                      // size_hint
+  write_pod<std::uint8_t>(out, 0);                      // no normalizer
+  write_pod<std::uint64_t>(out, 0);                     // no parameters
+  out.close();
+  EXPECT_THROW(nn::read_checkpoint_meta(path), std::runtime_error);
+  EXPECT_THROW(train::load_deployable(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace saufno

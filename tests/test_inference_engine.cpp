@@ -1,5 +1,7 @@
 #include "runtime/inference_engine.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -7,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include "data/normalizer.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
 #include "train/model_zoo.h"
+#include "train/trainer.h"
 
 namespace saufno {
 namespace {
@@ -158,6 +162,121 @@ TEST(InferenceEngine, StopDrainsPendingRequests) {
   engine->stop();  // must not abandon the 5 in-flight promises
   for (auto& f : futs) EXPECT_NO_THROW(f.get());
   EXPECT_THROW(engine->submit(maps[0].clone()), std::runtime_error);
+}
+
+TEST(InferenceEngine, V2CheckpointServesKelvinIdenticalToTrainerPredict) {
+  // Fit a real normalizer on a synthetic dataset, deploy the model as a
+  // self-describing v2 checkpoint, and check that the engine's raw-in/
+  // kelvin-out path is BIT-identical to Trainer::predict on the same file.
+  const int64_t res = 12;
+  Rng rng(21);
+  data::Dataset train_set;
+  train_set.chip_name = "synthetic";
+  train_set.resolution = static_cast<int>(res);
+  train_set.ambient = 298.15;
+  train_set.inputs = Tensor::rand_uniform({6, 3, res, res}, rng, 0.f, 5.f);
+  train_set.targets = Tensor::rand_uniform({6, 1, res, res}, rng, 300.f, 340.f);
+  const auto norm = data::Normalizer::fit(train_set, /*n_power_channels=*/1);
+
+  auto model = smoke_model();
+  const std::string path = ::testing::TempDir() + "/saufno_serve_v2.ckpt";
+  train::save_deployable(*model, "SAU-FNO", 3, 1, norm, path);
+
+  // Reference: the training-side prediction path on the raw inputs.
+  train::Trainer trainer(*model, norm);
+  const auto maps = random_maps(5, res, 22);
+  std::vector<Tensor> expected;
+  for (const auto& m : maps) {
+    expected.push_back(
+        trainer.predict(m.reshape({1, 3, res, res}).clone()));
+  }
+
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50000;  // mixed batch compositions vs the reference
+  auto engine = InferenceEngine::from_checkpoint(path, cfg);
+  ASSERT_TRUE(engine->has_normalizer());
+  EXPECT_DOUBLE_EQ(engine->normalizer().temp_scale(), norm.temp_scale());
+  std::vector<std::future<Tensor>> futs;
+  for (const auto& m : maps) futs.push_back(engine->submit(m.clone()));
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Tensor got = futs[i].get();
+    ASSERT_EQ(got.shape(), (Shape{1, res, res}));
+    EXPECT_EQ(std::memcmp(got.data(), expected[i].data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(got.numel())),
+              0)
+        << "request " << i << " is not bit-identical to Trainer::predict";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(InferenceEngine, FromZooPicksUpV2Normalizer) {
+  auto model = smoke_model();
+  const auto norm =
+      data::Normalizer::from_stats(298.15, 2.0, 10.0, /*n_power=*/1);
+  const std::string path = ::testing::TempDir() + "/saufno_zoo_v2.ckpt";
+  train::save_deployable(*model, "SAU-FNO", 3, 1, norm, path);
+  auto engine = InferenceEngine::from_zoo("SAU-FNO", 3, 1, /*seed=*/42, path,
+                                          InferenceEngine::Config{});
+  EXPECT_TRUE(engine->has_normalizer());
+  EXPECT_DOUBLE_EQ(engine->normalizer().power_scale(), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(InferenceEngine, InterleavedResolutionsStillCoalesce) {
+  // An A,B,A,B,... stream through the old single-FIFO queue degraded to
+  // batch-size-1 (every pop stopped at the first foreign shape). The
+  // sharded queue must keep avg batch size > 1 under the same traffic.
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 100000;  // generous so stragglers coalesce deterministically
+  InferenceEngine engine(smoke_model(), cfg);
+  const auto small = random_maps(8, 10, 30);
+  const auto large = random_maps(8, 14, 31);
+  std::vector<std::future<Tensor>> futs;
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    futs.push_back(engine.submit(small[i].clone()));
+    futs.push_back(engine.submit(large[i].clone()));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Tensor got = futs[i].get();
+    const int64_t r = (i % 2 == 0) ? 10 : 14;
+    EXPECT_EQ(got.shape(), (Shape{1, r, r}));
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.requests, 16);
+  EXPECT_GT(s.avg_batch_size, 1.0)
+      << "head-of-line blocking collapsed mixed-shape batching";
+  // 16 requests at max_batch 4 need >= 4 batches; well-coalesced traffic
+  // should stay close to that rather than near 16.
+  EXPECT_LE(s.batches, 12);
+}
+
+TEST(InferenceEngine, ThroughputMeasuredOverBusyWindowNotLifetime) {
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 1000;
+  const auto t0 = std::chrono::steady_clock::now();
+  InferenceEngine engine(smoke_model(), cfg);
+  // Idle before the first request must not dilute throughput.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const auto maps = random_maps(4, 10, 32);
+  std::vector<std::future<Tensor>> futs;
+  for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+  for (auto& f : futs) f.get();
+  const auto s = engine.stats();
+  const double lifetime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_GT(s.wall_seconds, 0.0);
+  // The busy window starts at the first enqueue, so the 300 ms idle prefix
+  // is excluded from it but included in the lifetime. Comparing against the
+  // measured lifetime (rather than an absolute bound) keeps this robust on
+  // loaded CI runners: preemption stretches both clocks equally, while the
+  // sleep only ever widens the gap.
+  EXPECT_LT(s.wall_seconds, lifetime - 0.200);
+  EXPECT_GT(s.throughput_rps, 0.0);
 }
 
 TEST(InferenceEngine, DeterministicAcrossThreadCounts) {

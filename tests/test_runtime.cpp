@@ -1,14 +1,17 @@
 #include "runtime/parallel_for.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "fft/fft.h"
+#include "runtime/request_queue.h"
 #include "runtime/thread_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
@@ -113,6 +116,73 @@ void expect_bitwise_stable(Fn compute) {
         << "result differs at " << threads << " threads";
   }
   ThreadPool::instance().resize(1);
+}
+
+runtime::InferenceRequest make_request(const Shape& shape) {
+  runtime::InferenceRequest req;
+  req.input = Tensor::zeros(shape);
+  req.enqueued_at = std::chrono::steady_clock::now();
+  return req;
+}
+
+TEST(RequestQueue, ShardsByShapeAndDrainsRoundRobin) {
+  runtime::RequestQueue q;
+  // Interleaved two-shape traffic: the sharded queue must produce full
+  // same-shape batches, not the batch-size-1 collapse of a single FIFO.
+  const Shape a{3, 10, 10}, b{3, 14, 14};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.push(make_request(a)));
+    ASSERT_TRUE(q.push(make_request(b)));
+  }
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_EQ(q.shard_count(), 2u);
+
+  auto first = q.pop_batch(4, /*max_wait_us=*/0);
+  ASSERT_EQ(first.size(), 4u);
+  EXPECT_EQ(first.front().input.shape(), a);
+  auto second = q.pop_batch(4, 0);
+  ASSERT_EQ(second.size(), 4u);
+  EXPECT_EQ(second.front().input.shape(), b);
+  for (auto& r : first) r.result.set_value(Tensor::zeros({1}));
+  for (auto& r : second) r.result.set_value(Tensor::zeros({1}));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.shard_count(), 0u);
+}
+
+TEST(RequestQueue, RoundRobinAlternatesBetweenLiveShards) {
+  runtime::RequestQueue q;
+  const Shape a{1, 8, 8}, b{1, 12, 12};
+  for (int i = 0; i < 8; ++i) q.push(make_request(i % 2 == 0 ? a : b));
+  // max_batch 2 forces two drains per shard; shapes must alternate so one
+  // hot resolution cannot starve the other.
+  std::vector<Shape> order;
+  for (int i = 0; i < 8; i += 2) {
+    auto batch = q.pop_batch(2, 0);
+    ASSERT_EQ(batch.size(), 2u);
+    order.push_back(batch.front().input.shape());
+    for (auto& r : batch) r.result.set_value(Tensor::zeros({1}));
+  }
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_NE(order[0], order[1]);
+  EXPECT_NE(order[1], order[2]);
+  EXPECT_NE(order[2], order[3]);
+}
+
+TEST(RequestQueue, BatchDeadlineAnchorsToEnqueueTime) {
+  runtime::RequestQueue q;
+  q.push(make_request({3, 10, 10}));
+  // The request has already waited longer than max_wait_us by the time the
+  // batcher pops, so pop_batch must return it immediately instead of
+  // waiting max_wait_us again for stragglers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto batch = q.pop_batch(8, /*max_wait_us=*/200000);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_LT(waited, 0.150) << "pop_batch re-armed the wait at pop time";
+  batch.front().result.set_value(Tensor::zeros({1}));
 }
 
 TEST(RuntimeDeterminism, Gemm) {
