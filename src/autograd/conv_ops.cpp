@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "runtime/workspace.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor_ops.h"
 
@@ -30,7 +31,7 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int64_t stride,
   const int64_t plane = oh * ow;
 
   Tensor out({B, cout, oh, ow});
-  std::vector<float> cols(static_cast<std::size_t>(ck * plane));
+  runtime::Scratch<float> cols(static_cast<std::size_t>(ck * plane));
   const bool has_bias = b.defined();
   if (has_bias) {
     SAUFNO_CHECK(b.value().dim() == 1 && b.size(0) == cout,
@@ -68,8 +69,8 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int64_t stride,
     Tensor gx = Tensor::zeros({B, cin, h, w_in});
     Tensor gw = Tensor::zeros({cout, cin, kh, kw});
     Tensor gb = has_bias ? Tensor::zeros({cout}) : Tensor();
-    std::vector<float> colbuf(static_cast<std::size_t>(ckl * pl));
-    std::vector<float> gcol(static_cast<std::size_t>(ckl * pl));
+    runtime::Scratch<float> colbuf(static_cast<std::size_t>(ckl * pl));
+    runtime::Scratch<float> gcol(static_cast<std::size_t>(ckl * pl));
     // wT: [ck, cout] used for gx = wT * gout
     Tensor wt = transpose2d(iw->value.reshape({cout, ckl}));
     for (int64_t n = 0; n < B; ++n) {
@@ -83,8 +84,7 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int64_t stride,
       // Transpose colbuf once into gcol (reused as scratch).
       for (int64_t c = 0; c < ckl; ++c) {
         for (int64_t p = 0; p < pl; ++p) {
-          gcol[static_cast<std::size_t>(p * ckl + c)] =
-              colbuf[static_cast<std::size_t>(c * pl + p)];
+          gcol.data()[p * ckl + c] = colbuf.data()[c * pl + p];
         }
       }
       gemm(gout, gcol.data(), gw.data(), cout, ckl, pl, /*accumulate=*/true);

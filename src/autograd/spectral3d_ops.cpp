@@ -1,21 +1,18 @@
 #include "autograd/spectral3d_ops.h"
 
 #include <complex>
-#include <vector>
+#include <cstring>
 
 #include "common/logging.h"
 #include "fft/fft.h"
+#include "runtime/parallel_for.h"
+#include "runtime/workspace.h"
 
 namespace saufno {
 namespace ops {
-namespace {
 
-using detail::Node;
-using detail::accumulate_grad;
+namespace spectral {
 
-/// (weight_index, spectrum_index) pairs for one signed-frequency axis:
-/// weight slots 0..m-1 hold positive frequencies, slots m..2m-1 negative
-/// ones; both clamped to the axis Nyquist limit n/2.
 std::vector<std::pair<int64_t, int64_t>> signed_axis_map(int64_t n,
                                                          int64_t m) {
   std::vector<std::pair<int64_t, int64_t>> out;
@@ -24,6 +21,46 @@ std::vector<std::pair<int64_t, int64_t>> signed_axis_map(int64_t n,
   for (int64_t r = 0; r < me; ++r) out.emplace_back(r, r);
   for (int64_t s = 0; s < me; ++s) out.emplace_back(m + s, n - me + s);
   return out;
+}
+
+}  // namespace spectral
+
+namespace {
+
+using detail::Node;
+using detail::accumulate_grad;
+using spectral::signed_axis_map;
+
+using AxisMap = std::vector<std::pair<int64_t, int64_t>>;
+
+/// 3-D analogue of the 2-D herm_prep: rewrite one compact [D, H, wk]
+/// spectrum Y (nonzero only on kept modes, all with k3 < W/2) so that
+/// irfft_3d(result) == Re(IFFT3(Y embedded in the full spectrum)):
+/// symmetrize the k3 = 0 plane over the (kd, kh) torus, halve the other
+/// kept columns. `planebuf` must hold D*H cfloats.
+void herm_prep_3d(cfloat* vol, int64_t D, int64_t H, int64_t wk,
+                  const AxisMap& map_d, const AxisMap& map_h,
+                  cfloat* planebuf) {
+  for (int64_t kd = 0; kd < D; ++kd) {
+    for (int64_t kh = 0; kh < H; ++kh) {
+      planebuf[kd * H + kh] = vol[(kd * H + kh) * wk];
+    }
+  }
+  for (int64_t kd = 0; kd < D; ++kd) {
+    for (int64_t kh = 0; kh < H; ++kh) {
+      const cfloat mirror =
+          std::conj(planebuf[((D - kd) % D) * H + (H - kh) % H]);
+      vol[(kd * H + kh) * wk] = 0.5f * (planebuf[kd * H + kh] + mirror);
+    }
+  }
+  for (const auto& [wr, kd] : map_d) {
+    (void)wr;
+    for (const auto& [wc, kh] : map_h) {
+      (void)wc;
+      cfloat* row = vol + (kd * H + kh) * wk;
+      for (int64_t k = 1; k < wk; ++k) row[k] *= 0.5f;
+    }
+  }
 }
 
 }  // namespace
@@ -40,55 +77,80 @@ Var spectral_conv3d(const Var& x, const Var& w, int64_t m1, int64_t m2,
                    w.size(2) == 2 * m1 && w.size(3) == 2 * m2 &&
                    w.size(4) == m3 && w.size(5) == 2,
                "spectral_conv3d weight shape mismatch");
-  const int64_t vol = D * H * W;
-  const auto map_d = signed_axis_map(D, m1);
-  const auto map_h = signed_axis_map(H, m2);
-  const int64_t m3e = std::min(m3, W / 2);
+  const AxisMap map_d = signed_axis_map(D, m1);
+  const AxisMap map_h = signed_axis_map(H, m2);
+  const int64_t wk = std::min(m3, W / 2);
+  const int64_t nd = static_cast<int64_t>(map_d.size());
+  const int64_t mhe = std::min(m2, H / 2);  // per-side kept count along H
 
   auto widx = [=](int64_t i, int64_t o, int64_t r, int64_t c, int64_t k) {
     return ((((i * cout + o) * (2 * m1) + r) * (2 * m2) + c) * m3 + k) * 2;
   };
-  auto koff = [=](int64_t kd, int64_t kh, int64_t kw) {
-    return (kd * H + kh) * W + kw;
-  };
 
-  std::vector<cfloat> xf(static_cast<std::size_t>(B * cin * vol));
-  {
-    const float* xp = x.value().data();
-    for (int64_t i = 0; i < B * cin * vol; ++i) {
-      xf[static_cast<std::size_t>(i)] = cfloat(xp[i], 0.f);
-    }
-    fft_3d(xf.data(), B * cin, D, H, W, /*inverse=*/false);
+  if (wk == 0 || map_d.empty() || map_h.empty()) {
+    Tensor out = Tensor::zeros({B, cout, D, H, W});
+    if (!any_requires_grad({x, w})) return Var(std::move(out));
+    auto node = std::make_shared<Node>();
+    node->name = "spectral_conv3d";
+    node->inputs = {x.impl(), w.impl()};
+    auto ix = x.impl(), iw = w.impl();
+    node->backward = [=](const Tensor&) {
+      accumulate_grad(ix, Tensor::zeros(ix->value.shape()));
+      accumulate_grad(iw, Tensor::zeros(iw->value.shape()));
+    };
+    return Var::from_op(std::move(out), node);
   }
 
-  std::vector<cfloat> yf(static_cast<std::size_t>(B * cout * vol),
-                         cfloat(0.f, 0.f));
-  const float* wp = w.value().data();
-  for (int64_t b = 0; b < B; ++b) {
-    for (const auto& [wr, kd] : map_d) {
-      for (const auto& [wc, kh] : map_h) {
-        for (int64_t k = 0; k < m3e; ++k) {
-          const int64_t off = koff(kd, kh, k);
+  const int64_t cvol = D * H * wk;  // compact half-spectrum volume
+
+  // Arena-backed like the 2-D op: irfft_3d writes every element.
+  Tensor out = Tensor::scratch({B, cout, D, H, W});
+  {
+    runtime::Scratch<cfloat> xf(static_cast<std::size_t>(B * cin * cvol));
+    runtime::Scratch<cfloat> yf(static_cast<std::size_t>(B * cout * cvol));
+    rfft_3d(x.value().data(), xf.data(), B * cin, D, H, W, wk, mhe);
+    yf.zero();
+
+    // One chunk owns one (batch, kept-kd) pair: disjoint output rows,
+    // fixed accumulation order, bit-identical across thread counts. The
+    // inner k loop runs over contiguous kept columns in both the compact
+    // spectrum and the weight layout.
+    const float* wp = w.value().data();
+    const float* xfp = reinterpret_cast<const float*>(xf.data());
+    float* yfp = reinterpret_cast<float*>(yf.data());
+    runtime::parallel_for(0, B * nd, 1, [&](int64_t i0, int64_t i1) {
+      for (int64_t idx = i0; idx < i1; ++idx) {
+        const int64_t b = idx / nd;
+        const auto& [wr, kd] = map_d[static_cast<std::size_t>(idx % nd)];
+        for (const auto& [wc, kh] : map_h) {
+          const int64_t off = (kd * H + kh) * wk;
           for (int64_t o = 0; o < cout; ++o) {
-            cfloat acc(0.f, 0.f);
+            float* yrow = yfp + 2 * ((b * cout + o) * cvol + off);
             for (int64_t i = 0; i < cin; ++i) {
-              const float* wcplx = wp + widx(i, o, wr, wc, k);
-              acc += cfloat(wcplx[0], wcplx[1]) *
-                     xf[static_cast<std::size_t>((b * cin + i) * vol + off)];
+              const float* wrow = wp + widx(i, o, wr, wc, 0);
+              const float* xrow = xfp + 2 * ((b * cin + i) * cvol + off);
+              for (int64_t k = 0; k < wk; ++k) {
+                const float xr = xrow[2 * k], xi = xrow[2 * k + 1];
+                const float ar = wrow[2 * k], ai = wrow[2 * k + 1];
+                yrow[2 * k] += ar * xr - ai * xi;
+                yrow[2 * k + 1] += ar * xi + ai * xr;
+              }
             }
-            yf[static_cast<std::size_t>((b * cout + o) * vol + off)] = acc;
           }
         }
       }
-    }
-  }
-  fft_3d(yf.data(), B * cout, D, H, W, /*inverse=*/true);
-  Tensor out({B, cout, D, H, W});
-  {
-    float* op = out.data();
-    for (int64_t i = 0; i < B * cout * vol; ++i) {
-      op[i] = yf[static_cast<std::size_t>(i)].real();
-    }
+    });
+
+    runtime::parallel_for(0, B * cout, 1, [&](int64_t p0, int64_t p1) {
+      runtime::Scratch<cfloat> planebuf(static_cast<std::size_t>(D * H));
+      for (int64_t p = p0; p < p1; ++p) {
+        herm_prep_3d(yf.data() + p * cvol, D, H, wk, map_d, map_h,
+                     planebuf.data());
+      }
+    });
+    // The k3=0 symmetrization populates one extra kh row per side, so the
+    // inverse depth pass widens its kept set by one.
+    irfft_3d(yf.data(), out.data(), B * cout, D, H, W, wk, mhe + 1, 1.f);
   }
 
   if (!any_requires_grad({x, w})) return Var(std::move(out));
@@ -98,55 +160,64 @@ Var spectral_conv3d(const Var& x, const Var& w, int64_t m1, int64_t m2,
   node->inputs = {x.impl(), w.impl()};
   auto ix = x.impl(), iw = w.impl();
   node->backward = [=](const Tensor& g) {
-    std::vector<cfloat> gf(static_cast<std::size_t>(B * cout * vol));
-    const float* gp = g.data();
-    for (int64_t i = 0; i < B * cout * vol; ++i) {
-      gf[static_cast<std::size_t>(i)] = cfloat(gp[i], 0.f);
-    }
-    fft_3d(gf.data(), B * cout, D, H, W, /*inverse=*/true);
-
-    std::vector<cfloat> xf2(static_cast<std::size_t>(B * cin * vol));
-    const float* xp = ix->value.data();
-    for (int64_t i = 0; i < B * cin * vol; ++i) {
-      xf2[static_cast<std::size_t>(i)] = cfloat(xp[i], 0.f);
-    }
-    fft_3d(xf2.data(), B * cin, D, H, W, /*inverse=*/false);
+    // Same half-spectrum adjoints as the 2-D op (see spectral_ops.cpp):
+    // with R = rfft3(g) and N = D*H*W, G = IFFT3(g) = conj(R)/N on kept
+    // modes, zc = N*conj(z) = sum_o R * conj(W), gx = irfft_3d(prep(zc)),
+    // gW = (sum_b R * conj(Xf)) / N.
+    runtime::Scratch<cfloat> gf(static_cast<std::size_t>(B * cout * cvol));
+    runtime::Scratch<cfloat> xf2(static_cast<std::size_t>(B * cin * cvol));
+    runtime::Scratch<cfloat> zc(static_cast<std::size_t>(B * cin * cvol));
+    rfft_3d(g.data(), gf.data(), B * cout, D, H, W, wk, mhe);
+    rfft_3d(ix->value.data(), xf2.data(), B * cin, D, H, W, wk, mhe);
+    zc.zero();
 
     const float* wp2 = iw->value.data();
     Tensor gw = Tensor::zeros(iw->value.shape());
     float* gwp = gw.data();
-    std::vector<cfloat> z(static_cast<std::size_t>(B * cin * vol),
-                          cfloat(0.f, 0.f));
-    for (int64_t b = 0; b < B; ++b) {
-      for (const auto& [wr, kd] : map_d) {
+    const float* gfp = reinterpret_cast<const float*>(gf.data());
+    const float* xfp = reinterpret_cast<const float*>(xf2.data());
+    float* zp = reinterpret_cast<float*>(zc.data());
+    // One chunk owns one kept kd: its weight rows (gW) and spectrum rows
+    // (zc) are touched by no other chunk.
+    runtime::parallel_for(0, nd, 1, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const auto& [wr, kd] = map_d[static_cast<std::size_t>(r)];
         for (const auto& [wc, kh] : map_h) {
-          for (int64_t k = 0; k < m3e; ++k) {
-            const int64_t off = koff(kd, kh, k);
+          const int64_t off = (kd * H + kh) * wk;
+          for (int64_t b = 0; b < B; ++b) {
             for (int64_t o = 0; o < cout; ++o) {
-              const cfloat gk =
-                  gf[static_cast<std::size_t>((b * cout + o) * vol + off)];
+              const float* grow = gfp + 2 * ((b * cout + o) * cvol + off);
               for (int64_t i = 0; i < cin; ++i) {
-                const float* wcplx = wp2 + widx(i, o, wr, wc, k);
-                z[static_cast<std::size_t>((b * cin + i) * vol + off)] +=
-                    gk * cfloat(wcplx[0], wcplx[1]);
-                const cfloat gw_c =
-                    gk *
-                    xf2[static_cast<std::size_t>((b * cin + i) * vol + off)];
-                float* gwc = gwp + widx(i, o, wr, wc, k);
-                gwc[0] += gw_c.real();
-                gwc[1] -= gw_c.imag();
+                float* zrow = zp + 2 * ((b * cin + i) * cvol + off);
+                const float* xrow = xfp + 2 * ((b * cin + i) * cvol + off);
+                const float* wrow = wp2 + widx(i, o, wr, wc, 0);
+                float* gwrow = gwp + widx(i, o, wr, wc, 0);
+                for (int64_t k = 0; k < wk; ++k) {
+                  const float gr = grow[2 * k], gi = grow[2 * k + 1];
+                  const float ar = wrow[2 * k], ai = wrow[2 * k + 1];
+                  zrow[2 * k] += gr * ar + gi * ai;
+                  zrow[2 * k + 1] += gi * ar - gr * ai;
+                  const float xr = xrow[2 * k], xi = xrow[2 * k + 1];
+                  gwrow[2 * k] += gr * xr + gi * xi;
+                  gwrow[2 * k + 1] += gi * xr - gr * xi;
+                }
               }
             }
           }
         }
       }
-    }
-    fft_3d(z.data(), B * cin, D, H, W, /*inverse=*/false);
-    Tensor gx({B, cin, D, H, W});
-    float* gxp = gx.data();
-    for (int64_t i = 0; i < B * cin * vol; ++i) {
-      gxp[i] = z[static_cast<std::size_t>(i)].real();
-    }
+    });
+    gw.mul_(1.f / static_cast<float>(D * H * W));
+
+    runtime::parallel_for(0, B * cin, 1, [&](int64_t p0, int64_t p1) {
+      runtime::Scratch<cfloat> planebuf(static_cast<std::size_t>(D * H));
+      for (int64_t p = p0; p < p1; ++p) {
+        herm_prep_3d(zc.data() + p * cvol, D, H, wk, map_d, map_h,
+                     planebuf.data());
+      }
+    });
+    Tensor gx = Tensor::scratch({B, cin, D, H, W});
+    irfft_3d(zc.data(), gx.data(), B * cin, D, H, W, wk, mhe + 1, 1.f);
     accumulate_grad(ix, gx);
     accumulate_grad(iw, gw);
   };

@@ -1,9 +1,24 @@
 #pragma once
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "autograd/variable.h"
 
 namespace saufno {
 namespace ops {
+
+namespace spectral {
+
+/// (weight_index, spectrum_index) pairs for one signed-frequency axis:
+/// weight slots 0..m-1 hold positive frequencies, slots m..2m-1 negative
+/// ones; both clamped to the axis Nyquist limit n/2. Exposed for the FFT
+/// pruning tests.
+std::vector<std::pair<int64_t, int64_t>> signed_axis_map(int64_t n,
+                                                         int64_t m);
+
+}  // namespace spectral
 
 /// Differentiable 3-D Fourier-domain convolution — the volumetric kernel
 /// integral operator for models that predict the FULL 3-D temperature
@@ -22,6 +37,11 @@ namespace ops {
 ///   gx = Re( FFT3( IFFT3(g) ⊙ W ) ),   gW = conj( IFFT3(g) ⊙ FFT3(x) ).
 /// Modes are clamped to each axis's Nyquist limit, so one parameter set
 /// serves every grid — including the thin z-axis of chip stacks.
+///
+/// Like the 2-D op, all transforms run on compact [D, H, m3e] Hermitian
+/// half-spectra with the depth pass pruned to the kept H-frequencies, the
+/// real-part-of-inverse folded into a k3=0 symmetrization, and scratch
+/// served by the workspace arena.
 Var spectral_conv3d(const Var& x, const Var& w, int64_t m1, int64_t m2,
                     int64_t m3, int64_t cout);
 

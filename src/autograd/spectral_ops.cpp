@@ -1,26 +1,17 @@
 #include "autograd/spectral_ops.h"
 
 #include <complex>
-#include <vector>
+#include <cstring>
 
 #include "common/logging.h"
 #include "fft/fft.h"
+#include "runtime/parallel_for.h"
+#include "runtime/workspace.h"
 
 namespace saufno {
 namespace ops {
-namespace {
 
-using detail::Node;
-using detail::accumulate_grad;
-
-/// Kept-mode row indices in the H-point spectrum for effective mode count
-/// m1e out of configured m1: weight row r < m1 maps to k1 = r (kept iff
-/// r < m1e), weight row m1 + s maps to k1 = H - m1e + s... see below.
-struct ModeMap {
-  // (weight_row, spectrum_row) pairs actually used at this resolution.
-  std::vector<std::pair<int64_t, int64_t>> rows;
-  int64_t m2e = 0;  // columns 0..m2e-1 used
-};
+namespace spectral {
 
 ModeMap make_mode_map(int64_t H, int64_t W, int64_t m1, int64_t m2) {
   ModeMap mm;
@@ -37,6 +28,34 @@ ModeMap make_mode_map(int64_t H, int64_t W, int64_t m1, int64_t m2) {
   return mm;
 }
 
+}  // namespace spectral
+
+namespace {
+
+using detail::Node;
+using detail::accumulate_grad;
+using spectral::ModeMap;
+using spectral::make_mode_map;
+
+/// Rewrite one compact [H, wk] spectrum Y (nonzero only on the kept modes)
+/// so that irfft_2d(result) == Re(IFFT2(Y embedded in the full H x W
+/// spectrum)). Since every kept column satisfies k2 < W/2, the Hermitian
+/// mirror of column k2 >= 1 lands outside the kept set and the identity
+/// Re(IFFT(Y)) = IFFT((Y + herm(Y))/2) reduces to: symmetrize column 0
+/// across rows, halve the remaining kept columns.
+void herm_prep(cfloat* plane, int64_t H, int64_t wk,
+               const std::vector<std::pair<int64_t, int64_t>>& rows,
+               cfloat* colbuf) {
+  for (int64_t k1 = 0; k1 < H; ++k1) colbuf[k1] = plane[k1 * wk];
+  for (int64_t k1 = 0; k1 < H; ++k1) {
+    plane[k1 * wk] = 0.5f * (colbuf[k1] + std::conj(colbuf[(H - k1) % H]));
+  }
+  for (const auto& [wr, kr] : rows) {
+    (void)wr;
+    for (int64_t c = 1; c < wk; ++c) plane[kr * wk + c] *= 0.5f;
+  }
+}
+
 }  // namespace
 
 Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
@@ -48,51 +67,79 @@ Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
   SAUFNO_CHECK(w.size(0) == cin && w.size(1) == cout &&
                    w.size(2) == 2 * m1 && w.size(3) == m2 && w.size(4) == 2,
                "spectral_conv2d weight shape mismatch");
-  const int64_t plane = H * W;
   const ModeMap mm = make_mode_map(H, W, m1, m2);
-
-  // FFT of every input channel: Xf[b, i] (complex plane).
-  std::vector<cfloat> xf(static_cast<std::size_t>(B * cin * plane));
-  {
-    const float* xp = x.value().data();
-    for (int64_t i = 0; i < B * cin * plane; ++i) {
-      xf[static_cast<std::size_t>(i)] = cfloat(xp[i], 0.f);
-    }
-    fft_2d(xf.data(), B * cin, H, W, /*inverse=*/false);
-  }
+  const int64_t wk = mm.m2e;
+  const int64_t nr = static_cast<int64_t>(mm.rows.size());
 
   auto widx = [m2, m1](int64_t i, int64_t o, int64_t r, int64_t c,
                        int64_t cout_) {
     return (((i * cout_ + o) * (2 * m1) + r) * m2 + c) * 2;
   };
 
-  // Mix channels on the kept modes: Yf[b, o, k] = sum_i W[i,o,k] Xf[b,i,k].
-  std::vector<cfloat> yf(static_cast<std::size_t>(B * cout * plane),
-                         cfloat(0.f, 0.f));
-  const float* wp = w.value().data();
-  for (int64_t b = 0; b < B; ++b) {
-    for (const auto& [wr, kr] : mm.rows) {
-      for (int64_t c = 0; c < mm.m2e; ++c) {
-        const int64_t koff = kr * W + c;
+  if (wk == 0 || nr == 0) {
+    // Grid too coarse for any kept mode: the operator is identically zero.
+    Tensor out = Tensor::zeros({B, cout, H, W});
+    if (!any_requires_grad({x, w})) return Var(std::move(out));
+    auto node = std::make_shared<Node>();
+    node->name = "spectral_conv2d";
+    node->inputs = {x.impl(), w.impl()};
+    auto ix = x.impl(), iw = w.impl();
+    node->backward = [=](const Tensor&) {
+      accumulate_grad(ix, Tensor::zeros(ix->value.shape()));
+      accumulate_grad(iw, Tensor::zeros(iw->value.shape()));
+    };
+    return Var::from_op(std::move(out), node);
+  }
+
+  const int64_t cs = H * wk;  // compact half-spectrum plane size
+
+  // Output and input-gradient tensors are arena scratch: every element is
+  // written by the inverse transform, and steady-state training/serving
+  // then runs the whole spectral path without touching the heap.
+  Tensor out = Tensor::scratch({B, cout, H, W});
+  {
+    runtime::Scratch<cfloat> xf(static_cast<std::size_t>(B * cin * cs));
+    runtime::Scratch<cfloat> yf(static_cast<std::size_t>(B * cout * cs));
+    rfft_2d(x.value().data(), xf.data(), B * cin, H, W, wk);
+    yf.zero();
+
+    // Mix channels on the kept modes: Yf[b,o,k] = sum_i W[i,o,k] Xf[b,i,k].
+    // One chunk owns one (batch, kept-row) pair, so every output row is
+    // written by exactly one chunk and the i-accumulation order is fixed —
+    // bit-identical for any thread count. The inner c loop runs over three
+    // contiguous streams (the kept columns are adjacent in both the compact
+    // spectrum and the weight layout), i.e. a small complex GEMM per mode
+    // row with the column index vectorized.
+    const float* wp = w.value().data();
+    const float* xfp = reinterpret_cast<const float*>(xf.data());
+    float* yfp = reinterpret_cast<float*>(yf.data());
+    runtime::parallel_for(0, B * nr, 1, [&](int64_t i0, int64_t i1) {
+      for (int64_t idx = i0; idx < i1; ++idx) {
+        const int64_t b = idx / nr;
+        const auto& [wr, kr] = mm.rows[static_cast<std::size_t>(idx % nr)];
         for (int64_t o = 0; o < cout; ++o) {
-          cfloat acc(0.f, 0.f);
+          float* yrow = yfp + 2 * (((b * cout + o) * H + kr) * wk);
           for (int64_t i = 0; i < cin; ++i) {
-            const float* wc = wp + widx(i, o, wr, c, cout);
-            const cfloat wk(wc[0], wc[1]);
-            acc += wk * xf[static_cast<std::size_t>((b * cin + i) * plane + koff)];
+            const float* wrow = wp + widx(i, o, wr, 0, cout);
+            const float* xrow = xfp + 2 * (((b * cin + i) * H + kr) * wk);
+            for (int64_t c = 0; c < wk; ++c) {
+              const float xr = xrow[2 * c], xi = xrow[2 * c + 1];
+              const float ar = wrow[2 * c], ai = wrow[2 * c + 1];
+              yrow[2 * c] += ar * xr - ai * xi;
+              yrow[2 * c + 1] += ar * xi + ai * xr;
+            }
           }
-          yf[static_cast<std::size_t>((b * cout + o) * plane + koff)] = acc;
         }
       }
-    }
-  }
-  fft_2d(yf.data(), B * cout, H, W, /*inverse=*/true);
-  Tensor out({B, cout, H, W});
-  {
-    float* op = out.data();
-    for (int64_t i = 0; i < B * cout * plane; ++i) {
-      op[i] = yf[static_cast<std::size_t>(i)].real();
-    }
+    });
+
+    runtime::parallel_for(0, B * cout, 1, [&](int64_t p0, int64_t p1) {
+      runtime::Scratch<cfloat> colbuf(static_cast<std::size_t>(H));
+      for (int64_t p = p0; p < p1; ++p) {
+        herm_prep(yf.data() + p * cs, H, wk, mm.rows, colbuf.data());
+      }
+    });
+    irfft_2d(yf.data(), out.data(), B * cout, H, W, wk, 1.f);
   }
 
   if (!any_requires_grad({x, w})) return Var(std::move(out));
@@ -102,57 +149,68 @@ Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
   node->inputs = {x.impl(), w.impl()};
   auto ix = x.impl(), iw = w.impl();
   node->backward = [=](const Tensor& g) {
-    // G[b,o] = IFFT2(g[b,o])  (complex).
-    std::vector<cfloat> gf(static_cast<std::size_t>(B * cout * plane));
-    const float* gp = g.data();
-    for (int64_t i = 0; i < B * cout * plane; ++i) {
-      gf[static_cast<std::size_t>(i)] = cfloat(gp[i], 0.f);
-    }
-    fft_2d(gf.data(), B * cout, H, W, /*inverse=*/true);
-
+    // Adjoints on half-spectra. With R = rfft2(g) (unnormalized) and
+    // N = H*W, the seed's G = IFFT2(g) equals conj(R)/N at every kept mode,
+    // so:
+    //   gW[i,o,k] = sum_b R[b,o,k] * conj(Xf[b,i,k]) / N
+    //   gx        = Re(FFT2(z)),  z[b,i,k] = sum_o G[b,o,k] W[i,o,k]
+    // and with zc = N * conj(z) = sum_o R[b,o,k] * conj(W[i,o,k]) the
+    // identity Re(FFT2(z)) = N * Re(IFFT2(conj z)) makes
+    // gx = irfft_2d(herm_prep(zc), scale = 1).
+    runtime::Scratch<cfloat> gf(static_cast<std::size_t>(B * cout * cs));
+    runtime::Scratch<cfloat> xf2(static_cast<std::size_t>(B * cin * cs));
+    runtime::Scratch<cfloat> zc(static_cast<std::size_t>(B * cin * cs));
+    rfft_2d(g.data(), gf.data(), B * cout, H, W, wk);
     // Recompute Xf (cheaper than caching activations across a whole epoch).
-    std::vector<cfloat> xf2(static_cast<std::size_t>(B * cin * plane));
-    const float* xp = ix->value.data();
-    for (int64_t i = 0; i < B * cin * plane; ++i) {
-      xf2[static_cast<std::size_t>(i)] = cfloat(xp[i], 0.f);
-    }
-    fft_2d(xf2.data(), B * cin, H, W, /*inverse=*/false);
+    rfft_2d(ix->value.data(), xf2.data(), B * cin, H, W, wk);
+    zc.zero();
 
     const float* wp2 = iw->value.data();
     Tensor gw = Tensor::zeros(iw->value.shape());
     float* gwp = gw.data();
-    // Z[b,i,k] = sum_o G[b,o,k] * W[i,o,k]  -> gx = Re(FFT2(Z)).
-    std::vector<cfloat> z(static_cast<std::size_t>(B * cin * plane),
-                          cfloat(0.f, 0.f));
-    for (int64_t b = 0; b < B; ++b) {
-      for (const auto& [wr, kr] : mm.rows) {
-        for (int64_t c = 0; c < mm.m2e; ++c) {
-          const int64_t koff = kr * W + c;
+    const float* gfp = reinterpret_cast<const float*>(gf.data());
+    const float* xfp = reinterpret_cast<const float*>(xf2.data());
+    float* zp = reinterpret_cast<float*>(zc.data());
+    // One chunk owns one kept row: its weight row wr (for gW) and its
+    // spectrum row kr (for zc) are touched by no other chunk, and the b/o
+    // accumulation order is fixed — bit-identical for any thread count.
+    runtime::parallel_for(0, nr, 1, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const auto& [wr, kr] = mm.rows[static_cast<std::size_t>(r)];
+        for (int64_t b = 0; b < B; ++b) {
           for (int64_t o = 0; o < cout; ++o) {
-            const cfloat gk =
-                gf[static_cast<std::size_t>((b * cout + o) * plane + koff)];
+            const float* grow = gfp + 2 * (((b * cout + o) * H + kr) * wk);
             for (int64_t i = 0; i < cin; ++i) {
-              const float* wc = wp2 + widx(i, o, wr, c, cout);
-              const cfloat wk(wc[0], wc[1]);
-              z[static_cast<std::size_t>((b * cin + i) * plane + koff)] +=
-                  gk * wk;
-              // gW[i,o,k] += conj(G[b,o,k] * Xf[b,i,k])
-              const cfloat gx_w =
-                  gk * xf2[static_cast<std::size_t>((b * cin + i) * plane + koff)];
-              float* gwc = gwp + widx(i, o, wr, c, cout);
-              gwc[0] += gx_w.real();
-              gwc[1] -= gx_w.imag();
+              float* zrow = zp + 2 * (((b * cin + i) * H + kr) * wk);
+              const float* xrow = xfp + 2 * (((b * cin + i) * H + kr) * wk);
+              const float* wrow = wp2 + widx(i, o, wr, 0, cout);
+              float* gwrow = gwp + widx(i, o, wr, 0, cout);
+              for (int64_t c = 0; c < wk; ++c) {
+                const float gr = grow[2 * c], gi = grow[2 * c + 1];
+                const float ar = wrow[2 * c], ai = wrow[2 * c + 1];
+                // zc += R * conj(W)
+                zrow[2 * c] += gr * ar + gi * ai;
+                zrow[2 * c + 1] += gi * ar - gr * ai;
+                // gW_complex += R * conj(Xf)  (scaled by 1/N below)
+                const float xr = xrow[2 * c], xi = xrow[2 * c + 1];
+                gwrow[2 * c] += gr * xr + gi * xi;
+                gwrow[2 * c + 1] += gi * xr - gr * xi;
+              }
             }
           }
         }
       }
-    }
-    fft_2d(z.data(), B * cin, H, W, /*inverse=*/false);
-    Tensor gx({B, cin, H, W});
-    float* gxp = gx.data();
-    for (int64_t i = 0; i < B * cin * plane; ++i) {
-      gxp[i] = z[static_cast<std::size_t>(i)].real();
-    }
+    });
+    gw.mul_(1.f / static_cast<float>(H * W));
+
+    runtime::parallel_for(0, B * cin, 1, [&](int64_t p0, int64_t p1) {
+      runtime::Scratch<cfloat> colbuf(static_cast<std::size_t>(H));
+      for (int64_t p = p0; p < p1; ++p) {
+        herm_prep(zc.data() + p * cs, H, wk, mm.rows, colbuf.data());
+      }
+    });
+    Tensor gx = Tensor::scratch({B, cin, H, W});
+    irfft_2d(zc.data(), gx.data(), B * cin, H, W, wk, 1.f);
     accumulate_grad(ix, gx);
     accumulate_grad(iw, gw);
   };

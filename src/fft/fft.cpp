@@ -4,90 +4,122 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "fft/plan.h"
 #include "runtime/parallel_for.h"
+#include "runtime/workspace.h"
 
 namespace saufno {
 namespace {
 
-bool is_pow2(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+using fft::FftPlan;
+using fft::RfftPlan;
+using fft::get_plan;
+using fft::get_rfft_plan;
+using fft::run_plan;
 
-int64_t next_pow2(int64_t n) {
-  int64_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
+/// Column tile width for the cache-blocked column pass: a [len x kColTile]
+/// block is gathered into contiguous scratch (transposed), transformed line
+/// by line, and scattered back, so the strided plane is touched in
+/// row-contiguous segments instead of one element per cache line.
+constexpr int64_t kColTile = 16;
 
-/// Iterative radix-2 Cooley-Tukey; n must be a power of two.
-void fft_pow2(cfloat* x, int64_t n, bool inverse) {
-  // Bit-reversal permutation.
-  for (int64_t i = 1, j = 0; i < n; ++i) {
-    int64_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-  const float sign = inverse ? 1.f : -1.f;
-  for (int64_t len = 2; len <= n; len <<= 1) {
-    const double ang = sign * 2.0 * M_PI / static_cast<double>(len);
-    const cfloat wlen(static_cast<float>(std::cos(ang)),
-                      static_cast<float>(std::sin(ang)));
-    for (int64_t i = 0; i < n; i += len) {
-      cfloat w(1.f, 0.f);
-      for (int64_t k = 0; k < len / 2; ++k) {
-        const cfloat u = x[i + k];
-        const cfloat v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
+/// Transform columns [c0, c1) of a [len x stride] strided layout in place:
+/// element (l, j) lives at base[l * stride + j]. `tile` must hold
+/// kColTile * len cfloats.
+void fft_cols(cfloat* base, int64_t len, int64_t stride, int64_t c0,
+              int64_t c1, const FftPlan& plan, bool inverse, cfloat* tile) {
+  if (len == 1) return;
+  for (int64_t j0 = c0; j0 < c1; j0 += kColTile) {
+    const int64_t tw = std::min(kColTile, c1 - j0);
+    for (int64_t l = 0; l < len; ++l) {
+      const cfloat* row = base + l * stride + j0;
+      for (int64_t t = 0; t < tw; ++t) tile[t * len + l] = row[t];
+    }
+    for (int64_t t = 0; t < tw; ++t) run_plan(tile + t * len, plan, inverse);
+    for (int64_t l = 0; l < len; ++l) {
+      cfloat* row = base + l * stride + j0;
+      for (int64_t t = 0; t < tw; ++t) row[t] = tile[t * len + l];
     }
   }
-  if (inverse) {
-    const float inv = 1.f / static_cast<float>(n);
-    for (int64_t i = 0; i < n; ++i) x[i] *= inv;
-  }
 }
 
-/// Bluestein chirp-z: expresses an arbitrary-length DFT as a power-of-two
-/// circular convolution. Twiddle tables are recomputed per call; the solver
-/// and models only hit this path for non-pow2 grid sizes, where the O(n)
-/// table cost is negligible next to the convolution itself.
-void fft_bluestein(cfloat* x, int64_t n, bool inverse) {
-  const float sign = inverse ? 1.f : -1.f;
-  // chirp[k] = exp(sign * i * pi * k^2 / n)
-  std::vector<cfloat> chirp(static_cast<std::size_t>(n));
-  for (int64_t k = 0; k < n; ++k) {
-    // k^2 mod 2n keeps the angle argument small for large n.
-    const int64_t k2 = (k * k) % (2 * n);
-    const double ang = sign * M_PI * static_cast<double>(k2) / n;
-    chirp[static_cast<std::size_t>(k)] =
-        cfloat(static_cast<float>(std::cos(ang)),
-               static_cast<float>(std::sin(ang)));
+/// Forward real FFT of one length-n row into out[0..wk-1] (wk <= n/2+1).
+/// Even lengths use the real-even packing trick (one n/2-point complex FFT
+/// plus an O(wk) unpack); odd lengths widen and run the full plan.
+/// `scratch` must hold n cfloats.
+void rfft_row(const float* in, cfloat* out, const RfftPlan& rp, int64_t wk,
+              cfloat* scratch) {
+  const int64_t n = rp.n;
+  if (n == 1) {
+    out[0] = cfloat(in[0], 0.f);
+    return;
   }
-  const int64_t m = next_pow2(2 * n - 1);
-  std::vector<cfloat> a(static_cast<std::size_t>(m), cfloat(0.f, 0.f));
-  std::vector<cfloat> b(static_cast<std::size_t>(m), cfloat(0.f, 0.f));
-  for (int64_t k = 0; k < n; ++k) {
-    a[static_cast<std::size_t>(k)] = x[k] * chirp[static_cast<std::size_t>(k)];
+  if (rp.even) {
+    const int64_t n2 = n / 2;
+    cfloat* z = scratch;
+    for (int64_t j = 0; j < n2; ++j) z[j] = cfloat(in[2 * j], in[2 * j + 1]);
+    run_plan(z, *rp.sub, false);
+    for (int64_t k = 0; k < wk; ++k) {
+      const cfloat zk = z[k == n2 ? 0 : k];
+      const cfloat zm = std::conj(z[k == 0 ? 0 : n2 - k]);
+      const cfloat e = 0.5f * (zk + zm);
+      const cfloat d = zk - zm;
+      const cfloat o(0.5f * d.imag(), -0.5f * d.real());  // -i/2 * d
+      out[k] = e + rp.unpack[static_cast<std::size_t>(k)] * o;
+    }
+    return;
   }
-  b[0] = std::conj(chirp[0]);
-  for (int64_t k = 1; k < n; ++k) {
-    b[static_cast<std::size_t>(k)] = b[static_cast<std::size_t>(m - k)] =
-        std::conj(chirp[static_cast<std::size_t>(k)]);
+  for (int64_t j = 0; j < n; ++j) scratch[j] = cfloat(in[j], 0.f);
+  run_plan(scratch, *rp.sub, false);
+  for (int64_t k = 0; k < wk; ++k) out[k] = scratch[k];
+}
+
+/// Inverse of rfft_row: writes scale * the length-n real signal whose
+/// half-spectrum is spec[0..wk-1] extended with zeros up to n/2 and by
+/// conjugate symmetry beyond. `scratch` must hold n cfloats.
+void irfft_row(const cfloat* spec, float* out, const RfftPlan& rp, int64_t wk,
+               float scale, cfloat* scratch) {
+  const int64_t n = rp.n;
+  if (n == 1) {
+    out[0] = scale * spec[0].real();
+    return;
   }
-  fft_pow2(a.data(), m, false);
-  fft_pow2(b.data(), m, false);
-  for (int64_t k = 0; k < m; ++k) {
-    a[static_cast<std::size_t>(k)] *= b[static_cast<std::size_t>(k)];
+  auto at = [&](int64_t k) {
+    return k < wk ? spec[k] : cfloat(0.f, 0.f);
+  };
+  if (rp.even) {
+    const int64_t n2 = n / 2;
+    cfloat* z = scratch;
+    for (int64_t k = 0; k < n2; ++k) {
+      const cfloat xk = at(k);
+      const cfloat xm = std::conj(at(n2 - k));
+      const cfloat e = 0.5f * (xk + xm);
+      const cfloat d = 0.5f * (xk - xm);
+      // O[k] = d * conj(unpack[k]); Z[k] = E[k] + i * O[k].
+      const cfloat w = rp.unpack[static_cast<std::size_t>(k)];
+      const cfloat o(d.real() * w.real() + d.imag() * w.imag(),
+                     d.imag() * w.real() - d.real() * w.imag());
+      z[k] = cfloat(e.real() - o.imag(), e.imag() + o.real());
+    }
+    run_plan(z, *rp.sub, true);
+    for (int64_t j = 0; j < n2; ++j) {
+      out[2 * j] = scale * z[j].real();
+      out[2 * j + 1] = scale * z[j].imag();
+    }
+    return;
   }
-  fft_pow2(a.data(), m, true);
-  for (int64_t k = 0; k < n; ++k) {
-    x[k] = a[static_cast<std::size_t>(k)] * chirp[static_cast<std::size_t>(k)];
+  scratch[0] = at(0);
+  for (int64_t k = 1; k <= (n - 1) / 2; ++k) {
+    const cfloat v = at(k);
+    scratch[k] = v;
+    scratch[n - k] = std::conj(v);
   }
-  if (inverse) {
-    const float inv = 1.f / static_cast<float>(n);
-    for (int64_t i = 0; i < n; ++i) x[i] *= inv;
-  }
+  run_plan(scratch, *rp.sub, true);
+  for (int64_t j = 0; j < n; ++j) out[j] = scale * scratch[j].real();
+}
+
+int64_t plane_grain(int64_t work_per_plane) {
+  return std::max<int64_t>(1, 2048 / std::max<int64_t>(1, work_per_plane));
 }
 
 }  // namespace
@@ -95,29 +127,26 @@ void fft_bluestein(cfloat* x, int64_t n, bool inverse) {
 void fft_1d(cfloat* x, int64_t n, bool inverse) {
   SAUFNO_CHECK(n >= 1, "fft_1d length must be >= 1");
   if (n == 1) return;
-  if (is_pow2(n)) {
-    fft_pow2(x, n, inverse);
-  } else {
-    fft_bluestein(x, n, inverse);
-  }
+  const auto plan = get_plan(n);
+  run_plan(x, *plan, inverse);
 }
 
 void fft_2d(cfloat* x, int64_t batch, int64_t h, int64_t w, bool inverse) {
   // The batch axis is the parallel seam: each [h, w] plane is transformed
-  // independently by one chunk (its own column gather buffer), so results
-  // are bit-identical for any thread count. The spectral layers batch all
-  // B*C channel planes into one call, which is what makes this pay off.
-  const int64_t grain = std::max<int64_t>(1, 2048 / std::max<int64_t>(1, h * w));
-  runtime::parallel_for(0, batch, grain, [&](int64_t b0, int64_t b1) {
-    std::vector<cfloat> col(static_cast<std::size_t>(h));
+  // independently by one chunk, so results are bit-identical for any thread
+  // count. The spectral layers batch all B*C channel planes into one call,
+  // which is what makes this pay off. Plans are fetched once, outside the
+  // per-line loop, so the cache mutex is off the hot path.
+  const auto pw = get_plan(w);
+  const auto ph = get_plan(h);
+  runtime::parallel_for(0, batch, plane_grain(h * w), [&](int64_t b0, int64_t b1) {
+    runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
     for (int64_t b = b0; b < b1; ++b) {
       cfloat* plane = x + b * h * w;
-      for (int64_t i = 0; i < h; ++i) fft_1d(plane + i * w, w, inverse);
-      for (int64_t j = 0; j < w; ++j) {
-        for (int64_t i = 0; i < h; ++i) col[static_cast<std::size_t>(i)] = plane[i * w + j];
-        fft_1d(col.data(), h, inverse);
-        for (int64_t i = 0; i < h; ++i) plane[i * w + j] = col[static_cast<std::size_t>(i)];
+      if (w > 1) {
+        for (int64_t i = 0; i < h; ++i) run_plan(plane + i * w, *pw, inverse);
       }
+      fft_cols(plane, h, w, 0, w, *ph, inverse, tile.data());
     }
   });
 }
@@ -127,30 +156,150 @@ void fft_3d(cfloat* x, int64_t batch, int64_t d, int64_t h, int64_t w,
   // Planes first (h, w), then 1-D transforms along the depth axis. Each
   // volume's depth pass is independent, so volumes parallelize like planes.
   fft_2d(x, batch * d, h, w, inverse);
+  if (d == 1) return;
+  const auto pd = get_plan(d);
   const int64_t plane = h * w;
   runtime::parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
-    std::vector<cfloat> line(static_cast<std::size_t>(d));
+    runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * d));
     for (int64_t b = b0; b < b1; ++b) {
-      cfloat* vol = x + b * d * plane;
-      for (int64_t p = 0; p < plane; ++p) {
-        for (int64_t iz = 0; iz < d; ++iz) {
-          line[static_cast<std::size_t>(iz)] = vol[iz * plane + p];
-        }
-        fft_1d(line.data(), d, inverse);
-        for (int64_t iz = 0; iz < d; ++iz) {
-          vol[iz * plane + p] = line[static_cast<std::size_t>(iz)];
-        }
+      fft_cols(x + b * d * plane, d, plane, 0, plane, *pd, inverse,
+               tile.data());
+    }
+  });
+}
+
+void rfft_2d(const float* x, cfloat* out, int64_t batch, int64_t h, int64_t w,
+             int64_t wk) {
+  SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
+               "rfft_2d: wk out of range for width " + std::to_string(w));
+  const auto rp = get_rfft_plan(w);
+  const auto ph = get_plan(h);
+  runtime::parallel_for(0, batch, plane_grain(h * w), [&](int64_t b0, int64_t b1) {
+    runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
+    runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* in = x + b * h * w;
+      cfloat* plane = out + b * h * wk;
+      for (int64_t i = 0; i < h; ++i) {
+        rfft_row(in + i * w, plane + i * wk, *rp, wk, row.data());
+      }
+      fft_cols(plane, h, wk, 0, wk, *ph, /*inverse=*/false, tile.data());
+    }
+  });
+}
+
+void irfft_2d(cfloat* spec, float* out, int64_t batch, int64_t h, int64_t w,
+              int64_t wk, float scale) {
+  SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
+               "irfft_2d: wk out of range for width " + std::to_string(w));
+  const auto rp = get_rfft_plan(w);
+  const auto ph = get_plan(h);
+  runtime::parallel_for(0, batch, plane_grain(h * w), [&](int64_t b0, int64_t b1) {
+    runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
+    runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
+    for (int64_t b = b0; b < b1; ++b) {
+      cfloat* plane = spec + b * h * wk;
+      float* dst = out + b * h * w;
+      fft_cols(plane, h, wk, 0, wk, *ph, /*inverse=*/true, tile.data());
+      for (int64_t i = 0; i < h; ++i) {
+        irfft_row(plane + i * wk, dst + i * w, *rp, wk, scale, row.data());
+      }
+    }
+  });
+}
+
+namespace {
+
+/// Visit the pruned kh row set [0, mh) ∪ [h-mh, h) — or every row when the
+/// two halves meet.
+template <typename Fn>
+void for_each_kept_row(int64_t h, int64_t mh, Fn fn) {
+  if (2 * mh >= h) {
+    for (int64_t i = 0; i < h; ++i) fn(i);
+    return;
+  }
+  for (int64_t i = 0; i < mh; ++i) fn(i);
+  for (int64_t i = h - mh; i < h; ++i) fn(i);
+}
+
+}  // namespace
+
+void rfft_3d(const float* x, cfloat* out, int64_t batch, int64_t d, int64_t h,
+             int64_t w, int64_t wk, int64_t mh) {
+  SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
+               "rfft_3d: wk out of range for width " + std::to_string(w));
+  const auto rp = get_rfft_plan(w);
+  const auto ph = get_plan(h);
+  const auto pd = get_plan(d);
+  const int64_t cvol = d * h * wk;  // compact volume
+  runtime::parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
+    runtime::Scratch<cfloat> tile(
+        static_cast<std::size_t>(kColTile * std::max(d, h)));
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* in = x + b * d * h * w;
+      cfloat* vol = out + b * cvol;
+      for (int64_t l = 0; l < d * h; ++l) {
+        rfft_row(in + l * w, vol + l * wk, *rp, wk, row.data());
+      }
+      for (int64_t id = 0; id < d; ++id) {
+        fft_cols(vol + id * h * wk, h, wk, 0, wk, *ph, /*inverse=*/false,
+                 tile.data());
+      }
+      if (d > 1) {
+        for_each_kept_row(h, mh, [&](int64_t kh) {
+          fft_cols(vol + kh * wk, d, h * wk, 0, wk, *pd, /*inverse=*/false,
+                   tile.data());
+        });
+      }
+    }
+  });
+}
+
+void irfft_3d(cfloat* spec, float* out, int64_t batch, int64_t d, int64_t h,
+              int64_t w, int64_t wk, int64_t mh, float scale) {
+  SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
+               "irfft_3d: wk out of range for width " + std::to_string(w));
+  const auto rp = get_rfft_plan(w);
+  const auto ph = get_plan(h);
+  const auto pd = get_plan(d);
+  const int64_t cvol = d * h * wk;
+  runtime::parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
+    runtime::Scratch<cfloat> tile(
+        static_cast<std::size_t>(kColTile * std::max(d, h)));
+    for (int64_t b = b0; b < b1; ++b) {
+      cfloat* vol = spec + b * cvol;
+      float* dst = out + b * d * h * w;
+      if (d > 1) {
+        for_each_kept_row(h, mh, [&](int64_t kh) {
+          fft_cols(vol + kh * wk, d, h * wk, 0, wk, *pd, /*inverse=*/true,
+                   tile.data());
+        });
+      }
+      for (int64_t id = 0; id < d; ++id) {
+        fft_cols(vol + id * h * wk, h, wk, 0, wk, *ph, /*inverse=*/true,
+                 tile.data());
+      }
+      for (int64_t l = 0; l < d * h; ++l) {
+        irfft_row(vol + l * wk, dst + l * w, *rp, wk, scale, row.data());
       }
     }
   });
 }
 
 std::vector<cfloat> fft_2d_real(const float* x, int64_t h, int64_t w) {
+  const int64_t wk = rfft_cols(w);
+  runtime::Scratch<cfloat> half(static_cast<std::size_t>(h * wk));
+  rfft_2d(x, half.data(), 1, h, w, wk);
   std::vector<cfloat> out(static_cast<std::size_t>(h * w));
-  for (int64_t i = 0; i < h * w; ++i) {
-    out[static_cast<std::size_t>(i)] = cfloat(x[i], 0.f);
+  for (int64_t k1 = 0; k1 < h; ++k1) {
+    for (int64_t k2 = 0; k2 < w; ++k2) {
+      out[static_cast<std::size_t>(k1 * w + k2)] =
+          k2 < wk ? half.data()[k1 * wk + k2]
+                  : std::conj(half.data()[((h - k1) % h) * wk + (w - k2)]);
+    }
   }
-  fft_2d(out.data(), 1, h, w, /*inverse=*/false);
   return out;
 }
 

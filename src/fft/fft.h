@@ -12,15 +12,20 @@ using cfloat = std::complex<float>;
 /// divides by n). Power-of-two lengths use iterative radix-2 Cooley-Tukey;
 /// arbitrary lengths fall back to Bluestein's chirp-z algorithm so the
 /// spectral convolutions work at any grid resolution (the paper trains at
-/// 40×40, which is not a power of two).
+/// 40×40, which is not a power of two). Bit-reversal permutations, twiddle
+/// tables and Bluestein chirp spectra come from the global plan cache
+/// (src/fft/plan.h), built once per length and shared by every thread.
 void fft_1d(cfloat* x, int64_t n, bool inverse);
 
 /// 2-D transform of `batch` independent row-major [h, w] complex planes
-/// stored contiguously. Rows first, then columns (via a gather buffer).
-/// Forward is unnormalized; inverse carries the full 1/(h*w) factor.
+/// stored contiguously. Rows first, then columns via a cache-blocked tiled
+/// transpose. Forward is unnormalized; inverse carries the full 1/(h*w)
+/// factor.
 void fft_2d(cfloat* x, int64_t batch, int64_t h, int64_t w, bool inverse);
 
-/// Convenience: forward 2-D DFT of a real plane into a complex buffer.
+/// Convenience: forward 2-D DFT of a real plane into a full complex buffer.
+/// Routed through the rfft path; the redundant half of the spectrum is
+/// reconstructed by conjugate symmetry.
 std::vector<cfloat> fft_2d_real(const float* x, int64_t h, int64_t w);
 
 /// 3-D transform of `batch` independent [d, h, w] complex volumes stored
@@ -29,5 +34,50 @@ std::vector<cfloat> fft_2d_real(const float* x, int64_t h, int64_t w);
 /// the 1/(d*h*w) factor.
 void fft_3d(cfloat* x, int64_t batch, int64_t d, int64_t h, int64_t w,
             bool inverse);
+
+// ---------------------------------------------------------------------------
+// Real-input / Hermitian half-spectrum transforms.
+//
+// A real [h, w] plane has a conjugate-symmetric spectrum
+// X[k1, k2] == conj(X[(-k1) mod h, (-k2) mod w]), so only the first
+// w/2+1 columns carry information. These entry points compute exactly that
+// half (roughly halving FFT flops and spectrum storage versus widening the
+// input to complex), and additionally accept a column-truncation count
+// `wk <= w/2+1` so spectral layers that keep only m2e low-frequency columns
+// pay a per-plane column-pass cost proportional to the KEPT modes, not the
+// grid size.
+// ---------------------------------------------------------------------------
+
+/// Number of columns in the full half-spectrum of width w.
+inline int64_t rfft_cols(int64_t w) { return w / 2 + 1; }
+
+/// Forward real 2-D DFT of `batch` [h, w] real planes into compact [h, wk]
+/// complex half-spectra (unnormalized, rows transformed with the real-even
+/// packing trick, then full column FFTs on the wk kept columns only).
+/// Requires 1 <= wk <= rfft_cols(w).
+void rfft_2d(const float* x, cfloat* out, int64_t batch, int64_t h, int64_t w,
+             int64_t wk);
+
+/// Inverse of rfft_2d: computes scale * IFFT2 (with the full 1/(h*w)
+/// normalization folded in) of the Hermitian extension of the given [h, wk]
+/// half-spectra, writing the real result. Columns wk..w/2 are treated as
+/// zero. The spec buffer is clobbered (the column pass runs in place).
+void irfft_2d(cfloat* spec, float* out, int64_t batch, int64_t h, int64_t w,
+              int64_t wk, float scale);
+
+/// 3-D real forward transform into compact [d, h, wk] half-spectra.
+/// `mh` prunes the depth pass: the d-axis transform is only performed for
+/// h-frequencies kh in [0, mh) ∪ [h-mh, h) (pass mh >= ceil(h/2) for the
+/// full set). With a pruned mh, entries at other kh rows hold partially
+/// transformed garbage — callers must only read the rows they asked for.
+void rfft_3d(const float* x, cfloat* out, int64_t batch, int64_t d, int64_t h,
+             int64_t w, int64_t wk, int64_t mh);
+
+/// Inverse of rfft_3d with the same conventions as irfft_2d (full 1/(d*h*w)
+/// normalization times `scale`). The caller guarantees the spectrum is zero
+/// at kh rows outside the mh set, which lets the depth pass skip them.
+/// The spec buffer is clobbered.
+void irfft_3d(cfloat* spec, float* out, int64_t batch, int64_t d, int64_t h,
+              int64_t w, int64_t wk, int64_t mh, float scale);
 
 }  // namespace saufno

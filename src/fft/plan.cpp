@@ -1,0 +1,210 @@
+#include "fft/plan.h"
+
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "runtime/workspace.h"
+
+namespace saufno {
+namespace fft {
+namespace {
+
+bool is_pow2(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int64_t next_pow2(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::mutex g_cache_m;
+std::unordered_map<int64_t, std::shared_ptr<const FftPlan>> g_plans;
+std::unordered_map<int64_t, std::shared_ptr<const RfftPlan>> g_rplans;
+
+void fill_pow2_tables(FftPlan& p) {
+  const int64_t n = p.n;
+  p.bitrev.resize(static_cast<std::size_t>(n));
+  for (int64_t i = 0, j = 0; i < n; ++i) {
+    p.bitrev[static_cast<std::size_t>(i)] = static_cast<int32_t>(j);
+    int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+  }
+  p.twiddle_fwd.resize(static_cast<std::size_t>(n - 1));
+  p.twiddle_inv.resize(static_cast<std::size_t>(n - 1));
+  for (int64_t len = 2; len <= n; len <<= 1) {
+    const std::size_t off = static_cast<std::size_t>(len / 2 - 1);
+    for (int64_t k = 0; k < len / 2; ++k) {
+      const double ang = 2.0 * M_PI * static_cast<double>(k) / len;
+      const float c = static_cast<float>(std::cos(ang));
+      const float s = static_cast<float>(std::sin(ang));
+      p.twiddle_fwd[off + static_cast<std::size_t>(k)] = cfloat(c, -s);
+      p.twiddle_inv[off + static_cast<std::size_t>(k)] = cfloat(c, s);
+    }
+  }
+}
+
+/// Radix-2 butterflies on a prefetched plan. The complex multiply is spelled
+/// out in float so the compiler vectorizes it instead of calling __mulsc3.
+void fft_pow2_exec(cfloat* x, const FftPlan& p, bool inverse) {
+  const int64_t n = p.n;
+  const int32_t* rev = p.bitrev.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t j = rev[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  const cfloat* tw = (inverse ? p.twiddle_inv : p.twiddle_fwd).data();
+  float* xf = reinterpret_cast<float*>(x);
+  for (int64_t len = 2; len <= n; len <<= 1) {
+    const float* stage = reinterpret_cast<const float*>(tw + (len / 2 - 1));
+    const int64_t half = len / 2;
+    for (int64_t i = 0; i < n; i += len) {
+      float* lo = xf + 2 * i;
+      float* hi = lo + 2 * half;
+      for (int64_t k = 0; k < half; ++k) {
+        const float wr = stage[2 * k], wi = stage[2 * k + 1];
+        const float hr = hi[2 * k], hx = hi[2 * k + 1];
+        const float vr = hr * wr - hx * wi;
+        const float vi = hr * wi + hx * wr;
+        const float ur = lo[2 * k], ui = lo[2 * k + 1];
+        lo[2 * k] = ur + vr;
+        lo[2 * k + 1] = ui + vi;
+        hi[2 * k] = ur - vr;
+        hi[2 * k + 1] = ui - vi;
+      }
+    }
+  }
+  if (inverse) {
+    const float inv = 1.f / static_cast<float>(n);
+    for (int64_t i = 0; i < 2 * n; ++i) xf[i] *= inv;
+  }
+}
+
+/// Bluestein chirp-z with cached chirp and pre-transformed b-spectrum:
+/// 2 pow2 transforms per call (forward of `a`, inverse of the product).
+void fft_bluestein_exec(cfloat* x, const FftPlan& p, bool inverse) {
+  const int64_t n = p.n, m = p.m;
+  runtime::Scratch<cfloat> buf(static_cast<std::size_t>(m));
+  cfloat* a = buf.data();
+  const cfloat* chirp = p.chirp_fwd.data();
+  for (int64_t k = 0; k < n; ++k) {
+    const cfloat c = inverse ? std::conj(chirp[k]) : chirp[k];
+    a[k] = x[k] * c;
+  }
+  for (int64_t k = n; k < m; ++k) a[k] = cfloat(0.f, 0.f);
+  fft_pow2_exec(a, *p.sub, false);
+  const cfloat* bs = (inverse ? p.bspec_inv : p.bspec_fwd).data();
+  for (int64_t k = 0; k < m; ++k) a[k] *= bs[k];
+  fft_pow2_exec(a, *p.sub, true);
+  for (int64_t k = 0; k < n; ++k) {
+    const cfloat c = inverse ? std::conj(chirp[k]) : chirp[k];
+    x[k] = a[k] * c;
+  }
+  if (inverse) {
+    const float inv = 1.f / static_cast<float>(n);
+    for (int64_t k = 0; k < n; ++k) x[k] *= inv;
+  }
+}
+
+std::shared_ptr<const FftPlan> build_plan(int64_t n) {
+  auto plan = std::make_shared<FftPlan>();
+  plan->n = n;
+  plan->pow2 = is_pow2(n);
+  if (plan->pow2) {
+    fill_pow2_tables(*plan);
+    return plan;
+  }
+  plan->m = next_pow2(2 * n - 1);
+  plan->sub = get_plan(plan->m);  // pow2, so no further recursion
+  plan->chirp_fwd.resize(static_cast<std::size_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small for large n.
+    const int64_t k2 = (k * k) % (2 * n);
+    const double ang = -M_PI * static_cast<double>(k2) / static_cast<double>(n);
+    plan->chirp_fwd[static_cast<std::size_t>(k)] =
+        cfloat(static_cast<float>(std::cos(ang)),
+               static_cast<float>(std::sin(ang)));
+  }
+  auto make_bspec = [&](bool inverse_sign) {
+    std::vector<cfloat> b(static_cast<std::size_t>(plan->m), cfloat(0.f, 0.f));
+    for (int64_t k = 0; k < n; ++k) {
+      const cfloat chirp_k = inverse_sign
+                                 ? std::conj(plan->chirp_fwd[static_cast<std::size_t>(k)])
+                                 : plan->chirp_fwd[static_cast<std::size_t>(k)];
+      const cfloat v = std::conj(chirp_k);
+      b[static_cast<std::size_t>(k)] = v;
+      if (k > 0) b[static_cast<std::size_t>(plan->m - k)] = v;
+    }
+    fft_pow2_exec(b.data(), *plan->sub, false);
+    return b;
+  };
+  plan->bspec_fwd = make_bspec(false);
+  plan->bspec_inv = make_bspec(true);
+  return plan;
+}
+
+}  // namespace
+
+std::shared_ptr<const FftPlan> get_plan(int64_t n) {
+  SAUFNO_CHECK(n >= 1, "fft plan length must be >= 1");
+  {
+    std::lock_guard<std::mutex> lk(g_cache_m);
+    auto it = g_plans.find(n);
+    if (it != g_plans.end()) return it->second;
+  }
+  // Build outside the lock: plan construction for non-pow2 lengths calls
+  // get_plan(m) recursively and may take a while; racing first users build
+  // duplicates, but only the first insert is published.
+  auto plan = build_plan(n);
+  std::lock_guard<std::mutex> lk(g_cache_m);
+  auto [it, inserted] = g_plans.emplace(n, std::move(plan));
+  return it->second;
+}
+
+std::shared_ptr<const RfftPlan> get_rfft_plan(int64_t n) {
+  SAUFNO_CHECK(n >= 1, "rfft plan length must be >= 1");
+  {
+    std::lock_guard<std::mutex> lk(g_cache_m);
+    auto it = g_rplans.find(n);
+    if (it != g_rplans.end()) return it->second;
+  }
+  auto plan = std::make_shared<RfftPlan>();
+  plan->n = n;
+  plan->even = (n % 2 == 0);
+  if (n > 1) plan->sub = get_plan(plan->even ? n / 2 : n);
+  plan->unpack.resize(static_cast<std::size_t>(n / 2 + 1));
+  for (int64_t k = 0; k <= n / 2; ++k) {
+    const double ang = -2.0 * M_PI * static_cast<double>(k) / n;
+    plan->unpack[static_cast<std::size_t>(k)] =
+        cfloat(static_cast<float>(std::cos(ang)),
+               static_cast<float>(std::sin(ang)));
+  }
+  std::lock_guard<std::mutex> lk(g_cache_m);
+  auto [it, inserted] = g_rplans.emplace(n, std::move(plan));
+  return it->second;
+}
+
+void run_plan(cfloat* x, const FftPlan& plan, bool inverse) {
+  if (plan.n == 1) return;
+  if (plan.pow2) {
+    fft_pow2_exec(x, plan, inverse);
+  } else {
+    fft_bluestein_exec(x, plan, inverse);
+  }
+}
+
+void clear_plan_cache() {
+  std::lock_guard<std::mutex> lk(g_cache_m);
+  g_plans.clear();
+  g_rplans.clear();
+}
+
+int64_t plan_cache_size() {
+  std::lock_guard<std::mutex> lk(g_cache_m);
+  return static_cast<int64_t>(g_plans.size() + g_rplans.size());
+}
+
+}  // namespace fft
+}  // namespace saufno

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace saufno {
+
+using cfloat = std::complex<float>;
+
+namespace fft {
+
+/// Immutable, shareable transform plan for one length. Built once per
+/// length by the global cache and used concurrently by every thread —
+/// execution never mutates the plan.
+struct FftPlan {
+  int64_t n = 0;
+  bool pow2 = false;
+
+  // Radix-2 tables (pow2 lengths): precomputed bit-reversal permutation and
+  // per-stage twiddle factors, computed in double precision and rounded
+  // once to float. The seed's `w *= wlen` recurrence accumulated O(len)
+  // rounding error across each stage; the tables kill that error AND the
+  // per-butterfly complex multiply that maintained it.
+  std::vector<int32_t> bitrev;      // size n
+  std::vector<cfloat> twiddle_fwd;  // size n-1: stages len=2,4,..,n
+  std::vector<cfloat> twiddle_inv;  // concatenated at offset len/2-1
+
+  // Bluestein tables (non-pow2 lengths): the chirp exp(-i*pi*k^2/n) and the
+  // PRE-TRANSFORMED b-spectrum for both directions, so each call performs
+  // 2 power-of-two FFTs instead of the seed's 3.
+  int64_t m = 0;                 // next_pow2(2n-1)
+  std::vector<cfloat> chirp_fwd;  // size n; inverse chirp is its conjugate
+  std::vector<cfloat> bspec_fwd;  // size m: FFT_m of the forward b sequence
+  std::vector<cfloat> bspec_inv;  // size m: same for the inverse sign
+  std::shared_ptr<const FftPlan> sub;  // plan for length m
+};
+
+/// Real-transform plan: the half-length complex sub-plan (even n) or the
+/// full-length fallback plan (odd n), plus the unpack twiddles
+/// exp(-2*pi*i*k/n) for k = 0..n/2, double-computed.
+struct RfftPlan {
+  int64_t n = 0;
+  bool even = false;
+  std::shared_ptr<const FftPlan> sub;
+  std::vector<cfloat> unpack;  // size n/2+1
+};
+
+/// Thread-safe, lazily-populated plan lookup. Concurrent first use of the
+/// same length may build the plan more than once, but exactly one copy is
+/// published and every caller receives it.
+std::shared_ptr<const FftPlan> get_plan(int64_t n);
+std::shared_ptr<const RfftPlan> get_rfft_plan(int64_t n);
+
+/// Execute one in-place length-plan.n transform using a prefetched plan.
+/// Batched drivers fetch the plan once and call this per line, so the cache
+/// mutex is off the per-transform path.
+void run_plan(cfloat* x, const FftPlan& plan, bool inverse);
+
+/// Test/bench hooks.
+void clear_plan_cache();
+int64_t plan_cache_size();  // complex + real plans currently cached
+
+}  // namespace fft
+}  // namespace saufno

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "nn/serialize.h"
+#include "runtime/workspace.h"
 #include "tensor/tensor_ops.h"
 #include "train/model_zoo.h"
 
@@ -107,10 +108,19 @@ void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
   const int64_t sample = numel_of(in_shape);
   const int64_t padded = cfg_.pad_to_full_batch ? cfg_.max_batch : bsz;
 
-  Tensor stacked({padded, in_shape[0], in_shape[1], in_shape[2]});
+  // Batch assembly runs through the workspace arena: after the first batch
+  // of a given shape, stacking allocates nothing.
+  Tensor stacked =
+      Tensor::scratch({padded, in_shape[0], in_shape[1], in_shape[2]});
   for (int64_t i = 0; i < bsz; ++i) {
     std::memcpy(stacked.data() + i * sample, batch[static_cast<std::size_t>(i)].input.data(),
                 sizeof(float) * static_cast<std::size_t>(sample));
+  }
+  if (padded > bsz) {
+    // Scratch tensors are uninitialized; padding rows must still be zero so
+    // they cannot perturb stats-free kernels or produce NaNs downstream.
+    std::memset(stacked.data() + bsz * sample, 0,
+                sizeof(float) * static_cast<std::size_t>((padded - bsz) * sample));
   }
 
   // One critical section per batch: counters, busy window and latency
@@ -158,7 +168,7 @@ void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
     // future ready also observes this batch in stats().
     record_batch_done(/*record_latencies=*/true);
     for (int64_t i = 0; i < bsz; ++i) {
-      Tensor result(result_shape);
+      Tensor result = Tensor::scratch(result_shape);
       std::memcpy(result.data(), decoded.data() + i * out_sample,
                   sizeof(float) * static_cast<std::size_t>(out_sample));
       batch[static_cast<std::size_t>(i)].result.set_value(std::move(result));
@@ -192,6 +202,10 @@ InferenceStats InferenceEngine::stats() const {
   s.latency_p95_ms = percentile(sorted, 0.95);
   s.latency_p99_ms = percentile(sorted, 0.99);
   s.latency_max_ms = sorted.empty() ? 0.0 : sorted.back();
+  const ArenaStats arena = arena_stats();
+  s.arena_hits = arena.hits;
+  s.arena_misses = arena.misses;
+  s.arena_hit_rate = arena.hit_rate();
   return s;
 }
 

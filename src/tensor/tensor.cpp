@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "runtime/parallel_for.h"
+#include "runtime/workspace.h"
 
 namespace saufno {
 
@@ -33,6 +34,29 @@ std::vector<int64_t> contiguous_strides(const Shape& s) {
   return st;
 }
 
+struct Tensor::Storage {
+  std::vector<float> heap;
+  float* arena = nullptr;
+  std::size_t arena_bytes = 0;
+
+  Storage() = default;
+  /// Heap storage, zero-initialized (the historical Tensor contract).
+  explicit Storage(std::size_t n) : heap(n, 0.f) {}
+  /// Arena storage, uninitialized.
+  Storage(std::size_t n, bool /*from_arena*/)
+      : arena(static_cast<float*>(
+            runtime::arena_acquire(n * sizeof(float)))),
+        arena_bytes(n * sizeof(float)) {}
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+  ~Storage() {
+    if (arena != nullptr) runtime::arena_release(arena, arena_bytes);
+  }
+
+  float* ptr() { return arena != nullptr ? arena : heap.data(); }
+  const float* ptr() const { return arena != nullptr ? arena : heap.data(); }
+};
+
 Tensor::Tensor() = default;
 
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
@@ -40,8 +64,7 @@ Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
     SAUFNO_CHECK(d >= 0, "negative dimension in shape " + shape_str(shape_));
   }
   numel_ = numel_of(shape_);
-  storage_ = std::make_shared<std::vector<float>>(
-      static_cast<std::size_t>(numel_), 0.f);
+  storage_ = std::make_shared<Storage>(static_cast<std::size_t>(numel_));
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
@@ -50,10 +73,23 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
   SAUFNO_CHECK(static_cast<int64_t>(values.size()) == numel_,
                "value count " + std::to_string(values.size()) +
                    " does not match shape " + shape_str(shape_));
-  storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  storage_ = std::make_shared<Storage>();
+  storage_->heap = std::move(values);
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::scratch(Shape shape) {
+  Tensor t;
+  for (int64_t d : shape) {
+    SAUFNO_CHECK(d >= 0, "negative dimension in shape " + shape_str(shape));
+  }
+  t.numel_ = numel_of(shape);
+  t.shape_ = std::move(shape);
+  t.storage_ = std::make_shared<Storage>(
+      static_cast<std::size_t>(t.numel_), /*from_arena=*/true);
+  return t;
+}
 
 Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.f); }
 
@@ -98,22 +134,22 @@ int64_t Tensor::size(int64_t i) const {
 
 float* Tensor::data() {
   SAUFNO_CHECK(defined(), "accessing data of an undefined tensor");
-  return storage_->data();
+  return storage_->ptr();
 }
 
 const float* Tensor::data() const {
   SAUFNO_CHECK(defined(), "accessing data of an undefined tensor");
-  return storage_->data();
+  return storage_->ptr();
 }
 
 float Tensor::at(int64_t i) const {
   SAUFNO_CHECK(i >= 0 && i < numel_, "linear index out of range");
-  return (*storage_)[static_cast<std::size_t>(i)];
+  return storage_->ptr()[i];
 }
 
 float& Tensor::at(int64_t i) {
   SAUFNO_CHECK(i >= 0 && i < numel_, "linear index out of range");
-  return (*storage_)[static_cast<std::size_t>(i)];
+  return storage_->ptr()[i];
 }
 
 Tensor Tensor::reshape(Shape new_shape) const {
@@ -147,7 +183,11 @@ Tensor Tensor::reshape(Shape new_shape) const {
 Tensor Tensor::clone() const {
   if (!defined()) return Tensor();
   Tensor out;
-  out.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  // Clones always land on the heap, even when the source was arena scratch:
+  // a clone outlives hot-loop scope by definition.
+  out.storage_ = std::make_shared<Storage>();
+  out.storage_->heap.assign(storage_->ptr(),
+                            storage_->ptr() + static_cast<std::size_t>(numel_));
   out.shape_ = shape_;
   out.numel_ = numel_;
   return out;
@@ -156,7 +196,7 @@ Tensor Tensor::clone() const {
 float Tensor::item() const {
   SAUFNO_CHECK(numel_ == 1, "item() requires a single-element tensor, got " +
                                 shape_str(shape_));
-  return (*storage_)[0];
+  return storage_->ptr()[0];
 }
 
 void Tensor::fill_(float v) {

@@ -41,6 +41,12 @@ class Tensor {
   static Tensor zeros(Shape shape);
   static Tensor ones(Shape shape);
   static Tensor full(Shape shape, float value);
+  /// Arena-backed tensor for hot loops (serving batch assembly, kernel
+  /// scratch): storage comes from the calling thread's workspace arena and
+  /// returns to it when the last reference drops, so steady-state use does
+  /// no heap allocation. Contents are UNINITIALIZED — callers must write
+  /// every element (or fill_) before reading.
+  static Tensor scratch(Shape shape);
   /// Standard-normal entries drawn from `rng`.
   static Tensor randn(Shape shape, Rng& rng, float mean = 0.f,
                       float stddev = 1.f);
@@ -82,7 +88,11 @@ class Tensor {
                 float atol = 1e-6f) const;
 
  private:
-  std::shared_ptr<std::vector<float>> storage_;
+  /// Storage is either an owned heap vector or a block borrowed from the
+  /// workspace arena (Tensor::scratch); the arena block is released when
+  /// the last Tensor sharing it drops.
+  struct Storage;
+  std::shared_ptr<Storage> storage_;
   Shape shape_;
   int64_t numel_ = 0;
 };

@@ -1,10 +1,17 @@
 #include "fft/fft.h"
 
 #include <cmath>
+#include <cstring>
+#include <thread>
+#include <tuple>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "autograd/spectral3d_ops.h"
+#include "autograd/spectral_ops.h"
 #include "common/rng.h"
+#include "fft/plan.h"
 
 namespace saufno {
 namespace {
@@ -172,6 +179,263 @@ TEST(Fft2d, RealInputHasHermitianSpectrum) {
       EXPECT_NEAR(a.imag(), -b.imag(), 1e-3f);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Real/Hermitian half-spectrum path.
+// ---------------------------------------------------------------------------
+
+std::vector<float> random_real(int64_t n, Rng& rng) {
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  return x;
+}
+
+/// Full complex forward 2-D DFT of a real plane (reference path).
+std::vector<cfloat> complex_fft2(const std::vector<float>& x, int64_t h,
+                                 int64_t w) {
+  std::vector<cfloat> buf(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = cfloat(x[i], 0.f);
+  fft_2d(buf.data(), 1, h, w, /*inverse=*/false);
+  return buf;
+}
+
+class Rfft2dP : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Rfft2dP, MatchesComplexFftOnHalfSpectrum) {
+  const auto [h, w] = GetParam();
+  Rng rng(100 + h * w);
+  const auto x = random_real(h * w, rng);
+  const auto ref = complex_fft2(x, h, w);
+  const int64_t wk = rfft_cols(w);
+  std::vector<cfloat> half(static_cast<std::size_t>(h * wk));
+  rfft_2d(x.data(), half.data(), 1, h, w, wk);
+  const float tol = 1e-3f;
+  for (int64_t k1 = 0; k1 < h; ++k1) {
+    for (int64_t k2 = 0; k2 < wk; ++k2) {
+      const cfloat got = half[static_cast<std::size_t>(k1 * wk + k2)];
+      const cfloat want = ref[static_cast<std::size_t>(k1 * w + k2)];
+      EXPECT_NEAR(got.real(), want.real(), tol) << k1 << "," << k2;
+      EXPECT_NEAR(got.imag(), want.imag(), tol) << k1 << "," << k2;
+    }
+  }
+}
+
+TEST_P(Rfft2dP, IrfftRoundTripRecoversSignal) {
+  const auto [h, w] = GetParam();
+  Rng rng(200 + h + w);
+  const auto x = random_real(h * w, rng);
+  const int64_t wk = rfft_cols(w);
+  std::vector<cfloat> half(static_cast<std::size_t>(h * wk));
+  rfft_2d(x.data(), half.data(), 1, h, w, wk);
+  std::vector<float> back(x.size());
+  irfft_2d(half.data(), back.data(), 1, h, w, wk, 1.f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-4f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, Rfft2dP,
+    ::testing::Values(std::pair<int, int>{8, 8}, std::pair<int, int>{12, 40},
+                      std::pair<int, int>{9, 6}, std::pair<int, int>{7, 7},
+                      std::pair<int, int>{1, 16}, std::pair<int, int>{16, 2},
+                      std::pair<int, int>{5, 13}));
+
+// Pruned forward: keeping only the m2e columns make_mode_map would keep
+// must reproduce exactly those columns of the full transform.
+TEST(RfftPruned, ForwardMatchesFullOnKeptColumns) {
+  for (const auto& [h, w, m1, m2] :
+       {std::tuple<int, int, int, int>{16, 16, 4, 4},
+        std::tuple<int, int, int, int>{12, 40, 3, 5},
+        std::tuple<int, int, int, int>{4, 4, 6, 6}}) {
+    const auto mm = ops::spectral::make_mode_map(h, w, m1, m2);
+    const int64_t wk = mm.m2e;
+    ASSERT_GE(wk, 1);
+    Rng rng(300 + h * w);
+    const auto x = random_real(h * w, rng);
+    std::vector<cfloat> full(static_cast<std::size_t>(h * rfft_cols(w)));
+    rfft_2d(x.data(), full.data(), 1, h, w, rfft_cols(w));
+    std::vector<cfloat> pruned(static_cast<std::size_t>(h * wk));
+    rfft_2d(x.data(), pruned.data(), 1, h, w, wk);
+    for (const auto& [wr, kr] : mm.rows) {
+      (void)wr;
+      for (int64_t c = 0; c < wk; ++c) {
+        const cfloat a = pruned[static_cast<std::size_t>(kr * wk + c)];
+        const cfloat b = full[static_cast<std::size_t>(kr * rfft_cols(w) + c)];
+        EXPECT_NEAR(a.real(), b.real(), 1e-4f);
+        EXPECT_NEAR(a.imag(), b.imag(), 1e-4f);
+      }
+    }
+  }
+}
+
+// Pruned inverse: truncating a real field's half-spectrum to the kept
+// columns and inverting must equal the full complex inverse of the same
+// spectrum with those columns (and their Hermitian mirrors) kept.
+TEST(RfftPruned, TruncatedInverseMatchesFullInverse) {
+  for (const auto& [h, w, m2] : {std::tuple<int, int, int>{16, 16, 4},
+                                 std::tuple<int, int, int>{12, 40, 5},
+                                 std::tuple<int, int, int>{8, 10, 3}}) {
+    const int64_t wk = ops::spectral::make_mode_map(h, w, 4, m2).m2e;
+    ASSERT_GE(wk, 1);
+    Rng rng(400 + h + w);
+    const auto u = random_real(h * w, rng);
+    // Full spectrum of u with columns outside the kept set (and mirrors)
+    // zeroed — still exactly Hermitian, so its inverse is real.
+    auto spec = complex_fft2(u, h, w);
+    for (int64_t k1 = 0; k1 < h; ++k1) {
+      for (int64_t k2 = 0; k2 < w; ++k2) {
+        const int64_t mirror = (w - k2) % w;
+        if (k2 >= wk && mirror >= wk) {
+          spec[static_cast<std::size_t>(k1 * w + k2)] = cfloat(0.f, 0.f);
+        }
+      }
+    }
+    auto ref = spec;
+    fft_2d(ref.data(), 1, h, w, /*inverse=*/true);
+    // Truncated path: first wk columns only.
+    std::vector<cfloat> half(static_cast<std::size_t>(h * wk));
+    for (int64_t k1 = 0; k1 < h; ++k1) {
+      for (int64_t k2 = 0; k2 < wk; ++k2) {
+        half[static_cast<std::size_t>(k1 * wk + k2)] =
+            spec[static_cast<std::size_t>(k1 * w + k2)];
+      }
+    }
+    std::vector<float> got(static_cast<std::size_t>(h * w));
+    irfft_2d(half.data(), got.data(), 1, h, w, wk, 1.f);
+    for (int64_t i = 0; i < h * w; ++i) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                  ref[static_cast<std::size_t>(i)].real(), 1e-4f)
+          << "at " << i << " (h=" << h << ", w=" << w << ")";
+      EXPECT_NEAR(ref[static_cast<std::size_t>(i)].imag(), 0.f, 1e-3f);
+    }
+  }
+}
+
+TEST(Rfft3d, PrunedForwardAndRoundTrip) {
+  const int64_t d = 6, h = 8, w = 10, m2 = 3;
+  const int64_t wk = std::min<int64_t>(4, w / 2);
+  const auto map_h = ops::spectral::signed_axis_map(h, m2);
+  Rng rng(500);
+  const auto x = random_real(d * h * w, rng);
+  // Reference: full complex 3-D transform.
+  std::vector<cfloat> full(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) full[i] = cfloat(x[i], 0.f);
+  fft_3d(full.data(), 1, d, h, w, /*inverse=*/false);
+  // Pruned half-spectrum forward: valid at every (kd, kept kh, k3 < wk).
+  std::vector<cfloat> half(static_cast<std::size_t>(d * h * wk));
+  rfft_3d(x.data(), half.data(), 1, d, h, w, wk, /*mh=*/m2);
+  for (int64_t kd = 0; kd < d; ++kd) {
+    for (const auto& [wc, kh] : map_h) {
+      (void)wc;
+      for (int64_t k = 0; k < wk; ++k) {
+        const cfloat a = half[static_cast<std::size_t>((kd * h + kh) * wk + k)];
+        const cfloat b = full[static_cast<std::size_t>((kd * h + kh) * w + k)];
+        EXPECT_NEAR(a.real(), b.real(), 2e-3f);
+        EXPECT_NEAR(a.imag(), b.imag(), 2e-3f);
+      }
+    }
+  }
+  // Unpruned round trip through the 3-D half-spectrum path.
+  std::vector<cfloat> half_full(static_cast<std::size_t>(d * h * rfft_cols(w)));
+  rfft_3d(x.data(), half_full.data(), 1, d, h, w, rfft_cols(w), /*mh=*/h);
+  std::vector<float> back(x.size());
+  irfft_3d(half_full.data(), back.data(), 1, d, h, w, rfft_cols(w), h, 1.f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-4f) << "at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Silent-accuracy guard: forward/inverse round trip must stay at float
+// round-off for EVERY length 8..193 — pow2, smooth composites and primes
+// all included (primes exercise Bluestein with the largest pad factor).
+// ---------------------------------------------------------------------------
+TEST(FftAccuracy, RoundTripMaxErrorAcrossSizes8To193) {
+  for (int64_t n = 8; n <= 193; ++n) {
+    Rng rng(1000 + n);
+    auto x = random_signal(n, rng);
+    auto y = x;
+    fft_1d(y.data(), n, false);
+    fft_1d(y.data(), n, true);
+    float max_err = 0.f;
+    for (int64_t i = 0; i < n; ++i) {
+      max_err = std::max(max_err,
+                         std::abs(y[static_cast<std::size_t>(i)] -
+                                  x[static_cast<std::size_t>(i)]));
+    }
+    EXPECT_LT(max_err, 1e-4f) << "complex round trip at n=" << n;
+    // Real path round trip at the same length (h=1 exercises the row
+    // algorithm alone, including the odd-length fallback).
+    auto xr = random_real(n, rng);
+    std::vector<cfloat> half(static_cast<std::size_t>(rfft_cols(n)));
+    rfft_2d(xr.data(), half.data(), 1, 1, n, rfft_cols(n));
+    std::vector<float> back(xr.size());
+    irfft_2d(half.data(), back.data(), 1, 1, n, rfft_cols(n), 1.f);
+    float max_err_r = 0.f;
+    for (int64_t i = 0; i < n; ++i) {
+      max_err_r = std::max(max_err_r,
+                           std::fabs(back[static_cast<std::size_t>(i)] -
+                                     xr[static_cast<std::size_t>(i)]));
+    }
+    EXPECT_LT(max_err_r, 1e-4f) << "real round trip at n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache.
+// ---------------------------------------------------------------------------
+
+TEST(PlanCache, ConcurrentFirstUseIsCorrectAndCached) {
+  fft::clear_plan_cache();
+  ASSERT_EQ(fft::plan_cache_size(), 0);
+  // Serial references (computed after a second clear so the references
+  // themselves rebuild plans the same way the threads will).
+  Rng rng(77);
+  const auto sig64 = random_signal(64, rng);
+  const auto sig40 = random_signal(40, rng);
+  auto ref64 = sig64, ref40 = sig40;
+  fft_1d(ref64.data(), 64, false);
+  fft_1d(ref40.data(), 40, false);
+  fft::clear_plan_cache();
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<cfloat>> got64(kThreads, sig64);
+  std::vector<std::vector<cfloat>> got40(kThreads, sig40);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      fft_1d(got64[static_cast<std::size_t>(t)].data(), 64, false);
+      fft_1d(got40[static_cast<std::size_t>(t)].data(), 40, false);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    // Bit-identical to the serial result: every thread used (a copy of)
+    // the same published plan tables.
+    EXPECT_EQ(0, std::memcmp(got64[static_cast<std::size_t>(t)].data(),
+                             ref64.data(), sizeof(cfloat) * 64));
+    EXPECT_EQ(0, std::memcmp(got40[static_cast<std::size_t>(t)].data(),
+                             ref40.data(), sizeof(cfloat) * 40));
+  }
+  // Exactly one plan per length: 64, 40, and 40's Bluestein sub-length 128.
+  EXPECT_EQ(fft::plan_cache_size(), 3);
+}
+
+TEST(PlanCache, BluesteinReusesPrecomputedSpectra) {
+  // Two calls at a non-pow2 length must agree bit-for-bit (shared tables)
+  // and match the naive DFT.
+  const int64_t n = 100;
+  Rng rng(88);
+  auto x = random_signal(n, rng);
+  auto a = x, b = x;
+  fft_1d(a.data(), n, false);
+  fft_1d(b.data(), n, false);
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                           sizeof(cfloat) * static_cast<std::size_t>(n)));
+  expect_close(a, naive_dft(x, false), 1e-3f * static_cast<float>(n));
 }
 
 }  // namespace

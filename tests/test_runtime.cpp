@@ -10,9 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include "autograd/spectral_ops.h"
 #include "fft/fft.h"
 #include "runtime/request_queue.h"
 #include "runtime/thread_pool.h"
+#include "runtime/workspace.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -264,6 +266,149 @@ TEST(RuntimeDeterminism, PermuteAndBmm) {
   const Tensor x = Tensor::randn({6, 14, 10}, rng);
   const Tensor y = Tensor::randn({6, 10, 12}, rng);
   expect_bitwise_stable([&] { return bmm(x, y); });
+}
+
+TEST(RuntimeDeterminism, SpectralConv2dForward) {
+  Rng rng(18);
+  const Tensor x = Tensor::randn({2, 3, 12, 12}, rng);  // Bluestein path too
+  const Tensor w = Tensor::randn({3, 4, 6, 3, 2}, rng, 0.f, 0.3f);
+  expect_bitwise_stable([&] {
+    return ops::spectral_conv2d(Var(x, false), Var(w, false), 3, 3, 4).value();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Workspace arena: size-bucketed reuse, cross-thread release, counters.
+// ---------------------------------------------------------------------------
+
+TEST(Workspace, ReleasedBlockIsReusedWithinBucket) {
+  PoolSize guard(1);  // no worker arenas in play
+  runtime::arena_trim();
+  runtime::arena_reset_counters();
+  const int64_t base_outstanding = runtime::arena_stats().outstanding;
+  void* p = runtime::arena_acquire(1000 * sizeof(float));
+  EXPECT_EQ(runtime::arena_stats().misses, 1);
+  EXPECT_EQ(runtime::arena_stats().outstanding, base_outstanding + 1);
+  runtime::arena_release(p, 1000 * sizeof(float));
+  // A smaller request in the same power-of-two bucket reuses the block.
+  void* q = runtime::arena_acquire(700 * sizeof(float));
+  EXPECT_EQ(q, p);
+  const auto s = runtime::arena_stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  runtime::arena_release(q, 700 * sizeof(float));
+}
+
+TEST(Workspace, ScratchRaiiReturnsToArena) {
+  PoolSize guard(1);
+  runtime::arena_trim();
+  runtime::arena_reset_counters();
+  {
+    runtime::Scratch<float> a(4096);
+    a.zero();
+    a.data()[0] = 1.f;
+    a.data()[4095] = 2.f;
+    EXPECT_EQ(a.size(), 4096u);
+  }
+  const auto after_first = runtime::arena_stats();
+  EXPECT_EQ(after_first.misses, 1);
+  EXPECT_EQ(after_first.releases, 1);
+  {
+    runtime::Scratch<float> b(4096);
+    (void)b;
+  }
+  EXPECT_EQ(runtime::arena_stats().hits, 1);
+  EXPECT_EQ(runtime::arena_stats().misses, 1);
+}
+
+TEST(Workspace, CrossThreadReleaseIsSafe) {
+  runtime::arena_trim();
+  runtime::arena_reset_counters();
+  void* p = runtime::arena_acquire(512 * sizeof(float));
+  std::thread t([p] { runtime::arena_release(p, 512 * sizeof(float)); });
+  t.join();
+  EXPECT_EQ(runtime::arena_stats().releases, 1);
+}
+
+TEST(Workspace, CrossThreadCycleConvergesViaOverflowPool) {
+  // Producer/consumer pattern of the serving path: this thread acquires,
+  // a client thread frees. Once the client's freelist overflows into the
+  // shared pool, the producer's next acquire must reuse instead of
+  // allocating.
+  PoolSize guard(1);
+  runtime::arena_trim();
+  constexpr std::size_t kBytes = 2048 * sizeof(float);
+  constexpr int kBlocks = 20;  // > per-bucket freelist cap of 16
+  std::vector<void*> blocks;
+  for (int i = 0; i < kBlocks; ++i) {
+    blocks.push_back(runtime::arena_acquire(kBytes));
+  }
+  std::thread client([&] {
+    for (void* p : blocks) runtime::arena_release(p, kBytes);
+  });
+  client.join();  // client freelist (16) freed at thread exit; rest pooled
+  runtime::arena_reset_counters();
+  void* p = runtime::arena_acquire(kBytes);
+  const auto s = runtime::arena_stats();
+  EXPECT_EQ(s.misses, 0) << "producer did not reuse the pooled block";
+  EXPECT_EQ(s.hits, 1);
+  runtime::arena_release(p, kBytes);
+}
+
+TEST(Workspace, TrimDropsCachedBytes) {
+  PoolSize guard(1);
+  runtime::arena_trim();
+  {
+    runtime::Scratch<float> a(1 << 14);
+    (void)a;
+  }
+  EXPECT_GT(runtime::arena_stats().bytes_cached, 0);
+  runtime::arena_trim();
+  // Worker threads may still hold caches of their own; this thread's are
+  // gone, and with a 1-thread pool nothing else allocated since the trim.
+  EXPECT_EQ(runtime::arena_stats().bytes_cached, 0);
+}
+
+TEST(Workspace, TensorScratchRoundTrip) {
+  PoolSize guard(1);
+  runtime::arena_trim();
+  runtime::arena_reset_counters();
+  {
+    Tensor t = Tensor::scratch({4, 8});
+    ASSERT_EQ(t.numel(), 32);
+    t.fill_(3.f);
+    EXPECT_FLOAT_EQ(t.at(31), 3.f);
+    Tensor c = t.clone();  // clones land on the heap
+    EXPECT_TRUE(c.allclose(t));
+  }
+  const int64_t misses = runtime::arena_stats().misses;
+  {
+    Tensor t2 = Tensor::scratch({4, 8});
+    t2.fill_(0.f);
+  }
+  // Same bucket: the second scratch tensor hit the freelist.
+  EXPECT_EQ(runtime::arena_stats().misses, misses);
+  EXPECT_GE(runtime::arena_stats().hits, 1);
+}
+
+TEST(Workspace, SpectralSteadyStateDoesNotTouchTheHeap) {
+  PoolSize guard(1);  // single arena: warmup fills every bucket it needs
+  Rng rng(19);
+  const Tensor x = Tensor::randn({2, 4, 16, 16}, rng);
+  const Tensor w = Tensor::randn({4, 4, 8, 4, 2}, rng, 0.f, 0.3f);
+  auto forward = [&] {
+    return ops::spectral_conv2d(Var(x, false), Var(w, false), 4, 4, 4).value();
+  };
+  // Warm up: builds FFT plans and fills every bucket the op touches. The
+  // reference is cloned to the heap so the warm-up output block itself
+  // returns to the arena before the measured pass.
+  const Tensor ref = forward().clone();
+  runtime::arena_reset_counters();
+  const Tensor again = forward();
+  const auto s = runtime::arena_stats();
+  EXPECT_EQ(s.misses, 0) << "spectral hot loop allocated after warmup";
+  EXPECT_GT(s.hits, 0);
+  EXPECT_TRUE(again.allclose(ref, 0.f, 0.f)) << "reuse changed results";
 }
 
 TEST(ParallelSum, MatchesSequentialForEveryThreadCount) {

@@ -1,10 +1,15 @@
 #include "autograd/spectral_ops.h"
 
 #include <cmath>
+#include <complex>
+#include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "autograd/spectral3d_ops.h"
 #include "core/spectral_conv.h"
+#include "fft/fft.h"
 #include "gradcheck.h"
 #include "tensor/tensor_ops.h"
 
@@ -137,6 +142,121 @@ TEST(SpectralConvGrad, JointGradcheckNonPow2) {
         return ops::sum_all(ops::square(y));
       },
       {x, w}, /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
+}
+
+/// The seed's spectral_conv2d forward, kept verbatim as a reference: widen
+/// the real input to complex, full-spectrum FFT2, per-mode channel mixing,
+/// full-spectrum inverse, take the real part. The production op must match
+/// it within train-time float tolerance at every grid size — this guards
+/// the rfft/truncated/mixing rewrite against silent accuracy regressions.
+Tensor reference_spectral_conv2d(const Tensor& x, const Tensor& w, int64_t m1,
+                                 int64_t m2, int64_t cout) {
+  const int64_t B = x.size(0), cin = x.size(1), H = x.size(2), W = x.size(3);
+  const int64_t plane = H * W;
+  const auto mm = ops::spectral::make_mode_map(H, W, m1, m2);
+  std::vector<cfloat> xf(static_cast<std::size_t>(B * cin * plane));
+  const float* xp = x.data();
+  for (int64_t i = 0; i < B * cin * plane; ++i) {
+    xf[static_cast<std::size_t>(i)] = cfloat(xp[i], 0.f);
+  }
+  fft_2d(xf.data(), B * cin, H, W, /*inverse=*/false);
+  auto widx = [m2, m1, cout](int64_t i, int64_t o, int64_t r, int64_t c) {
+    return (((i * cout + o) * (2 * m1) + r) * m2 + c) * 2;
+  };
+  std::vector<cfloat> yf(static_cast<std::size_t>(B * cout * plane),
+                         cfloat(0.f, 0.f));
+  const float* wp = w.data();
+  for (int64_t b = 0; b < B; ++b) {
+    for (const auto& [wr, kr] : mm.rows) {
+      for (int64_t c = 0; c < mm.m2e; ++c) {
+        const int64_t koff = kr * W + c;
+        for (int64_t o = 0; o < cout; ++o) {
+          cfloat acc(0.f, 0.f);
+          for (int64_t i = 0; i < cin; ++i) {
+            const float* wc = wp + widx(i, o, wr, c);
+            acc += cfloat(wc[0], wc[1]) *
+                   xf[static_cast<std::size_t>((b * cin + i) * plane + koff)];
+          }
+          yf[static_cast<std::size_t>((b * cout + o) * plane + koff)] = acc;
+        }
+      }
+    }
+  }
+  fft_2d(yf.data(), B * cout, H, W, /*inverse=*/true);
+  Tensor out({B, cout, H, W});
+  for (int64_t i = 0; i < B * cout * plane; ++i) {
+    out.data()[i] = yf[static_cast<std::size_t>(i)].real();
+  }
+  return out;
+}
+
+TEST(SpectralConvEquivalence, MatchesFullComplexReference2d) {
+  for (const auto& [B, cin, cout, H, W, m1, m2] :
+       {std::tuple<int, int, int, int, int, int, int>{2, 3, 4, 16, 16, 4, 4},
+        std::tuple<int, int, int, int, int, int, int>{1, 2, 2, 12, 40, 3, 5},
+        std::tuple<int, int, int, int, int, int, int>{2, 1, 1, 6, 10, 2, 3},
+        std::tuple<int, int, int, int, int, int, int>{1, 1, 2, 4, 4, 6, 6}}) {
+    Rng rng(600 + H * W + B);
+    const Tensor x = Tensor::randn({B, cin, H, W}, rng);
+    const Tensor w = Tensor::randn({cin, cout, 2 * m1, m2, 2}, rng, 0.f, 0.4f);
+    const Tensor ref = reference_spectral_conv2d(x, w, m1, m2, cout);
+    const Tensor got =
+        ops::spectral_conv2d(Var(x, false), Var(w, false), m1, m2, cout)
+            .value();
+    EXPECT_TRUE(got.allclose(ref, 1e-3f, 1e-4f))
+        << "mismatch at H=" << H << " W=" << W;
+  }
+}
+
+TEST(SpectralConvEquivalence, MatchesFullComplexReference3d) {
+  // Reference: widen, full fft_3d, seed mixing loops, full inverse.
+  const int64_t B = 1, cin = 2, cout = 2, D = 6, H = 8, W = 10;
+  const int64_t m1 = 2, m2 = 3, m3 = 3;
+  Rng rng(700);
+  const Tensor x = Tensor::randn({B, cin, D, H, W}, rng);
+  const Tensor w =
+      Tensor::randn({cin, cout, 2 * m1, 2 * m2, m3, 2}, rng, 0.f, 0.4f);
+  const int64_t vol = D * H * W;
+  const auto map_d = ops::spectral::signed_axis_map(D, m1);
+  const auto map_h = ops::spectral::signed_axis_map(H, m2);
+  const int64_t m3e = std::min<int64_t>(m3, W / 2);
+  std::vector<cfloat> xf(static_cast<std::size_t>(B * cin * vol));
+  for (int64_t i = 0; i < B * cin * vol; ++i) {
+    xf[static_cast<std::size_t>(i)] = cfloat(x.data()[i], 0.f);
+  }
+  fft_3d(xf.data(), B * cin, D, H, W, false);
+  auto widx = [=](int64_t i, int64_t o, int64_t r, int64_t c, int64_t k) {
+    return ((((i * cout + o) * (2 * m1) + r) * (2 * m2) + c) * m3 + k) * 2;
+  };
+  std::vector<cfloat> yf(static_cast<std::size_t>(B * cout * vol),
+                         cfloat(0.f, 0.f));
+  for (int64_t b = 0; b < B; ++b) {
+    for (const auto& [wr, kd] : map_d) {
+      for (const auto& [wc, kh] : map_h) {
+        for (int64_t k = 0; k < m3e; ++k) {
+          const int64_t off = (kd * H + kh) * W + k;
+          for (int64_t o = 0; o < cout; ++o) {
+            cfloat acc(0.f, 0.f);
+            for (int64_t i = 0; i < cin; ++i) {
+              const float* wc2 = w.data() + widx(i, o, wr, wc, k);
+              acc += cfloat(wc2[0], wc2[1]) *
+                     xf[static_cast<std::size_t>((b * cin + i) * vol + off)];
+            }
+            yf[static_cast<std::size_t>((b * cout + o) * vol + off)] = acc;
+          }
+        }
+      }
+    }
+  }
+  fft_3d(yf.data(), B * cout, D, H, W, true);
+  Tensor ref({B, cout, D, H, W});
+  for (int64_t i = 0; i < B * cout * vol; ++i) {
+    ref.data()[i] = yf[static_cast<std::size_t>(i)].real();
+  }
+  const Tensor got =
+      ops::spectral_conv3d(Var(x, false), Var(w, false), m1, m2, m3, cout)
+          .value();
+  EXPECT_TRUE(got.allclose(ref, 1e-3f, 1e-4f));
 }
 
 TEST(SpectralConvModule, ResolutionInvariantShapes) {
