@@ -1,0 +1,163 @@
+// Transient rollout serving benchmark: sessions x steps scaling of the
+// RolloutEngine. The property being measured is the core claim of the
+// rollout layer — throughput scales with CONCURRENT SESSION COUNT, not
+// rollout length, because the engine coalesces the current step of every
+// live session into one batched forward.
+//
+// Results are printed AND written to BENCH_rollout.json. `--smoke` (or
+// SAUFNO_SMOKE=1) shrinks sizes so CI can run it in seconds; in smoke mode
+// the binary FAILS if >= 4 concurrent sessions do not reach an average
+// batch size > 1, so a batching regression breaks the pipeline instead of
+// a graph.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/normalizer.h"
+#include "data/sequence.h"
+#include "runtime/rollout_engine.h"
+#include "runtime/thread_pool.h"
+#include "train/model_zoo.h"
+
+namespace saufno {
+namespace {
+
+struct Entry {
+  int sessions = 0;
+  int steps = 0;
+  double seconds = 0.0;
+  double steps_per_sec = 0.0;      // session-steps served per second
+  double per_step_latency_ms = 0.0;
+  double avg_batch_size = 0.0;
+};
+
+std::vector<Entry> g_entries;
+
+Entry run_config(const std::shared_ptr<nn::Module>& model,
+                 const data::Normalizer& norm, const data::RolloutSpec& spec,
+                 int n_sessions, int steps, int64_t res) {
+  runtime::RolloutEngine::Config cfg;
+  // Lockstep waves are exactly n_sessions wide: with max_batch matching,
+  // each wave pops the moment the last submission lands instead of idling
+  // out the batching deadline (which is only the straggler fallback here).
+  cfg.engine.max_batch =
+      env_int_in_range("SAUFNO_MAX_BATCH", n_sessions, 1, 1024);
+  cfg.engine.max_wait_us = 20000;
+  runtime::RolloutEngine engine(model, norm, spec, cfg);
+
+  Rng rng(17);
+  std::vector<std::unique_ptr<runtime::RolloutSession>> sessions;
+  std::vector<runtime::RolloutSession*> raw;
+  std::vector<Tensor> powers;
+  const Tensor init =
+      Tensor::full({spec.state_channels, res, res},
+                   static_cast<float>(norm.ambient()));
+  for (int s = 0; s < n_sessions; ++s) {
+    sessions.push_back(engine.open_session(init.clone()));
+    raw.push_back(sessions.back().get());
+    powers.push_back(Tensor::rand_uniform(
+        {steps, spec.power_channels, res, res}, rng, 0.f, 9e4f));
+  }
+
+  Timer t;
+  const auto trajectories = engine.run(raw, powers);
+  Entry e;
+  e.sessions = n_sessions;
+  e.steps = steps;
+  e.seconds = t.seconds();
+  const double total_steps = static_cast<double>(n_sessions) * steps;
+  e.steps_per_sec = total_steps / e.seconds;
+  e.per_step_latency_ms = e.seconds / steps * 1e3;  // wall time per wave
+  e.avg_batch_size = engine.stats().avg_batch_size;
+  (void)trajectories;
+  return e;
+}
+
+void write_json(const char* path, bool smoke, int64_t res) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("could not open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_rollout\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"resolution\": %lld,\n", static_cast<long long>(res));
+  std::fprintf(f, "  \"threads\": %d,\n",
+               runtime::ThreadPool::instance().num_threads());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < g_entries.size(); ++i) {
+    const auto& e = g_entries[i];
+    std::fprintf(f,
+                 "    {\"sessions\": %d, \"steps\": %d, \"seconds\": %.6f, "
+                 "\"steps_per_sec\": %.2f, \"per_step_latency_ms\": %.3f, "
+                 "\"avg_batch_size\": %.3f}%s\n",
+                 e.sessions, e.steps, e.seconds, e.steps_per_sec,
+                 e.per_step_latency_ms, e.avg_batch_size,
+                 i + 1 < g_entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace saufno
+
+int main(int argc, char** argv) {
+  using namespace saufno;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const char* env = std::getenv("SAUFNO_SMOKE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') smoke = true;
+
+  const int64_t res = smoke ? 12 : 16;
+  const int steps = smoke ? 6 : 32;
+  const std::vector<int> session_counts =
+      smoke ? std::vector<int>{1, 4, 8} : std::vector<int>{1, 2, 4, 8, 16};
+
+  data::RolloutSpec spec;
+  spec.dt = 0.01;
+  spec.state_channels = 1;
+  spec.power_channels = 1;
+  // Untrained weights: identical compute cost to a trained surrogate, and
+  // the bench stays self-contained (no dataset / training dependency).
+  auto model = train::make_model(smoke ? "SAU-FNO-micro" : "SAU-FNO",
+                                 spec.in_channels(), spec.out_channels(),
+                                 /*seed=*/42);
+  const auto norm =
+      data::Normalizer::from_stats(318.0, 3e4, 9.0, spec.power_channels);
+
+  std::printf("== bench_rollout (%s mode) ==\n", smoke ? "smoke" : "full");
+  std::printf("res %lldx%lld, %d steps/session, %d kernel lanes\n\n",
+              static_cast<long long>(res), static_cast<long long>(res), steps,
+              runtime::ThreadPool::instance().num_threads());
+  std::printf("%10s %8s %12s %16s %16s %12s\n", "sessions", "steps",
+              "seconds", "steps/sec", "ms/step-wave", "avg batch");
+  for (const int n : session_counts) {
+    const auto e = run_config(model, norm, spec, n, steps, res);
+    g_entries.push_back(e);
+    std::printf("%10d %8d %12.4f %16.1f %16.3f %12.2f\n", e.sessions, e.steps,
+                e.seconds, e.steps_per_sec, e.per_step_latency_ms,
+                e.avg_batch_size);
+  }
+  write_json("BENCH_rollout.json", smoke, res);
+
+  // Smoke-mode CI gate: concurrent sessions must actually coalesce.
+  for (const auto& e : g_entries) {
+    if (smoke && e.sessions >= 4 && e.avg_batch_size <= 1.0) {
+      std::printf("FAIL: %d concurrent sessions averaged batch size %.2f "
+                  "(<= 1): rollout batching regressed\n",
+                  e.sessions, e.avg_batch_size);
+      return 1;
+    }
+  }
+  return 0;
+}

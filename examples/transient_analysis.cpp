@@ -1,103 +1,242 @@
-// Transient thermal analysis: the time-dependent form of the heat
-// equation (Eq. 1-2 of the paper) that Section V names as future work.
+// Transient thermal analysis on the streaming rollout stack.
 //
-// Simulates a power-state sequence on Chip1 — idle, sprint, throttle —
-// chaining the implicit-Euler transient solver phase to phase through the
-// full temperature field, and prints the junction-temperature trajectory.
-// The design question it answers: how long can the core sprint before Tj
-// crosses a thermal limit?
+// The original version of this example drove the implicit-Euler solver
+// directly. This one runs the full surrogate pipeline the rollout subsystem
+// provides:
+//
+//   1. generate transient trajectories from thermal::TransientSolver
+//   2. train the autoregressive one-step surrogate (teacher-forced, then
+//      free-running BPTT)
+//   3. persist it as a self-describing v3 rollout checkpoint
+//   4. rebuild the serving pipeline with RolloutEngine::from_checkpoint and
+//      stream a power-state scenario — idle, sprint, throttle — through
+//      CONCURRENT sessions, one per candidate sprint power, so one batched
+//      engine answers "how hard can this core sprint?" for several design
+//      points at once
+//   5. sanity-check the served trajectory against the reference solver
+//
+// Runtime is a couple of minutes on one core; SAUFNO_EPOCHS / SAUFNO_NSEQ
+// shrink or grow the training stage.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "chip/chips.h"
+#include "common/env.h"
+#include "data/sequence.h"
+#include "runtime/rollout_engine.h"
 #include "thermal/transient.h"
+#include "train/model_zoo.h"
+#include "train/rollout.h"
 
 using namespace saufno;
 
 namespace {
 
-chip::PowerAssignment phase_power(const chip::ChipSpec& spec, double core_w,
-                                  double cache_w) {
+constexpr int kRes = 12;
+constexpr double kDt = 0.05;     // 50 ms per surrogate step
+constexpr int kPhaseSteps = 10;  // 0.5 s per phase
+
+struct Phase {
+  const char* name;
+  double core_w, cache_w;
+};
+
+chip::PowerAssignment phase_power(double core_w, double cache_w) {
   chip::PowerAssignment pa;
-  pa.power.resize(spec.layers.size());
+  pa.power.resize(2);
   pa.power[0] = {cache_w, cache_w, cache_w};                  // L2 caches
   pa.power[1] = {core_w, cache_w / 2, cache_w / 2, cache_w};  // core layer
   return pa;
 }
 
-}  // namespace
+/// Rasterized [K, C_power, H, W] power sequence for a 3-phase scenario.
+Tensor scenario_powers(const chip::ChipSpec& spec,
+                       const std::vector<Phase>& phases) {
+  chip::PowerGenerator pgen(spec);
+  const int n_dev = spec.num_device_layers();
+  const int64_t plane = static_cast<int64_t>(kRes) * kRes;
+  Tensor out({static_cast<int64_t>(phases.size()) * kPhaseSteps, n_dev, kRes,
+              kRes});
+  int64_t k = 0;
+  for (const auto& ph : phases) {
+    const auto maps =
+        pgen.rasterize(phase_power(ph.core_w, ph.cache_w), kRes, kRes);
+    for (int s = 0; s < kPhaseSteps; ++s, ++k) {
+      float* dst = out.data() + k * n_dev * plane;
+      for (int c = 0; c < n_dev; ++c) {
+        std::copy(maps[static_cast<std::size_t>(c)].begin(),
+                  maps[static_cast<std::size_t>(c)].end(), dst + c * plane);
+      }
+    }
+  }
+  return out;
+}
 
-int main() {
-  std::printf("transient thermal analysis (chip1 power-state sequence)\n");
-  std::printf("=======================================================\n\n");
-  const auto spec = chip::make_chip1();
-  const int res = 16;
-  const double dt = 0.05;  // 50 ms steps
-  const int steps = 40;    // 2 s per phase
-
+/// Reference Tj trajectory from the implicit-Euler solver.
+std::vector<double> reference_tj(const chip::ChipSpec& spec,
+                                 const std::vector<Phase>& phases) {
   thermal::TransientSolver::Options opt;
-  opt.dt = dt;
-  opt.steps = steps;
+  opt.dt = kDt;
+  opt.steps = kPhaseSteps;
   thermal::TransientSolver solver(opt);
-
-  struct Phase {
-    const char* name;
-    double core_w, cache_w;
-  } phases[] = {
-      {"idle", 15.0, 4.0},
-      {"sprint", 120.0, 10.0},
-      {"throttle", 45.0, 8.0},
-  };
-
-  std::vector<double> tj;       // junction temperature per step
-  std::vector<double> state;    // field carried across phases
+  std::vector<double> tj;
+  std::vector<double> state;
   for (const auto& ph : phases) {
     const auto grid = thermal::build_grid(
-        spec, phase_power(spec, ph.core_w, ph.cache_w), res, res);
-    const auto result =
-        state.empty() ? solver.solve(grid)
-                      : solver.solve_from(grid, std::move(state));
-    tj.insert(tj.end(), result.max_temperature_history.begin(),
-              result.max_temperature_history.end());
-    state = result.final_state.temperature;
-    std::printf("phase %-9s core %5.1f W -> Tj %.2f K after %.1f s "
-                "(solve %.2f s)\n",
-                ph.name, ph.core_w, tj.back(), dt * steps,
-                result.total_seconds);
+        spec, phase_power(ph.core_w, ph.cache_w), kRes, kRes);
+    const auto res = state.empty() ? solver.solve(grid)
+                                   : solver.solve_from(grid, std::move(state));
+    tj.insert(tj.end(), res.max_temperature_history.begin(),
+              res.max_temperature_history.end());
+    state = res.final_state.temperature;
   }
+  return tj;
+}
 
-  // ASCII strip chart of the Tj trajectory.
-  std::printf("\nTj trajectory (%.0f ms per column):\n", dt * 1e3);
-  const double lo = *std::min_element(tj.begin(), tj.end());
-  const double hi = *std::max_element(tj.begin(), tj.end());
+void chart(const std::vector<std::vector<float>>& curves,
+           const std::vector<const char*>& names) {
+  double lo = 1e30, hi = -1e30;
+  for (const auto& c : curves) {
+    for (const double v : c) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
   const int rows = 12;
+  const double band = (hi - lo) / rows;
   for (int r = rows; r >= 0; --r) {
-    const double level = lo + (hi - lo) * r / rows;
+    const double level = lo + band * r;
     std::printf("%7.1fK |", level);
-    for (double v : tj) std::printf("%c", v >= level ? '#' : ' ');
+    for (std::size_t i = 0; i < curves[0].size(); ++i) {
+      char ch = ' ';
+      for (std::size_t c = 0; c < curves.size(); ++c) {
+        // Line plot, not area fill: mark the band the value falls in, so
+        // cooler curves stay visible below hotter ones.
+        const double v = curves[c][i];
+        if (v >= level && (r == rows || v < level + band)) {
+          ch = static_cast<char>('1' + c);
+        }
+      }
+      std::printf("%c", ch);
+    }
     std::printf("\n");
   }
   std::printf("          +");
-  for (std::size_t i = 0; i < tj.size(); ++i) std::printf("-");
-  std::printf("\n           0s%*s\n", static_cast<int>(tj.size()), "6s");
+  for (std::size_t i = 0; i < curves[0].size(); ++i) std::printf("-");
+  std::printf("\n");
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    std::printf("  [%zu] %s\n", c + 1, names[c]);
+  }
+}
 
-  // Sprint budget: time into the sprint phase until Tj crosses 390 K.
-  const double limit = 390.0;
-  int cross = -1;
-  for (int i = steps; i < 2 * steps; ++i) {
-    if (tj[static_cast<std::size_t>(i)] >= limit) {
-      cross = i - steps;
-      break;
+}  // namespace
+
+int main() {
+  std::printf("transient rollout serving (chip1 power-state sequences)\n");
+  std::printf("=======================================================\n\n");
+  const auto spec = chip::make_chip1();
+
+  // 1. Trajectories from the reference solver.
+  data::TransientGenConfig gen;
+  gen.resolution = kRes;
+  gen.n_sequences = env_int_in_range("SAUFNO_NSEQ", 12, 2, 1000);
+  gen.steps = 12;
+  gen.phases = 3;
+  gen.dt = kDt;
+  std::printf("generating %d solver trajectories (%d steps, dt=%.0f ms)...\n",
+              gen.n_sequences, gen.steps, kDt * 1e3);
+  const auto train_set = data::generate_transient_sequences(spec, gen);
+  const auto norm = data::fit_sequence_normalizer(train_set);
+  const auto rspec = train_set.spec();
+
+  // 2. Train the one-step surrogate with the unrolled loss.
+  auto model = train::make_model("SAU-FNO-micro", rspec.in_channels(),
+                                 rspec.out_channels(), /*seed=*/11);
+  train::RolloutTrainConfig tc;
+  tc.epochs = env_int_in_range("SAUFNO_EPOCHS", 24, 1, 10000);
+  tc.teacher_forced_epochs = tc.epochs / 2;
+  tc.batch_size = 4;
+  tc.lr = 2e-3;
+  train::RolloutTrainer trainer(*model, norm, rspec, tc);
+  std::printf("training %d epochs (%d teacher-forced, then free-running)...\n",
+              tc.epochs, tc.teacher_forced_epochs);
+  const auto report = trainer.fit(train_set);
+  std::printf("final unrolled loss %.4g after %.1f s\n", report.final_loss(),
+              report.seconds);
+  const auto eval = trainer.evaluate(train_set, /*teacher_forced=*/false);
+  std::printf("free-running MAE: step 1 %.3f K -> step %zu %.3f K\n\n",
+              eval.mae_per_step.front(), eval.mae_per_step.size(),
+              eval.mae_per_step.back());
+
+  // 3. Deploy as a self-describing rollout artifact.
+  const std::string ckpt = "transient_rollout.ckpt";
+  train::save_rollout_deployable(*model, "SAU-FNO-micro", norm, rspec, ckpt);
+  std::printf("saved %s (dt=%.0f ms, %lld state + %lld power channels)\n",
+              ckpt.c_str(), rspec.dt * 1e3,
+              static_cast<long long>(rspec.state_channels),
+              static_cast<long long>(rspec.power_channels));
+
+  // 4. Rebuild the serving pipeline from the file and stream the scenario
+  //    for three candidate sprint powers as CONCURRENT sessions.
+  auto engine = runtime::RolloutEngine::from_checkpoint(ckpt);
+  const std::vector<double> sprint_watts = {80.0, 120.0, 160.0};
+  std::vector<std::unique_ptr<runtime::RolloutSession>> sessions;
+  std::vector<runtime::RolloutSession*> raw;
+  std::vector<Tensor> powers;
+  const Tensor init = Tensor::full(
+      {rspec.state_channels, kRes, kRes}, static_cast<float>(spec.ambient));
+  for (const double w : sprint_watts) {
+    const std::vector<Phase> phases = {
+        {"idle", 15.0, 4.0}, {"sprint", w, 10.0}, {"throttle", 45.0, 8.0}};
+    sessions.push_back(engine->open_session(init.clone()));
+    raw.push_back(sessions.back().get());
+    powers.push_back(scenario_powers(spec, phases));
+  }
+  const auto trajectories = engine->run(raw, powers);
+  const auto stats = engine->stats();
+  std::printf("\nserved %lld session-steps in %lld batches "
+              "(avg batch %.2f, p95 %.2f ms/step)\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.batches), stats.avg_batch_size,
+              stats.latency_p95_ms);
+
+  // Per-step surrogate Tj = max over the served kelvin field.
+  std::vector<std::vector<float>> tj_curves;
+  std::vector<const char*> names = {"sprint  80 W (surrogate)",
+                                    "sprint 120 W (surrogate)",
+                                    "sprint 160 W (surrogate)"};
+  const int64_t row = rspec.state_channels * kRes * kRes;
+  for (const auto& traj : trajectories) {
+    std::vector<float> tj;
+    for (int64_t k = 0; k < traj.size(0); ++k) {
+      float mx = -1e30f;
+      for (int64_t i = 0; i < row; ++i) {
+        mx = std::max(mx, traj.at(k * row + i));
+      }
+      tj.push_back(mx);
     }
+    tj_curves.push_back(std::move(tj));
   }
-  if (cross >= 0) {
-    std::printf("\nsprint budget at the %.0f K limit: %.2f s\n", limit,
-                (cross + 1) * dt);
-  } else {
-    std::printf("\nsprint stays below the %.0f K limit for the full phase\n",
-                limit);
+  std::printf("\nTj trajectories, %.0f ms per column "
+              "(idle | sprint | throttle):\n",
+              kDt * 1e3);
+  chart(tj_curves, names);
+
+  // 5. Reference check for the 120 W scenario.
+  const std::vector<Phase> mid = {
+      {"idle", 15.0, 4.0}, {"sprint", 120.0, 10.0}, {"throttle", 45.0, 8.0}};
+  const auto ref = reference_tj(spec, mid);
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    max_err = std::max(max_err, std::fabs(ref[k] - tj_curves[1][k]));
   }
+  std::printf("\n120 W scenario vs implicit-Euler reference: "
+              "max |Tj error| %.2f K over %.1f s\n",
+              max_err, ref.size() * kDt);
+  std::printf("(a smoke-scale surrogate; raise SAUFNO_NSEQ / SAUFNO_EPOCHS "
+              "to tighten it)\n");
   return 0;
 }

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace saufno {
+namespace data {
+
+/// Step semantics of an autoregressive transient surrogate: the one-step
+/// operator advances the device-layer temperature field by `dt` seconds,
+///
+///   T_{n+1} = F([T_n, P_n, coords]),
+///
+/// with the input channels laid out as
+///   [0, state_channels)                      normalized temperature state
+///   [state_channels, +power_channels)        scaled power density
+///   last 2                                   (y, x) coordinate channels
+/// and the output the normalized temperature state after the step. The spec
+/// is persisted in checkpoint v3 meta so a serving pipeline rebuilt from
+/// the file knows both the layout and the physical meaning of one step.
+///
+/// (A standalone header: nn/serialize.h embeds the spec in CheckpointMeta
+/// and must not drag the chip/dataset headers of data/sequence.h with it.)
+struct RolloutSpec {
+  double dt = 0.0;             // seconds advanced per surrogate step
+  int64_t state_channels = 0;  // device-layer temperature maps fed back
+  int64_t power_channels = 0;  // per-step exogenous power maps
+
+  int64_t in_channels() const { return state_channels + power_channels + 2; }
+  int64_t out_channels() const { return state_channels; }
+};
+
+}  // namespace data
+}  // namespace saufno

@@ -1,0 +1,194 @@
+#include "data/sequence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "thermal/transient.h"
+
+namespace saufno {
+namespace data {
+
+std::tuple<Tensor, Tensor, Tensor> SequenceDataset::gather(
+    const std::vector<int>& indices) const {
+  SAUFNO_CHECK(!indices.empty(), "empty gather");
+  const int64_t b = static_cast<int64_t>(indices.size());
+  const int64_t init_row = init.numel() / size();
+  const int64_t pow_row = powers.numel() / size();
+  const int64_t tgt_row = targets.numel() / size();
+  Tensor bi({b, init.size(1), init.size(2), init.size(3)});
+  Tensor bp({b, powers.size(1), powers.size(2), powers.size(3), powers.size(4)});
+  Tensor bt({b, targets.size(1), targets.size(2), targets.size(3),
+             targets.size(4)});
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t s = indices[static_cast<std::size_t>(i)];
+    SAUFNO_CHECK(s >= 0 && s < size(), "gather index out of range");
+    std::memcpy(bi.data() + i * init_row, init.data() + s * init_row,
+                sizeof(float) * static_cast<std::size_t>(init_row));
+    std::memcpy(bp.data() + i * pow_row, powers.data() + s * pow_row,
+                sizeof(float) * static_cast<std::size_t>(pow_row));
+    std::memcpy(bt.data() + i * tgt_row, targets.data() + s * tgt_row,
+                sizeof(float) * static_cast<std::size_t>(tgt_row));
+  }
+  return {std::move(bi), std::move(bp), std::move(bt)};
+}
+
+std::pair<SequenceDataset, SequenceDataset> SequenceDataset::split(
+    int64_t n_first) const {
+  SAUFNO_CHECK(n_first >= 0 && n_first <= size(), "bad split point");
+  auto take = [this](int64_t start, int64_t count) {
+    SequenceDataset out;
+    out.chip_name = chip_name;
+    out.resolution = resolution;
+    out.ambient = ambient;
+    out.dt = dt;
+    std::vector<int> idx(static_cast<std::size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      idx[static_cast<std::size_t>(i)] = static_cast<int>(start + i);
+    }
+    if (count > 0) {
+      std::tie(out.init, out.powers, out.targets) = gather(idx);
+    }
+    return out;
+  };
+  return {take(0, n_first), take(n_first, size() - n_first)};
+}
+
+Normalizer fit_sequence_normalizer(const SequenceDataset& d) {
+  SAUFNO_CHECK(d.size() > 0, "cannot fit normalizer on empty sequence set");
+  auto std_of = [](const float* p, int64_t n, double shift) {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double v = p[i] - shift;
+      sum += v;
+      sq += v * v;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var =
+        std::max(sq / static_cast<double>(n) - mean * mean, 1e-12);
+    return std::sqrt(var);
+  };
+  const double power_scale = std_of(d.powers.data(), d.powers.numel(), 0.0);
+  const double temp_scale =
+      std_of(d.targets.data(), d.targets.numel(), d.ambient);
+  return Normalizer::from_stats(d.ambient, power_scale, temp_scale,
+                                d.power_channels());
+}
+
+Tensor coord_channels(int64_t h, int64_t w) {
+  Tensor out({2, h, w});
+  float* p = out.data();
+  for (int64_t i = 0; i < h; ++i) {
+    for (int64_t j = 0; j < w; ++j) {
+      const float y = h > 1 ? static_cast<float>(i) / (h - 1) : 0.f;
+      const float x = w > 1 ? static_cast<float>(j) / (w - 1) : 0.f;
+      p[i * w + j] = y;
+      p[h * w + i * w + j] = x;
+    }
+  }
+  return out;
+}
+
+Tensor assemble_step_input(const Tensor& norm_state, const Tensor& raw_power,
+                           const Normalizer& norm) {
+  SAUFNO_CHECK(norm_state.dim() == 3 && raw_power.dim() == 3,
+               "assemble_step_input expects [C, H, W] fields");
+  const int64_t h = norm_state.size(1), w = norm_state.size(2);
+  SAUFNO_CHECK(raw_power.size(1) == h && raw_power.size(2) == w,
+               "state/power resolution mismatch: " +
+                   shape_str(norm_state.shape()) + " vs " +
+                   shape_str(raw_power.shape()));
+  const int64_t cs = norm_state.size(0), cp = raw_power.size(0);
+  const int64_t plane = h * w;
+  Tensor in({cs + cp + 2, h, w});
+  float* p = in.data();
+  std::memcpy(p, norm_state.data(),
+              sizeof(float) * static_cast<std::size_t>(cs * plane));
+  const float inv = static_cast<float>(1.0 / norm.power_scale());
+  const float* pw = raw_power.data();
+  float* dst = p + cs * plane;
+  for (int64_t i = 0; i < cp * plane; ++i) dst[i] = pw[i] * inv;
+  const Tensor coords = coord_channels(h, w);
+  std::memcpy(p + (cs + cp) * plane, coords.data(),
+              sizeof(float) * static_cast<std::size_t>(2 * plane));
+  return in;
+}
+
+SequenceDataset generate_transient_sequences(const chip::ChipSpec& spec,
+                                             const TransientGenConfig& cfg) {
+  SAUFNO_CHECK(cfg.n_sequences > 0 && cfg.steps > 0 && cfg.dt > 0,
+               "bad transient generation config");
+  SAUFNO_CHECK(cfg.phases >= 1 && cfg.phases <= cfg.steps,
+               "phases must be in [1, steps]");
+  const auto device_layers = spec.device_layer_indices();
+  const int n_dev = static_cast<int>(device_layers.size());
+  const int res = cfg.resolution;
+  const int64_t plane = static_cast<int64_t>(res) * res;
+
+  SequenceDataset d;
+  d.chip_name = spec.name;
+  d.resolution = res;
+  d.ambient = spec.ambient;
+  d.dt = cfg.dt;
+  d.init = Tensor({cfg.n_sequences, n_dev, res, res});
+  d.powers = Tensor({cfg.n_sequences, cfg.steps, n_dev, res, res});
+  d.targets = Tensor({cfg.n_sequences, cfg.steps, n_dev, res, res});
+
+  Rng rng(cfg.seed);
+  chip::PowerGenerator pgen(spec);
+
+  for (int s = 0; s < cfg.n_sequences; ++s) {
+    // Cold power-on: the trajectory starts from the uniform ambient field.
+    float* init_p = d.init.data() + static_cast<int64_t>(s) * n_dev * plane;
+    std::fill(init_p, init_p + n_dev * plane,
+              static_cast<float>(spec.ambient));
+    std::vector<double> field;  // full 3-D field carried phase to phase
+
+    int step0 = 0;
+    for (int ph = 0; ph < cfg.phases; ++ph) {
+      // Split the window into near-equal segments; the last one takes the
+      // remainder so every configuration covers exactly cfg.steps steps.
+      const int seg = ph + 1 < cfg.phases
+                          ? cfg.steps / cfg.phases
+                          : cfg.steps - step0;
+      const auto pa = pgen.sample(rng);
+      const auto grid = thermal::build_grid(spec, pa, res, res);
+      const auto maps = pgen.rasterize(pa, res, res);
+      for (int k = step0; k < step0 + seg; ++k) {
+        float* pw = d.powers.data() +
+                    (static_cast<int64_t>(s) * cfg.steps + k) * n_dev * plane;
+        for (int c = 0; c < n_dev; ++c) {
+          std::copy(maps[static_cast<std::size_t>(c)].begin(),
+                    maps[static_cast<std::size_t>(c)].end(), pw + c * plane);
+        }
+      }
+
+      thermal::TransientSolver::Options opt;
+      opt.dt = cfg.dt;
+      opt.steps = seg;
+      if (field.empty()) {
+        field.assign(static_cast<std::size_t>(grid.num_cells()),
+                     spec.ambient);
+      }
+      const auto res_t = thermal::TransientSolver(opt).solve_from(
+          grid, std::move(field),
+          [&](int step, const std::vector<double>& f) {
+            float* tg = d.targets.data() +
+                        (static_cast<int64_t>(s) * cfg.steps + step0 + step) *
+                            n_dev * plane;
+            for (int c = 0; c < n_dev; ++c) {
+              const auto lm = thermal::layer_map_of(
+                  f, grid, device_layers[static_cast<std::size_t>(c)]);
+              std::copy(lm.begin(), lm.end(), tg + c * plane);
+            }
+          });
+      field = res_t.final_state.temperature;
+      step0 += seg;
+    }
+  }
+  return d;
+}
+
+}  // namespace data
+}  // namespace saufno

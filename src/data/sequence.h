@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "chip/chips.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "data/rollout_spec.h"
+
+namespace saufno {
+namespace data {
+
+/// Supervised rollout dataset: trajectories of the transient solver.
+///
+///   init   : [N, C_state, H, W] — kelvin temperature field at t = 0
+///   powers : [N, K, C_power, H, W] — power density (W/m^2) held constant
+///            over each step (piecewise-constant power-state sequences)
+///   targets: [N, K, C_state, H, W] — kelvin reference field after each step
+struct SequenceDataset {
+  std::string chip_name;
+  int resolution = 0;
+  double ambient = 0.0;  // K
+  double dt = 0.0;       // s per step
+  Tensor init;
+  Tensor powers;
+  Tensor targets;
+
+  int64_t size() const { return init.defined() ? init.size(0) : 0; }
+  int64_t steps() const { return powers.size(1); }
+  int64_t state_channels() const { return init.size(1); }
+  int64_t power_channels() const { return powers.size(2); }
+  RolloutSpec spec() const {
+    return RolloutSpec{dt, state_channels(), power_channels()};
+  }
+
+  /// Row-gather of the given sequence indices into fresh (init, powers,
+  /// targets) tensors.
+  std::tuple<Tensor, Tensor, Tensor> gather(
+      const std::vector<int>& indices) const;
+
+  /// Deterministic split into [first `n_first` sequences, rest].
+  std::pair<SequenceDataset, SequenceDataset> split(int64_t n_first) const;
+};
+
+/// Fit the affine normalizer on a sequence set: power scale from the std of
+/// all power-channel entries, temperature scale from the std of the rise
+/// (targets - ambient) — the same statistics Normalizer::fit computes on a
+/// steady-state set, so rollout checkpoints reuse the v2 normalizer block.
+Normalizer fit_sequence_normalizer(const SequenceDataset& d);
+
+/// Coordinate channels [2, H, W] (y then x, in [0, 1]) — the same layout
+/// data::generate_dataset appends to steady-state inputs.
+Tensor coord_channels(int64_t h, int64_t w);
+
+/// Assemble one encoded rollout step input [C_state + C_power + 2, H, W]
+/// from the NORMALIZED state and the RAW power map. This is the single
+/// codec both the serving session and the offline unroll go through, which
+/// is what makes concurrent-session rollouts bit-identical to the offline
+/// reference: every float op on the input path is literally the same code.
+Tensor assemble_step_input(const Tensor& norm_state, const Tensor& raw_power,
+                           const Normalizer& norm);
+
+/// Transient trajectory generation parameters.
+struct TransientGenConfig {
+  int resolution = 16;   // lateral grid (H == W)
+  int n_sequences = 8;
+  int steps = 8;         // K steps per trajectory
+  int phases = 2;        // power re-sampled this many times over the window
+  double dt = 5e-3;      // s per step
+  std::uint64_t seed = 7;
+};
+
+/// Generate rollout training data by integrating thermal::TransientSolver
+/// over random piecewise-constant power sequences, recording the
+/// device-layer temperature maps after every implicit-Euler step.
+/// Trajectories start from the uniform ambient field (a cold power-on).
+SequenceDataset generate_transient_sequences(const chip::ChipSpec& spec,
+                                             const TransientGenConfig& cfg);
+
+}  // namespace data
+}  // namespace saufno

@@ -1,5 +1,6 @@
 #include "nn/serialize.h"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 
@@ -11,6 +12,7 @@ namespace {
 
 constexpr std::uint64_t kMagicV1 = 0x53415546'4e4f4331ULL;  // "SAUFNOC1"
 constexpr std::uint64_t kMagicV2 = 0x53415546'4e4f4332ULL;  // "SAUFNOC2"
+constexpr std::uint64_t kMagicV3 = 0x53415546'4e4f4333ULL;  // "SAUFNOC3"
 
 // Sanity bounds for reading untrusted files: no real parameter tensor in
 // this codebase comes close to these, so anything larger is corruption,
@@ -101,11 +103,18 @@ void write_meta(std::ostream& out, const CheckpointMeta& meta) {
   write_pod<std::int64_t>(out, meta.size_hint);
   write_pod<std::uint8_t>(out, meta.has_normalizer ? 1 : 0);
   if (meta.has_normalizer) meta.normalizer.serialize(out);
+  // v3 rollout section: dt + channel split of the autoregressive input.
+  write_pod<std::uint8_t>(out, meta.has_rollout ? 1 : 0);
+  if (meta.has_rollout) {
+    write_pod<double>(out, meta.rollout.dt);
+    write_pod<std::int64_t>(out, meta.rollout.state_channels);
+    write_pod<std::int64_t>(out, meta.rollout.power_channels);
+  }
 }
 
-CheckpointMeta read_meta(std::istream& in) {
+CheckpointMeta read_meta(std::istream& in, int version) {
   CheckpointMeta meta;
-  meta.version = 2;
+  meta.version = version;
   meta.model_name = read_string(in, "model name");
   meta.in_channels = read_pod<std::int64_t>(in, "in_channels");
   meta.out_channels = read_pod<std::int64_t>(in, "out_channels");
@@ -121,6 +130,25 @@ CheckpointMeta read_meta(std::istream& in) {
   meta.has_normalizer = read_pod<std::uint8_t>(in, "normalizer flag") != 0;
   if (meta.has_normalizer) {
     meta.normalizer = data::Normalizer::deserialize(in);
+  }
+  if (version >= 3) {
+    meta.has_rollout = read_pod<std::uint8_t>(in, "rollout flag") != 0;
+    if (meta.has_rollout) {
+      meta.rollout.dt = read_pod<double>(in, "rollout dt");
+      meta.rollout.state_channels =
+          read_pod<std::int64_t>(in, "rollout state channels");
+      meta.rollout.power_channels =
+          read_pod<std::int64_t>(in, "rollout power channels");
+      // The spec feeds straight into input assembly and model sizing, so a
+      // corrupt header must fail here, like the channel counts above.
+      SAUFNO_CHECK(std::isfinite(meta.rollout.dt) && meta.rollout.dt > 0,
+                   "corrupt checkpoint (rollout dt)");
+      SAUFNO_CHECK(meta.rollout.state_channels >= 1 &&
+                       meta.rollout.state_channels <= kMaxDim &&
+                       meta.rollout.power_channels >= 0 &&
+                       meta.rollout.power_channels <= kMaxDim,
+                   "corrupt checkpoint (rollout channels)");
+    }
   }
   return meta;
 }
@@ -157,7 +185,7 @@ void save_checkpoint(const Module& m, const std::string& path,
                      const CheckpointMeta& meta) {
   std::ofstream out(path, std::ios::binary);
   SAUFNO_CHECK(out.good(), "cannot open checkpoint for writing: " + path);
-  write_pod<std::uint64_t>(out, kMagicV2);
+  write_pod<std::uint64_t>(out, kMagicV3);
   write_meta(out, meta);
   write_params(out, m);
   SAUFNO_CHECK(out.good(), "checkpoint write failed: " + path);
@@ -176,11 +204,11 @@ CheckpointMeta load_checkpoint(Module& m, const std::string& path,
   std::ifstream in(path, std::ios::binary);
   SAUFNO_CHECK(in.good(), "cannot open checkpoint: " + path);
   const auto magic = read_pod<std::uint64_t>(in, "magic");
-  SAUFNO_CHECK(magic == kMagicV1 || magic == kMagicV2,
+  SAUFNO_CHECK(magic == kMagicV1 || magic == kMagicV2 || magic == kMagicV3,
                "bad checkpoint magic in " + path);
   CheckpointMeta meta;
-  if (magic == kMagicV2) {
-    meta = read_meta(in);
+  if (magic != kMagicV1) {
+    meta = read_meta(in, magic == kMagicV3 ? 3 : 2);
   } else {
     meta.version = 1;  // legacy weights-only file
   }
@@ -192,14 +220,14 @@ CheckpointMeta read_checkpoint_meta(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   SAUFNO_CHECK(in.good(), "cannot open checkpoint: " + path);
   const auto magic = read_pod<std::uint64_t>(in, "magic");
-  SAUFNO_CHECK(magic == kMagicV1 || magic == kMagicV2,
+  SAUFNO_CHECK(magic == kMagicV1 || magic == kMagicV2 || magic == kMagicV3,
                "bad checkpoint magic in " + path);
   if (magic == kMagicV1) {
     CheckpointMeta meta;
     meta.version = 1;
     return meta;
   }
-  return read_meta(in);
+  return read_meta(in, magic == kMagicV3 ? 3 : 2);
 }
 
 }  // namespace nn

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "data/normalizer.h"
+#include "data/rollout_spec.h"
 #include "nn/module.h"
 
 namespace saufno {
@@ -20,30 +21,34 @@ std::map<std::string, Tensor> state_dict(const Module& m);
 void load_state_dict(Module& m, const std::map<std::string, Tensor>& state,
                      bool strict = true);
 
-/// Self-describing header persisted by the v2 checkpoint format. A v2
+/// Self-describing header persisted by the v2+ checkpoint formats. The
 /// artifact records everything needed to rebuild and serve the model:
-/// the model-zoo identity (`train::make_model` arguments) and the fitted
-/// input/target normalizer, so the serving path can accept raw W-per-pixel
-/// power maps and return kelvin fields without out-of-band configuration.
+/// the model-zoo identity (`train::make_model` arguments), the fitted
+/// input/target normalizer, and — for transient surrogates (v3) — the
+/// rollout step semantics (`dt`, state/power channel split), so a serving
+/// pipeline can be rebuilt from the file without out-of-band configuration.
 struct CheckpointMeta {
-  int version = 2;            // 1 for legacy weights-only files
+  int version = 3;            // 1 = legacy weights-only, 2 = no rollout meta
   std::string model_name;     // train::make_model name ("" when unknown)
   int64_t in_channels = 0;
   int64_t out_channels = 0;
   int size_hint = 0;          // model-zoo capacity knob
   bool has_normalizer = false;
   data::Normalizer normalizer;  // valid only when has_normalizer
+  bool has_rollout = false;
+  data::RolloutSpec rollout;    // valid only when has_rollout
 };
 
 /// Binary checkpoint IO.
 ///
-/// v2 ("SAUFNOC2"): magic, meta (model name, channels, size hint,
-/// optional normalizer statistics), count, then per parameter
-/// (name, rank, dims..., float data). Little-endian, float32.
+/// v3 ("SAUFNOC3"): magic, meta (model name, channels, size hint,
+/// optional normalizer statistics, optional rollout spec), count, then per
+/// parameter (name, rank, dims..., float data). Little-endian, float32.
+/// v2 ("SAUFNOC2"): as v3 but without the rollout section.
 /// v1 ("SAUFNOC1"): magic, count, parameters — no meta.
 ///
-/// `save_checkpoint` always writes v2; `load_checkpoint` reads both and
-/// returns the meta (defaulted, with version = 1, for legacy files).
+/// `save_checkpoint` always writes v3; `load_checkpoint` reads all three
+/// and returns the meta (defaulted, with version = 1, for legacy files).
 void save_checkpoint(const Module& m, const std::string& path,
                      const CheckpointMeta& meta = {});
 CheckpointMeta load_checkpoint(Module& m, const std::string& path,

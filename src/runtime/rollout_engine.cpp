@@ -1,0 +1,136 @@
+#include "runtime/rollout_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+#include "train/model_zoo.h"
+
+namespace saufno {
+namespace runtime {
+
+RolloutSession::RolloutSession(InferenceEngine* engine,
+                               const data::Normalizer* norm,
+                               data::RolloutSpec spec, Tensor initial_kelvin)
+    : engine_(engine), norm_(norm), spec_(spec) {
+  SAUFNO_CHECK(initial_kelvin.dim() == 3 &&
+                   initial_kelvin.size(0) == spec_.state_channels,
+               "session needs a [C_state, H, W] kelvin start, got " +
+                   shape_str(initial_kelvin.shape()));
+  kelvin_state_ = std::move(initial_kelvin);
+  norm_state_ = norm_->encode_targets(kelvin_state_);
+}
+
+void RolloutSession::submit_step(Tensor power_map) {
+  SAUFNO_CHECK(!pending_.has_value(),
+               "submit_step with a step already outstanding (autoregression "
+               "needs step n's result before step n+1 can start)");
+  SAUFNO_CHECK(power_map.dim() == 3 &&
+                   power_map.size(0) == spec_.power_channels &&
+                   power_map.size(1) == norm_state_.size(1) &&
+                   power_map.size(2) == norm_state_.size(2),
+               "step expects a [C_power, H, W] power map matching the "
+               "session resolution, got " +
+                   shape_str(power_map.shape()));
+  pending_ = engine_->submit(
+      data::assemble_step_input(norm_state_, power_map, *norm_));
+}
+
+Tensor RolloutSession::await_step() {
+  SAUFNO_CHECK(pending_.has_value(), "await_step with no step submitted");
+  // Consume the future BEFORE get(): if the forward threw, the exception
+  // propagates here, and the session must be left re-submittable (a second
+  // await on a consumed future would raise future_error instead of the
+  // real diagnostic). The state is unchanged, so the caller can retry the
+  // step.
+  std::future<Tensor> fut = std::move(*pending_);
+  pending_.reset();
+  Tensor out = fut.get();
+  SAUFNO_CHECK(out.dim() == 3 && out.size(0) == spec_.state_channels,
+               "rollout model returned unexpected shape " +
+                   shape_str(out.shape()));
+  norm_state_ = std::move(out);
+  kelvin_state_ = norm_->decode_targets(norm_state_);
+  ++steps_;
+  return kelvin_state_;
+}
+
+RolloutEngine::RolloutEngine(std::shared_ptr<nn::Module> model,
+                             data::Normalizer norm, data::RolloutSpec spec,
+                             Config cfg)
+    : norm_(std::move(norm)), spec_(spec), cfg_(cfg) {
+  SAUFNO_CHECK(spec_.dt > 0 && spec_.state_channels >= 1 &&
+                   spec_.power_channels >= 0,
+               "bad rollout spec");
+  // The engine serves the model RAW (no normalizer): the rollout codec
+  // lives here, per session, because state and power channels encode
+  // differently — InferenceEngine's power-map encoding would be wrong for
+  // the fed-back temperature channels.
+  engine_ = std::make_unique<InferenceEngine>(std::move(model), std::nullopt,
+                                              cfg_.engine);
+}
+
+std::unique_ptr<RolloutEngine> RolloutEngine::from_checkpoint(
+    const std::string& checkpoint, Config cfg) {
+  train::LoadedModel loaded = train::load_deployable(checkpoint);
+  SAUFNO_CHECK(loaded.meta.has_rollout,
+               "checkpoint " + checkpoint +
+                   " carries no rollout spec; write it with "
+                   "train::save_rollout_deployable");
+  SAUFNO_CHECK(loaded.meta.has_normalizer,
+               "rollout checkpoint " + checkpoint + " has no normalizer");
+  return std::make_unique<RolloutEngine>(std::move(loaded.model),
+                                         loaded.meta.normalizer,
+                                         loaded.meta.rollout, cfg);
+}
+
+RolloutEngine::~RolloutEngine() { stop(); }
+
+void RolloutEngine::stop() { engine_->stop(); }
+
+std::unique_ptr<RolloutSession> RolloutEngine::open_session(
+    Tensor initial_kelvin) const {
+  return std::unique_ptr<RolloutSession>(new RolloutSession(
+      engine_.get(), &norm_, spec_, std::move(initial_kelvin)));
+}
+
+std::vector<Tensor> RolloutEngine::run(
+    const std::vector<RolloutSession*>& sessions,
+    const std::vector<Tensor>& power_sequences) const {
+  SAUFNO_CHECK(sessions.size() == power_sequences.size(),
+               "one power sequence per session");
+  const std::size_t n = sessions.size();
+  std::vector<Tensor> trajectories(n);
+  int64_t max_k = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const Tensor& p = power_sequences[s];
+    SAUFNO_CHECK(p.dim() == 4, "power sequences are [K, C_power, H, W]");
+    trajectories[s] = Tensor({p.size(0), spec_.state_channels, p.size(2),
+                              p.size(3)});
+    max_k = std::max(max_k, p.size(0));
+  }
+  for (int64_t k = 0; k < max_k; ++k) {
+    // Submit the whole wave before awaiting any of it: step k of every
+    // still-active session lands in the queue together and coalesces.
+    for (std::size_t s = 0; s < n; ++s) {
+      if (k >= power_sequences[s].size(0)) continue;
+      sessions[s]->submit_step(
+          slice(power_sequences[s], 0, k, 1)
+              .reshape({power_sequences[s].size(1),
+                        power_sequences[s].size(2),
+                        power_sequences[s].size(3)}));
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (k >= power_sequences[s].size(0)) continue;
+      const Tensor kelvin = sessions[s]->await_step();
+      const int64_t row = kelvin.numel();
+      std::memcpy(trajectories[s].data() + k * row, kelvin.data(),
+                  sizeof(float) * static_cast<std::size_t>(row));
+    }
+  }
+  return trajectories;
+}
+
+}  // namespace runtime
+}  // namespace saufno

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/normalizer.h"
+#include "data/sequence.h"
+#include "runtime/inference_engine.h"
+
+namespace saufno {
+namespace runtime {
+
+class RolloutEngine;
+
+/// One streaming transient trajectory. A session owns its evolving
+/// temperature field: every step takes that step's raw power map, feeds the
+/// assembled [state | power | coords] input through the engine's batched
+/// forward, and the prediction becomes the state the next step starts from.
+///
+/// The two-phase submit/await split is what lets many sessions batch:
+/// submit step n of every live session, then await them — the engine
+/// coalesces the concurrent submissions into one forward, so throughput
+/// scales with session count, not rollout length. `step()` is the
+/// single-call convenience for callers driving one session per thread.
+///
+/// A session is NOT thread-safe (one client drives it) and must not outlive
+/// the RolloutEngine that opened it. At most one step may be outstanding —
+/// autoregression makes step n+1's input depend on step n's output.
+class RolloutSession {
+ public:
+  /// Submit this step's [C_power, H, W] raw power-density map. Returns
+  /// immediately; the forward happens on the engine's batcher.
+  void submit_step(Tensor power_map);
+
+  /// Wait for the submitted step, advance the internal state, and return
+  /// the kelvin temperature field [C_state, H, W] after the step.
+  Tensor await_step();
+
+  /// submit_step + await_step.
+  Tensor step(Tensor power_map) {
+    submit_step(std::move(power_map));
+    return await_step();
+  }
+
+  bool step_pending() const { return pending_.has_value(); }
+  /// Current kelvin temperature field [C_state, H, W].
+  const Tensor& state_kelvin() const { return kelvin_state_; }
+  int64_t steps_done() const { return steps_; }
+
+ private:
+  friend class RolloutEngine;
+  RolloutSession(InferenceEngine* engine, const data::Normalizer* norm,
+                 data::RolloutSpec spec, Tensor initial_kelvin);
+
+  InferenceEngine* engine_;
+  const data::Normalizer* norm_;
+  data::RolloutSpec spec_;
+  Tensor norm_state_;    // fed back into the next step (normalized space)
+  Tensor kelvin_state_;  // decoded copy for the caller
+  std::optional<std::future<Tensor>> pending_;
+  int64_t steps_ = 0;
+};
+
+/// Transient rollout server: turns the batched one-shot InferenceEngine
+/// into a multi-step thermal-trajectory service. Each open session holds an
+/// evolving temperature field; the engine batches the CURRENT step of many
+/// concurrent sessions into one forward (the underlying shape-sharded queue
+/// keeps mixed-resolution sessions coalescing too).
+///
+/// Results are bit-identical whether a trajectory is rolled out alone, in a
+/// crowd of concurrent sessions, or offline through train::rollout_unroll
+/// on the same checkpoint: input assembly and the normalizer codec are the
+/// same code (data::assemble_step_input), and the engine's batched forward
+/// is per-sample independent.
+class RolloutEngine {
+ public:
+  struct Config {
+    /// Batching knobs for the underlying engine. Rollout steps tolerate
+    /// more batching latency than interactive one-shot serving, so the
+    /// default wait is longer than InferenceEngine's.
+    InferenceEngine::Config engine;
+    Config() {
+      engine.max_batch = 16;
+      engine.max_wait_us = 5000;
+    }
+  };
+
+  /// Takes shared ownership of the one-step model. The normalizer encodes
+  /// state/power channels; `spec` fixes the input layout and dt semantics.
+  RolloutEngine(std::shared_ptr<nn::Module> model, data::Normalizer norm,
+                data::RolloutSpec spec, Config cfg = {});
+
+  /// Rebuild the whole transient pipeline from a self-describing v3
+  /// rollout checkpoint (train::save_rollout_deployable): model identity,
+  /// weights, normalizer and step semantics all come from the file.
+  static std::unique_ptr<RolloutEngine> from_checkpoint(
+      const std::string& checkpoint, Config cfg = {});
+
+  ~RolloutEngine();
+  RolloutEngine(const RolloutEngine&) = delete;
+  RolloutEngine& operator=(const RolloutEngine&) = delete;
+
+  /// Open a session from a [C_state, H, W] kelvin starting field (e.g. a
+  /// uniform ambient field for a cold power-on, or a measured map).
+  std::unique_ptr<RolloutSession> open_session(Tensor initial_kelvin) const;
+
+  /// Lockstep driver: advance every session through its [K_i, C_power, H,
+  /// W] power sequence, submitting step k of all sessions before awaiting
+  /// any of them so each wave coalesces into large batches. Sessions may
+  /// have different lengths and resolutions. Returns one [K_i, C_state, H,
+  /// W] kelvin trajectory per session.
+  std::vector<Tensor> run(
+      const std::vector<RolloutSession*>& sessions,
+      const std::vector<Tensor>& power_sequences) const;
+
+  /// Stop the underlying engine (idempotent; the destructor calls it).
+  /// Outstanding steps are still served.
+  void stop();
+
+  InferenceStats stats() const { return engine_->stats(); }
+  const data::RolloutSpec& spec() const { return spec_; }
+  const data::Normalizer& normalizer() const { return norm_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  data::Normalizer norm_;
+  data::RolloutSpec spec_;
+  Config cfg_;
+  std::unique_ptr<InferenceEngine> engine_;
+};
+
+}  // namespace runtime
+}  // namespace saufno

@@ -55,8 +55,14 @@ struct Registry {
 };
 
 Registry& registry() {
-  static Registry r;
-  return r;
+  // Intentionally immortal (never destroyed): thread_local ThreadArena
+  // destructors run during process teardown, AFTER function-local statics
+  // have been destroyed — a destructible Registry turns every pool-thread
+  // exit at shutdown into a use-after-free (caught by the ASan CI lane).
+  // The one Registry is reachable through this static pointer for the whole
+  // process lifetime, so leak checkers treat it as reachable, not leaked.
+  static Registry* r = new Registry();
+  return *r;
 }
 
 /// Mutex-protected overflow pool shared by every thread. Touched only when
@@ -67,11 +73,11 @@ struct GlobalPool {
   std::vector<void*> lists[kNumBuckets];
   std::atomic<int64_t> bytes{0};
 
-  ~GlobalPool() {
-    for (int i = 0; i < kNumBuckets; ++i) {
-      for (void* p : lists[i]) ::operator delete(p);
-    }
-  }
+  // No destructor: the pool is immortal for the same teardown-ordering
+  // reason as the Registry (arena_release from a late-exiting thread must
+  // not touch a destroyed pool). Cached blocks stay reachable through it;
+  // the OS reclaims everything at process exit, and arena_trim() drains it
+  // explicitly for tests.
 
   void* try_pop(int b) {
     std::lock_guard<std::mutex> lk(m);
@@ -103,8 +109,8 @@ struct GlobalPool {
 };
 
 GlobalPool& global_pool() {
-  static GlobalPool pool;
-  return pool;
+  static GlobalPool* pool = new GlobalPool();
+  return *pool;
 }
 
 struct ThreadArena {

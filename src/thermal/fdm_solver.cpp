@@ -21,6 +21,11 @@ double ThermalSolution::min_temperature() const {
 
 std::vector<float> ThermalSolution::layer_map(const ThermalGrid& g,
                                               int chip_layer) const {
+  return layer_map_of(temperature, g, chip_layer);
+}
+
+std::vector<float> layer_map_of(const std::vector<double>& field,
+                                const ThermalGrid& g, int chip_layer) {
   // Average over the z-cells of the layer (thin layers have exactly one).
   std::vector<float> map(static_cast<std::size_t>(g.ny) * g.nx, 0.f);
   int count = 0;
@@ -30,7 +35,7 @@ std::vector<float> ThermalSolution::layer_map(const ThermalGrid& g,
     for (int iy = 0; iy < g.ny; ++iy) {
       for (int ix = 0; ix < g.nx; ++ix) {
         map[static_cast<std::size_t>(iy) * g.nx + ix] += static_cast<float>(
-            temperature[static_cast<std::size_t>(g.cell(iz, iy, ix))]);
+            field[static_cast<std::size_t>(g.cell(iz, iy, ix))]);
       }
     }
   }

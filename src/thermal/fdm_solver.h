@@ -22,6 +22,13 @@ struct ThermalSolution {
   std::vector<float> layer_map(const ThermalGrid& g, int chip_layer) const;
 };
 
+/// `ThermalSolution::layer_map` over a raw per-cell field, without wrapping
+/// it in a solution object — the form the transient per-step trajectory
+/// hook uses, where copying the full 3-D field per recorded step would
+/// double the generation memory traffic.
+std::vector<float> layer_map_of(const std::vector<double>& field,
+                                const ThermalGrid& g, int chip_layer);
+
 /// Finite-volume steady heat solver — the MTA [33] substitute (and, at
 /// refine=2, the COMSOL reference of Table IV).
 ///

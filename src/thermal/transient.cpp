@@ -19,12 +19,22 @@ TransientSolver::Result TransientSolver::solve(const ThermalGrid& grid,
 
 TransientSolver::Result TransientSolver::solve_from(
     const ThermalGrid& grid, std::vector<double> initial_field) const {
+  return solve_from(grid, std::move(initial_field), FieldCallback{});
+}
+
+TransientSolver::Result TransientSolver::solve_from(
+    const ThermalGrid& grid, std::vector<double> initial_field,
+    const FieldCallback& on_step) const {
   SAUFNO_CHECK(grid.num_cells() > 0, "empty grid");
   SAUFNO_CHECK(static_cast<int64_t>(initial_field.size()) ==
                    grid.num_cells(),
-               "initial field does not match the grid");
+               "initial field size " +
+                   std::to_string(initial_field.size()) +
+                   " does not match the grid (" +
+                   std::to_string(grid.num_cells()) + " cells)");
   SAUFNO_CHECK(!grid.c.empty(), "grid has no heat-capacity field");
-  SAUFNO_CHECK(opt_.dt > 0 && opt_.steps > 0, "bad transient options");
+  SAUFNO_CHECK(opt_.dt > 0, "transient dt must be > 0");
+  SAUFNO_CHECK(opt_.steps > 0, "transient steps must be > 0");
   Timer timer;
 
   // Steady stencil, then augment: (C/dt + A) on the diagonal; the moving
@@ -60,6 +70,7 @@ TransientSolver::Result TransientSolver::solve_from(
     SAUFNO_CHECK(cg.converged, "transient step failed to converge");
     res.max_temperature_history.push_back(
         *std::max_element(t.begin(), t.end()));
+    if (on_step) on_step(step, t);
   }
   res.final_state.temperature = std::move(t);
   res.final_state.converged = true;

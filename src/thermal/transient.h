@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+
 #include "thermal/fdm_solver.h"
 
 namespace saufno {
@@ -47,8 +49,20 @@ class TransientSolver {
   /// Integrate from a full initial temperature field (cell layout matching
   /// the grid). This is how power-state sequences are chained: feed the
   /// previous phase's `final_state.temperature` in as the next start.
+  /// Rejects fields whose size does not match the grid.
   Result solve_from(const ThermalGrid& grid,
                     std::vector<double> initial_field) const;
+
+  /// Per-step observation hook: called after every implicit-Euler step with
+  /// the 0-based step index and the full temperature field. This is the
+  /// trajectory-generation entry point for the rollout surrogate — the
+  /// recorded fields become the per-step training targets.
+  using FieldCallback =
+      std::function<void(int step, const std::vector<double>& field)>;
+
+  /// As `solve_from`, invoking `on_step` (when set) after each step.
+  Result solve_from(const ThermalGrid& grid, std::vector<double> initial_field,
+                    const FieldCallback& on_step) const;
 
  private:
   Options opt_{};

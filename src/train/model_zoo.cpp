@@ -54,6 +54,24 @@ std::shared_ptr<nn::Module> make_model(const std::string& name,
                    core::AttentionPlacement::kLast),
         rng);
   }
+  if (name == "SAU-FNO-micro") {
+    // Deliberately tiny SAU-FNO: the full architecture (spectral convs,
+    // U-Net branch, attention) at a few thousand parameters. Used for
+    // committed golden-regression fixtures (a checkpoint small enough to
+    // live in git) and for fast rollout-serving tests; not part of the
+    // Table II comparison set.
+    core::SauFno::Config c = sau_config(in_channels, out_channels, 0,
+                                        core::AttentionPlacement::kLast);
+    c.width = 4;
+    c.modes1 = 3;
+    c.modes2 = 3;
+    c.n_fourier = 1;
+    c.n_ufourier = 1;
+    c.unet_base = 4;
+    c.unet_depth = 2;
+    c.attention_dim = 4;
+    return std::make_shared<core::SauFno>(c, rng);
+  }
   if (name == "SAU-FNO-all-attn") {
     return std::make_shared<core::SauFno>(
         sau_config(in_channels, out_channels, size_hint,

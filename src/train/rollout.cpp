@@ -1,0 +1,251 @@
+#include "train/rollout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/serialize.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace saufno {
+namespace train {
+namespace {
+
+/// Step-k slice [B, C, H, W] of a [B, K, C, H, W] trajectory tensor.
+Tensor step_slice(const Tensor& t, int64_t k) {
+  const int64_t B = t.size(0), K = t.size(1), C = t.size(2);
+  const int64_t plane = t.size(3) * t.size(4);
+  Tensor out({B, C, t.size(3), t.size(4)});
+  const int64_t row = C * plane;
+  for (int64_t b = 0; b < B; ++b) {
+    std::memcpy(out.data() + b * row, t.data() + (b * K + k) * row,
+                sizeof(float) * static_cast<std::size_t>(row));
+  }
+  return out;
+}
+
+/// Non-state input channels for step k: [B, C_power + 2, H, W] — the
+/// already-encoded power maps plus the coordinate channels.
+Tensor step_aux(const Tensor& enc_powers, int64_t k, const Tensor& coords) {
+  const int64_t B = enc_powers.size(0), K = enc_powers.size(1);
+  const int64_t Cp = enc_powers.size(2);
+  const int64_t plane = enc_powers.size(3) * enc_powers.size(4);
+  Tensor aux({B, Cp + 2, enc_powers.size(3), enc_powers.size(4)});
+  for (int64_t b = 0; b < B; ++b) {
+    std::memcpy(aux.data() + b * (Cp + 2) * plane,
+                enc_powers.data() + (b * K + k) * Cp * plane,
+                sizeof(float) * static_cast<std::size_t>(Cp * plane));
+    std::memcpy(aux.data() + b * (Cp + 2) * plane + Cp * plane, coords.data(),
+                sizeof(float) * static_cast<std::size_t>(2 * plane));
+  }
+  return aux;
+}
+
+void check_compatible(const data::SequenceDataset& d,
+                      const data::RolloutSpec& spec) {
+  SAUFNO_CHECK(d.size() > 0, "empty sequence set");
+  SAUFNO_CHECK(d.state_channels() == spec.state_channels &&
+                   d.power_channels() == spec.power_channels,
+               "sequence set channels do not match the rollout spec");
+  SAUFNO_CHECK(std::fabs(d.dt - spec.dt) <=
+                   1e-9 * std::max(1.0, std::fabs(spec.dt)),
+               "sequence set dt does not match the rollout spec");
+}
+
+}  // namespace
+
+double RolloutReport::final_loss() const {
+  return epoch_loss.empty() ? 0.0 : epoch_loss.back();
+}
+
+RolloutTrainer::RolloutTrainer(nn::Module& model,
+                               const data::Normalizer& norm,
+                               data::RolloutSpec spec, RolloutTrainConfig cfg)
+    : model_(model), norm_(norm), spec_(spec), cfg_(cfg) {
+  SAUFNO_CHECK(spec_.dt > 0 && spec_.state_channels >= 1 &&
+                   spec_.power_channels >= 0,
+               "bad rollout spec");
+}
+
+RolloutReport RolloutTrainer::fit(const data::SequenceDataset& train_set) {
+  check_compatible(train_set, spec_);
+  Timer timer;
+  RolloutReport report;
+  Rng rng(cfg_.seed);
+
+  const int64_t K = train_set.steps();
+  const int64_t Ku = cfg_.unroll_steps > 0
+                         ? std::min<int64_t>(cfg_.unroll_steps, K)
+                         : K;
+  const int teacher_epochs = cfg_.teacher_forced_epochs >= 0
+                                 ? cfg_.teacher_forced_epochs
+                                 : cfg_.epochs / 2;
+
+  // Pre-encode the whole set once (same trade as Trainer::fit: the sets are
+  // small enough to hold both copies, and per-batch encoding would redo the
+  // same affine maps every epoch).
+  data::SequenceDataset enc;
+  enc.init = norm_.encode_targets(train_set.init);
+  enc.targets = norm_.encode_targets(train_set.targets);
+  enc.powers = train_set.powers.clone();
+  enc.powers.mul_(static_cast<float>(1.0 / norm_.power_scale()));
+  const Tensor coords =
+      data::coord_channels(train_set.init.size(2), train_set.init.size(3));
+
+  optim::Adam opt(model_.parameters(), cfg_.lr, 0.9, 0.999, 1e-8,
+                  cfg_.weight_decay);
+  optim::StepLR sched(opt, cfg_.lr_step, cfg_.lr_gamma);
+
+  model_.set_training(true);
+  data::BatchSampler sampler(train_set.size(), cfg_.batch_size, rng);
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    const bool teacher_forced = epoch < teacher_epochs;
+    sampler.reset();
+    double loss_acc = 0.0;
+    int64_t batches = 0;
+    for (auto idx = sampler.next(); !idx.empty(); idx = sampler.next()) {
+      auto [bi, bp, bt] = enc.gather(idx);
+      Var state(std::move(bi));
+      Var total;
+      for (int64_t k = 0; k < Ku; ++k) {
+        Var in = ops::cat({state, Var(step_aux(bp, k, coords))}, 1);
+        Var pred = model_.forward(in);
+        Var l = ops::mse_loss(pred, Var(step_slice(bt, k)));
+        total = k == 0 ? l : total + l;
+        // Teacher forcing feeds the reference state forward (a constant for
+        // autograd); free-running feeds the prediction, so the loss
+        // backpropagates through the whole unroll.
+        state = teacher_forced ? Var(step_slice(bt, k)) : pred;
+      }
+      Var loss = total * (1.f / static_cast<float>(Ku));
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+      loss_acc += loss.value().item();
+      ++batches;
+    }
+    const double mean_loss = loss_acc / static_cast<double>(batches);
+    report.epoch_loss.push_back(mean_loss);
+    sched.step();
+    if (cfg_.verbose) {
+      SAUFNO_INFO << "rollout epoch " << (epoch + 1) << "/" << cfg_.epochs
+                  << (teacher_forced ? " [teacher]" : " [free]")
+                  << " loss=" << mean_loss << " lr=" << sched.current_lr();
+    }
+  }
+  model_.set_training(false);
+  report.seconds = timer.seconds();
+  return report;
+}
+
+RolloutEval RolloutTrainer::evaluate(const data::SequenceDataset& test_set,
+                                     bool teacher_forced) const {
+  check_compatible(test_set, spec_);
+  NoGradGuard no_grad;
+  model_.set_training(false);
+
+  const int64_t K = test_set.steps();
+  RolloutEval eval;
+  eval.teacher_forced = teacher_forced;
+  std::vector<double> abs_sum(static_cast<std::size_t>(K), 0.0);
+  std::vector<double> sq_sum(static_cast<std::size_t>(K), 0.0);
+  int64_t per_step_count = 0;
+
+  const Tensor coords =
+      data::coord_channels(test_set.init.size(2), test_set.init.size(3));
+  const int64_t batch = 8;  // bound activation memory, as Trainer::evaluate
+  for (int64_t start = 0; start < test_set.size(); start += batch) {
+    const int64_t len = std::min(batch, test_set.size() - start);
+    std::vector<int> idx(static_cast<std::size_t>(len));
+    for (int64_t i = 0; i < len; ++i) {
+      idx[static_cast<std::size_t>(i)] = static_cast<int>(start + i);
+    }
+    auto [bi, bp, bt] = test_set.gather(idx);  // raw kelvin / raw power
+    Tensor enc_powers = bp.clone();
+    enc_powers.mul_(static_cast<float>(1.0 / norm_.power_scale()));
+    Var state(norm_.encode_targets(bi));
+    per_step_count += bt.numel() / K;
+    for (int64_t k = 0; k < K; ++k) {
+      Var in = ops::cat({state, Var(step_aux(enc_powers, k, coords))}, 1);
+      Var pred = model_.forward(in);
+      const Tensor pred_kelvin = norm_.decode_targets(pred.value());
+      const Tensor ref_kelvin = step_slice(bt, k);
+      const float* p = pred_kelvin.data();
+      const float* r = ref_kelvin.data();
+      for (int64_t i = 0; i < ref_kelvin.numel(); ++i) {
+        const double e = static_cast<double>(p[i]) - r[i];
+        abs_sum[static_cast<std::size_t>(k)] += std::fabs(e);
+        sq_sum[static_cast<std::size_t>(k)] += e * e;
+      }
+      state = teacher_forced ? Var(norm_.encode_targets(ref_kelvin)) : pred;
+    }
+  }
+  for (int64_t k = 0; k < K; ++k) {
+    eval.mae_per_step.push_back(abs_sum[static_cast<std::size_t>(k)] /
+                                static_cast<double>(per_step_count));
+    eval.rmse_per_step.push_back(
+        std::sqrt(sq_sum[static_cast<std::size_t>(k)] /
+                  static_cast<double>(per_step_count)));
+  }
+  return eval;
+}
+
+Tensor RolloutTrainer::unroll(const Tensor& init_kelvin,
+                              const Tensor& powers_raw) const {
+  return rollout_unroll(model_, norm_, init_kelvin, powers_raw);
+}
+
+Tensor rollout_unroll(nn::Module& model, const data::Normalizer& norm,
+                      const Tensor& init_kelvin, const Tensor& powers_raw) {
+  SAUFNO_CHECK(init_kelvin.dim() == 3, "unroll expects a [C, H, W] start");
+  SAUFNO_CHECK(powers_raw.dim() == 4,
+               "unroll expects [K, C_power, H, W] power maps");
+  const int64_t K = powers_raw.size(0), cs = init_kelvin.size(0);
+  const int64_t cp = powers_raw.size(1);
+  const int64_t h = init_kelvin.size(1), w = init_kelvin.size(2);
+
+  NoGradGuard no_grad;
+  model.set_training(false);
+  Tensor norm_state = norm.encode_targets(init_kelvin);
+  Tensor out({K, cs, h, w});
+  for (int64_t k = 0; k < K; ++k) {
+    const Tensor pk = slice(powers_raw, 0, k, 1).reshape({cp, h, w});
+    const Tensor in = data::assemble_step_input(norm_state, pk, norm);
+    Var y = model.forward(Var(in.reshape({1, cs + cp + 2, h, w})));
+    SAUFNO_CHECK(y.shape() == (Shape{1, cs, h, w}),
+                 "rollout model returned unexpected shape " +
+                     shape_str(y.shape()));
+    norm_state = y.value().reshape({cs, h, w});
+    const Tensor kelvin = norm.decode_targets(norm_state);
+    std::memcpy(out.data() + k * cs * h * w, kelvin.data(),
+                sizeof(float) * static_cast<std::size_t>(cs * h * w));
+  }
+  return out;
+}
+
+void save_rollout_deployable(const nn::Module& m, const std::string& name,
+                             const data::Normalizer& norm,
+                             const data::RolloutSpec& spec,
+                             const std::string& path, int size_hint) {
+  SAUFNO_CHECK(spec.dt > 0 && spec.state_channels >= 1 &&
+                   spec.power_channels >= 0,
+               "bad rollout spec");
+  nn::CheckpointMeta meta;
+  meta.model_name = name;
+  meta.in_channels = spec.in_channels();
+  meta.out_channels = spec.out_channels();
+  meta.size_hint = size_hint;
+  meta.has_normalizer = true;
+  meta.normalizer = norm;
+  meta.has_rollout = true;
+  meta.rollout = spec;
+  nn::save_checkpoint(m, path, meta);
+}
+
+}  // namespace train
+}  // namespace saufno

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/normalizer.h"
+#include "data/sequence.h"
+#include "nn/module.h"
+
+namespace saufno {
+namespace train {
+
+/// Rollout training hyperparameters. The trainer unrolls `unroll_steps`
+/// surrogate steps per sequence and averages the per-step normalized MSE.
+/// The first `teacher_forced_epochs` feed the REFERENCE state into every
+/// step (stable gradients, no error feedback); the remaining epochs run
+/// free-running, feeding the model's own prediction back in and
+/// backpropagating through the whole unroll (BPTT), which is what teaches
+/// the operator to damp its own accumulated error.
+struct RolloutTrainConfig {
+  int epochs = 10;
+  int batch_size = 4;
+  double lr = 1e-3;
+  double weight_decay = 1e-5;
+  int lr_step = 8;           // StepLR period (epochs)
+  double lr_gamma = 0.5;
+  std::uint64_t seed = 1234;
+  int unroll_steps = 0;      // 0 = the full sequence length
+  int teacher_forced_epochs = -1;  // -1 = first half of the epochs
+  bool verbose = false;
+};
+
+struct RolloutReport {
+  std::vector<double> epoch_loss;  // mean normalized per-step MSE
+  double seconds = 0.0;
+  double final_loss() const;
+};
+
+/// Per-step rollout error against reference trajectories, in kelvin.
+/// Free-running numbers show how error ACCUMULATES over the horizon —
+/// the metric that decides whether a surrogate is usable for multi-step
+/// serving; teacher-forced numbers isolate the one-step operator quality.
+struct RolloutEval {
+  bool teacher_forced = false;
+  std::vector<double> mae_per_step;   // K, kelvin
+  std::vector<double> rmse_per_step;  // K, kelvin
+  double final_step_mae() const {
+    return mae_per_step.empty() ? 0.0 : mae_per_step.back();
+  }
+};
+
+/// Trainer for the autoregressive transient surrogate (one-step operator
+/// T_{n+1} = F(T_n, P_n) over data::SequenceDataset trajectories).
+class RolloutTrainer {
+ public:
+  RolloutTrainer(nn::Module& model, const data::Normalizer& norm,
+                 data::RolloutSpec spec, RolloutTrainConfig cfg = {});
+
+  RolloutReport fit(const data::SequenceDataset& train_set);
+
+  RolloutEval evaluate(const data::SequenceDataset& test_set,
+                       bool teacher_forced) const;
+
+  /// Offline free-running rollout of one trajectory: `init_kelvin` is the
+  /// [C_state, H, W] starting field, `powers_raw` the [K, C_power, H, W]
+  /// per-step power maps; returns the [K, C_state, H, W] kelvin prediction.
+  /// Bit-identical to serving the same checkpoint through RolloutEngine —
+  /// both paths share data::assemble_step_input and the normalizer codec.
+  Tensor unroll(const Tensor& init_kelvin, const Tensor& powers_raw) const;
+
+ private:
+  nn::Module& model_;
+  const data::Normalizer& norm_;
+  data::RolloutSpec spec_;
+  RolloutTrainConfig cfg_;
+};
+
+/// The unroll above as a free function (the serving-equivalence reference
+/// used by tests and benches that have no trainer).
+Tensor rollout_unroll(nn::Module& model, const data::Normalizer& norm,
+                      const Tensor& init_kelvin, const Tensor& powers_raw);
+
+/// Write a self-describing v3 rollout checkpoint: weights, zoo identity,
+/// fitted normalizer AND the rollout step semantics, so
+/// `runtime::RolloutEngine::from_checkpoint` rebuilds the whole transient
+/// serving pipeline from the file alone.
+void save_rollout_deployable(const nn::Module& m, const std::string& name,
+                             const data::Normalizer& norm,
+                             const data::RolloutSpec& spec,
+                             const std::string& path, int size_hint = 0);
+
+}  // namespace train
+}  // namespace saufno

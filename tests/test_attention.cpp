@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "gradcheck.h"
+#include "testing.h"
 #include "tensor/tensor_ops.h"
 
 namespace saufno {

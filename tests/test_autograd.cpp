@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "gradcheck.h"
+#include "testing.h"
 #include "tensor/tensor_ops.h"
 #include "train/model_zoo.h"
 
@@ -283,6 +283,53 @@ TEST(GradCheck, SoftmaxLastDim) {
             ops::mul(ops::softmax_lastdim(ls[0]), Var(w, false)));
       },
       {a}, /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
+}
+
+TEST(GradCheck, AbsAwayFromKink) {
+  Rng rng(26);
+  Tensor t = Tensor::randn({3, 4}, rng);
+  // Keep every element at least 3*eps from the |.| kink so the central
+  // difference never straddles it (same trick as ReluAwayFromKink).
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (std::fabs(t.at(i)) < 5e-2f) t.at(i) = t.at(i) < 0 ? -5e-2f : 5e-2f;
+  }
+  Var a(t, true);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        return ops::sum_all(ops::mul(ops::abs(ls[0]), ls[0]));
+      },
+      {a});
+}
+
+TEST(GradCheck, Permute4d) {
+  // The 4-D layouts the attention path shuffles through; the rank-3 check
+  // above can't catch a stride bug specific to higher ranks.
+  Rng rng(27);
+  Var a = leaf({2, 3, 2, 4}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var p = ops::permute(ls[0], {0, 2, 1, 3});
+        Var q = ops::permute(p, {3, 0, 2, 1});
+        return ops::sum_all(ops::square(q));
+      },
+      {a});
+}
+
+TEST(GradCheck, AttentionComposition) {
+  // bmm -> softmax -> bmm with a permuted key, the exact op chain inside
+  // core::Attention. Checks the INTERACTION of the three backward rules,
+  // which the per-op checks above cannot.
+  Rng rng(28);
+  Var q = leaf({2, 3, 4}, rng);
+  Var k = leaf({2, 3, 4}, rng);
+  Var v = leaf({2, 3, 4}, rng);
+  expect_gradients_match(
+      [](std::vector<Var>& ls) {
+        Var scores = ops::bmm(ls[0], ops::permute(ls[1], {0, 2, 1}));
+        Var attn = ops::softmax_lastdim(ops::mul_scalar(scores, 0.5f));
+        return ops::sum_all(ops::square(ops::bmm(attn, ls[2])));
+      },
+      {q, k, v}, /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
 }
 
 TEST(GradCheck, ResizeBilinear) {

@@ -1,6 +1,7 @@
-// Checkpoint format v2 ("SAUFNOC2"): self-describing artifacts that carry
-// the model-zoo identity and the fitted normalizer, legacy-v1 loading, and
-// clean rejection of corrupt or truncated files.
+// Checkpoint formats: v3 ("SAUFNOC3") self-describing artifacts that carry
+// the model-zoo identity, the fitted normalizer and (for transient
+// surrogates) the rollout spec; legacy v2/v1 loading; and clean rejection
+// of corrupt or truncated files.
 
 #include "nn/serialize.h"
 
@@ -62,8 +63,9 @@ TEST(CheckpointV2, RoundTripPreservesMetaAndWeights) {
   ASSERT_FALSE(same_params(*model, *model2));
   const nn::CheckpointMeta meta = nn::load_checkpoint(*model2, path);
   EXPECT_TRUE(same_params(*model, *model2));
-  EXPECT_EQ(meta.version, 2);
+  EXPECT_EQ(meta.version, 3);
   EXPECT_EQ(meta.model_name, "CNN");
+  EXPECT_FALSE(meta.has_rollout);
   EXPECT_EQ(meta.in_channels, 3);
   EXPECT_EQ(meta.out_channels, 1);
   ASSERT_TRUE(meta.has_normalizer);
@@ -82,9 +84,9 @@ TEST(CheckpointV2, RoundTripPreservesMetaAndWeights) {
 TEST(CheckpointV2, DefaultSaveHasNoNormalizer) {
   auto model = tiny_model(3);
   const std::string path = temp_path("saufno_v2_plain.ckpt");
-  nn::save_checkpoint(*model, path);  // weights-only, but still v2
+  nn::save_checkpoint(*model, path);  // weights-only, but still v3
   const nn::CheckpointMeta meta = nn::read_checkpoint_meta(path);
-  EXPECT_EQ(meta.version, 2);
+  EXPECT_EQ(meta.version, 3);
   EXPECT_FALSE(meta.has_normalizer);
   auto model2 = tiny_model(4);
   nn::load_checkpoint(*model2, path);
@@ -104,6 +106,32 @@ TEST(CheckpointV2, LegacyV1FilesStillLoad) {
   EXPECT_TRUE(meta.model_name.empty());
   EXPECT_FALSE(meta.has_normalizer);
   EXPECT_EQ(nn::read_checkpoint_meta(path).version, 1);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, LegacyV2LayoutStillLoads) {
+  // Hand-written v2 file (the pre-rollout layout: meta stops after the
+  // normalizer flag). The reader must not consume a rollout flag that v2
+  // never wrote.
+  const std::string path = temp_path("saufno_legacy_v2.ckpt");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  write_pod<std::uint64_t>(out, 0x53415546'4e4f4332ULL);  // "SAUFNOC2"
+  write_pod<std::uint64_t>(out, 3);
+  out.write("CNN", 3);
+  write_pod<std::int64_t>(out, 3);  // in_channels
+  write_pod<std::int64_t>(out, 1);  // out_channels
+  write_pod<std::int64_t>(out, 0);  // size_hint
+  write_pod<std::uint8_t>(out, 0);  // no normalizer
+  write_pod<std::uint64_t>(out, 0); // no parameters
+  out.close();
+  const nn::CheckpointMeta meta = nn::read_checkpoint_meta(path);
+  EXPECT_EQ(meta.version, 2);
+  EXPECT_EQ(meta.model_name, "CNN");
+  EXPECT_FALSE(meta.has_normalizer);
+  EXPECT_FALSE(meta.has_rollout);
+  auto victim = tiny_model(12);
+  // Zero stored parameters: legal in non-strict mode, nothing overwritten.
+  EXPECT_NO_THROW(nn::load_checkpoint(*victim, path, /*strict=*/false));
   std::remove(path.c_str());
 }
 

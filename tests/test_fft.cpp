@@ -12,6 +12,7 @@
 #include "autograd/spectral_ops.h"
 #include "common/rng.h"
 #include "fft/plan.h"
+#include "testing.h"
 
 namespace saufno {
 namespace {
@@ -46,11 +47,8 @@ std::vector<cfloat> naive_dft(const std::vector<cfloat>& x, bool inverse) {
 
 void expect_close(const std::vector<cfloat>& a, const std::vector<cfloat>& b,
                   float tol) {
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "re at " << i;
-    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "im at " << i;
-  }
+  // Shared comparison with worst-element reporting (tests/testing.h).
+  testing::expect_allclose(a, b, /*rtol=*/0.f, /*atol=*/tol);
 }
 
 TEST(Fft1d, ImpulseGivesFlatSpectrum) {

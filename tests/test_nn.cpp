@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "gradcheck.h"
+#include "testing.h"
 #include "nn/activation.h"
 #include "nn/conv.h"
 #include "nn/linear.h"

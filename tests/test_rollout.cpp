@@ -1,0 +1,454 @@
+// Transient rollout subsystem: sequence datasets, the rollout codec, the
+// K-step trainer, and the streaming RolloutEngine/RolloutSession serving
+// layer. The load-bearing property pinned here is the acceptance criterion
+// of the subsystem: a trajectory served through many concurrent sessions is
+// BIT-identical to the same trajectory served alone, and to the offline
+// train::rollout_unroll reference on the same checkpoint.
+
+#include "runtime/rollout_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chip/chips.h"
+#include "data/sequence.h"
+#include "testing.h"
+#include "train/model_zoo.h"
+#include "train/rollout.h"
+
+namespace saufno {
+namespace {
+
+using runtime::RolloutEngine;
+using runtime::RolloutSession;
+
+constexpr int64_t kRes = 10;
+constexpr int64_t kCs = 1, kCp = 1;
+
+data::RolloutSpec tiny_spec() {
+  data::RolloutSpec s;
+  s.dt = 0.01;
+  s.state_channels = kCs;
+  s.power_channels = kCp;
+  return s;
+}
+
+std::shared_ptr<nn::Module> tiny_model(std::uint64_t seed = 42) {
+  const auto s = tiny_spec();
+  return train::make_model("SAU-FNO-micro", s.in_channels(),
+                           s.out_channels(), seed);
+}
+
+data::Normalizer tiny_norm() {
+  return data::Normalizer::from_stats(/*ambient=*/318.0, /*power_scale=*/3e4,
+                                      /*temp_scale=*/9.0, kCp);
+}
+
+Tensor ambient_field(double ambient) {
+  return Tensor::full({kCs, kRes, kRes}, static_cast<float>(ambient));
+}
+
+std::vector<Tensor> random_power_seq(int64_t k, Rng& rng) {
+  std::vector<Tensor> out;
+  for (int64_t i = 0; i < k; ++i) {
+    out.push_back(Tensor::rand_uniform({kCp, kRes, kRes}, rng, 0.f, 9e4f));
+  }
+  return out;
+}
+
+Tensor stack_steps(const std::vector<Tensor>& steps) {
+  Tensor out({static_cast<int64_t>(steps.size()), kCp, kRes, kRes});
+  const int64_t row = kCp * kRes * kRes;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    std::memcpy(out.data() + static_cast<int64_t>(i) * row, steps[i].data(),
+                sizeof(float) * static_cast<std::size_t>(row));
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Sequence dataset + codec
+// --------------------------------------------------------------------------
+
+TEST(SequenceData, CoordChannelsMatchSteadyGeneratorLayout) {
+  const Tensor c = data::coord_channels(4, 4);
+  ASSERT_EQ(c.shape(), (Shape{2, 4, 4}));
+  EXPECT_FLOAT_EQ(c.at(0), 0.f);             // y at row 0
+  EXPECT_FLOAT_EQ(c.at(12), 1.f);            // y at row 3
+  EXPECT_FLOAT_EQ(c.at(16), 0.f);            // x at col 0
+  EXPECT_FLOAT_EQ(c.at(16 + 3), 1.f);        // x at col 3
+  EXPECT_FLOAT_EQ(c.at(5), 1.f / 3.f);       // y at row 1
+}
+
+TEST(SequenceData, AssembleStepInputLayoutAndScaling) {
+  const auto norm = tiny_norm();
+  Rng rng = testing::test_rng();
+  const Tensor state = Tensor::randn({kCs, kRes, kRes}, rng);
+  const Tensor power = Tensor::rand_uniform({kCp, kRes, kRes}, rng, 0.f, 9e4f);
+  const Tensor in = data::assemble_step_input(state, power, norm);
+  ASSERT_EQ(in.shape(), (Shape{kCs + kCp + 2, kRes, kRes}));
+  const int64_t plane = kRes * kRes;
+  // State channels pass through untouched (already normalized).
+  EXPECT_EQ(std::memcmp(in.data(), state.data(),
+                        sizeof(float) * static_cast<std::size_t>(kCs * plane)),
+            0);
+  // Power channels are scaled by 1/power_scale.
+  const float inv = static_cast<float>(1.0 / norm.power_scale());
+  for (int64_t i = 0; i < plane; ++i) {
+    EXPECT_FLOAT_EQ(in.at(kCs * plane + i), power.at(i) * inv);
+  }
+  // Trailing channels are the coordinates.
+  const Tensor coords = data::coord_channels(kRes, kRes);
+  EXPECT_EQ(std::memcmp(in.data() + (kCs + kCp) * plane, coords.data(),
+                        sizeof(float) * static_cast<std::size_t>(2 * plane)),
+            0);
+}
+
+TEST(SequenceData, GeneratedTrajectoriesAreConsistent) {
+  const auto spec = chip::make_chip1();
+  data::TransientGenConfig cfg;
+  cfg.resolution = 8;
+  cfg.n_sequences = 2;
+  cfg.steps = 5;
+  cfg.phases = 2;
+  cfg.dt = 5e-3;
+  const auto d = data::generate_transient_sequences(spec, cfg);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.steps(), 5);
+  EXPECT_EQ(d.state_channels(), spec.num_device_layers());
+  EXPECT_EQ(d.power_channels(), spec.num_device_layers());
+  EXPECT_DOUBLE_EQ(d.dt, cfg.dt);
+  // Cold power-on: init is the uniform ambient field, and the temperature
+  // rises monotonically in max over the first (heating) phase.
+  for (int64_t i = 0; i < d.init.numel(); ++i) {
+    EXPECT_FLOAT_EQ(d.init.at(i), static_cast<float>(spec.ambient));
+  }
+  const int64_t row = d.state_channels() * 8 * 8;
+  float prev_max = static_cast<float>(spec.ambient);
+  for (int64_t k = 0; k < 2; ++k) {  // first phase only (power re-samples)
+    float mx = 0.f;
+    for (int64_t i = 0; i < row; ++i) {
+      mx = std::max(mx, d.targets.at(k * row + i));
+    }
+    EXPECT_GT(mx, prev_max - 1e-6f);
+    prev_max = mx;
+  }
+  // Powers are piecewise-constant: steps 0 and 1 share a phase.
+  EXPECT_EQ(std::memcmp(d.powers.data(), d.powers.data() + row,
+                        sizeof(float) * static_cast<std::size_t>(row)),
+            0);
+  // Fitted normalizer carries the chip ambient and positive scales.
+  const auto norm = data::fit_sequence_normalizer(d);
+  EXPECT_DOUBLE_EQ(norm.ambient(), spec.ambient);
+  EXPECT_GT(norm.power_scale(), 0.0);
+  EXPECT_GT(norm.temp_scale(), 0.0);
+}
+
+TEST(SequenceData, GatherAndSplitPreserveRows) {
+  const auto spec = chip::make_chip1();
+  data::TransientGenConfig cfg;
+  cfg.resolution = 6;
+  cfg.n_sequences = 3;
+  cfg.steps = 3;
+  cfg.phases = 1;
+  const auto d = data::generate_transient_sequences(spec, cfg);
+  auto [a, b] = d.split(2);
+  EXPECT_EQ(a.size(), 2);
+  EXPECT_EQ(b.size(), 1);
+  const int64_t row = d.targets.numel() / d.size();
+  EXPECT_EQ(std::memcmp(b.targets.data(), d.targets.data() + 2 * row,
+                        sizeof(float) * static_cast<std::size_t>(row)),
+            0);
+  auto [gi, gp, gt] = d.gather({2, 0});
+  EXPECT_EQ(gi.size(0), 2);
+  EXPECT_EQ(std::memcmp(gt.data(), d.targets.data() + 2 * row,
+                        sizeof(float) * static_cast<std::size_t>(row)),
+            0);
+  EXPECT_THROW(d.gather({3}), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Serving: sessions, batching, equivalence
+// --------------------------------------------------------------------------
+
+TEST(RolloutEngine, SerialSessionMatchesOfflineUnroll) {
+  auto model = tiny_model();
+  const auto norm = tiny_norm();
+  const auto spec = tiny_spec();
+  Rng rng = testing::test_rng();
+  const auto powers = random_power_seq(5, rng);
+
+  const Tensor expected =
+      train::rollout_unroll(*model, norm, ambient_field(norm.ambient()),
+                            stack_steps(powers));
+
+  RolloutEngine engine(model, norm, spec);
+  auto session = engine.open_session(ambient_field(norm.ambient()));
+  const int64_t row = kCs * kRes * kRes;
+  for (std::size_t k = 0; k < powers.size(); ++k) {
+    const Tensor state = session->step(powers[k].clone());
+    ASSERT_EQ(state.shape(), (Shape{kCs, kRes, kRes}));
+    EXPECT_EQ(std::memcmp(state.data(),
+                          expected.data() + static_cast<int64_t>(k) * row,
+                          sizeof(float) * static_cast<std::size_t>(row)),
+              0)
+        << "step " << k << " diverged from the offline unroll";
+  }
+  EXPECT_EQ(session->steps_done(), 5);
+}
+
+TEST(RolloutEngine, ConcurrentSessionsBitIdenticalToSerial) {
+  // The acceptance criterion: rolling out in a crowd changes the batch
+  // composition of every forward but must not change a single bit of any
+  // trajectory.
+  auto model = tiny_model();
+  const auto norm = tiny_norm();
+  const auto spec = tiny_spec();
+  const int n_sessions = 6;
+  const int64_t steps = 4;
+
+  std::vector<Tensor> seqs;
+  for (int s = 0; s < n_sessions; ++s) {
+    Rng rng = testing::test_rng(static_cast<std::uint64_t>(s) + 1);
+    seqs.push_back(stack_steps(random_power_seq(steps, rng)));
+  }
+
+  // Serial references, one isolated session each (batch size 1 throughout).
+  std::vector<Tensor> serial;
+  {
+    RolloutEngine engine(model, norm, spec);
+    for (int s = 0; s < n_sessions; ++s) {
+      auto session = engine.open_session(ambient_field(norm.ambient()));
+      std::vector<RolloutSession*> one{session.get()};
+      std::vector<Tensor> traj =
+          engine.run(one, {seqs[static_cast<std::size_t>(s)]});
+      serial.push_back(std::move(traj[0]));
+    }
+  }
+
+  // Concurrent lockstep rollout: every wave coalesces into shared batches.
+  RolloutEngine engine(model, norm, spec);
+  std::vector<std::unique_ptr<RolloutSession>> sessions;
+  std::vector<RolloutSession*> raw;
+  std::vector<Tensor> powers;
+  for (int s = 0; s < n_sessions; ++s) {
+    sessions.push_back(engine.open_session(ambient_field(norm.ambient())));
+    raw.push_back(sessions.back().get());
+    powers.push_back(seqs[static_cast<std::size_t>(s)]);
+  }
+  const auto got = engine.run(raw, powers);
+  ASSERT_EQ(got.size(), serial.size());
+  for (int s = 0; s < n_sessions; ++s) {
+    const auto& a = got[static_cast<std::size_t>(s)];
+    const auto& b = serial[static_cast<std::size_t>(s)];
+    ASSERT_EQ(a.shape(), b.shape());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(a.numel())),
+              0)
+        << "session " << s << " not bit-identical to its serial rollout";
+  }
+  // The lockstep waves actually batched (the throughput property).
+  EXPECT_GT(engine.stats().avg_batch_size, 1.0);
+}
+
+TEST(RolloutEngine, ThreadedClientsMatchOfflineUnroll) {
+  // Free-threaded streaming (one client thread per session) instead of the
+  // lockstep driver: arrival order is nondeterministic, results must not be.
+  auto model = tiny_model();
+  const auto norm = tiny_norm();
+  const int n_sessions = 4;
+  const int64_t steps = 4;
+  std::vector<Tensor> seqs;
+  std::vector<Tensor> expected;
+  for (int s = 0; s < n_sessions; ++s) {
+    Rng rng = testing::test_rng(static_cast<std::uint64_t>(s) + 100);
+    seqs.push_back(stack_steps(random_power_seq(steps, rng)));
+    expected.push_back(train::rollout_unroll(
+        *model, norm, ambient_field(norm.ambient()), seqs.back()));
+  }
+  RolloutEngine engine(model, norm, tiny_spec());
+  std::vector<Tensor> got(static_cast<std::size_t>(n_sessions));
+  std::vector<std::thread> clients;
+  for (int s = 0; s < n_sessions; ++s) {
+    clients.emplace_back([&, s] {
+      auto session = engine.open_session(ambient_field(norm.ambient()));
+      std::vector<RolloutSession*> one{session.get()};
+      got[static_cast<std::size_t>(s)] =
+          engine.run(one, {seqs[static_cast<std::size_t>(s)]})[0];
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int s = 0; s < n_sessions; ++s) {
+    EXPECT_EQ(
+        std::memcmp(got[static_cast<std::size_t>(s)].data(),
+                    expected[static_cast<std::size_t>(s)].data(),
+                    sizeof(float) * static_cast<std::size_t>(
+                                        expected[static_cast<std::size_t>(s)]
+                                            .numel())),
+        0)
+        << "threaded client " << s;
+  }
+}
+
+TEST(RolloutEngine, FromCheckpointRebuildsIdenticalPipeline) {
+  auto model = tiny_model(/*seed=*/77);
+  const auto norm = tiny_norm();
+  const auto spec = tiny_spec();
+  testing::TmpFile ckpt("saufno_rollout_v3.ckpt");
+  train::save_rollout_deployable(*model, "SAU-FNO-micro", norm, spec,
+                                 ckpt.path());
+
+  // Meta round-trips the rollout section.
+  const nn::CheckpointMeta meta = nn::read_checkpoint_meta(ckpt.path());
+  EXPECT_EQ(meta.version, 3);
+  ASSERT_TRUE(meta.has_rollout);
+  EXPECT_DOUBLE_EQ(meta.rollout.dt, spec.dt);
+  EXPECT_EQ(meta.rollout.state_channels, spec.state_channels);
+  EXPECT_EQ(meta.rollout.power_channels, spec.power_channels);
+  ASSERT_TRUE(meta.has_normalizer);
+
+  Rng rng = testing::test_rng();
+  const auto powers = stack_steps(random_power_seq(3, rng));
+  const Tensor expected = train::rollout_unroll(
+      *model, norm, ambient_field(norm.ambient()), powers);
+
+  auto engine = RolloutEngine::from_checkpoint(ckpt.path());
+  EXPECT_DOUBLE_EQ(engine->spec().dt, spec.dt);
+  auto session = engine->open_session(ambient_field(norm.ambient()));
+  std::vector<RolloutSession*> one{session.get()};
+  const Tensor got = engine->run(one, {powers})[0];
+  EXPECT_EQ(std::memcmp(got.data(), expected.data(),
+                        sizeof(float) *
+                            static_cast<std::size_t>(expected.numel())),
+            0)
+      << "checkpoint round-trip changed the trajectory";
+}
+
+TEST(RolloutEngine, NonRolloutCheckpointIsRejected) {
+  auto model = train::make_model("CNN", 3, 1, /*seed=*/5);
+  testing::TmpFile ckpt("saufno_plain_v3.ckpt");
+  train::save_deployable(*model, "CNN", 3, 1, tiny_norm(), ckpt.path());
+  EXPECT_THROW(RolloutEngine::from_checkpoint(ckpt.path()),
+               std::runtime_error);
+}
+
+TEST(RolloutSession, RejectsProtocolViolations) {
+  RolloutEngine engine(tiny_model(), tiny_norm(), tiny_spec());
+  // Wrong start shape.
+  EXPECT_THROW(engine.open_session(Tensor::full({kCs + 1, kRes, kRes}, 318.f)),
+               std::runtime_error);
+  auto session = engine.open_session(ambient_field(318.0));
+  // Wrong power shape / resolution.
+  EXPECT_THROW(session->submit_step(Tensor::full({kCp + 1, kRes, kRes}, 1.f)),
+               std::runtime_error);
+  EXPECT_THROW(session->submit_step(Tensor::full({kCp, kRes + 2, kRes}, 1.f)),
+               std::runtime_error);
+  // Await without a submit; double submit.
+  EXPECT_THROW(session->await_step(), std::runtime_error);
+  session->submit_step(Tensor::full({kCp, kRes, kRes}, 1.f));
+  EXPECT_THROW(session->submit_step(Tensor::full({kCp, kRes, kRes}, 1.f)),
+               std::runtime_error);
+  EXPECT_NO_THROW(session->await_step());
+  EXPECT_EQ(session->steps_done(), 1);
+}
+
+TEST(RolloutEngine, MixedResolutionSessionsCoexist) {
+  // Two sessions at different grids: the shape-sharded queue keeps both
+  // progressing, each against its own resolution.
+  auto model = tiny_model();
+  const auto norm = tiny_norm();
+  RolloutEngine engine(model, norm, tiny_spec());
+  auto small = engine.open_session(Tensor::full({kCs, 8, 8}, 318.f));
+  auto large = engine.open_session(Tensor::full({kCs, 12, 12}, 318.f));
+  small->submit_step(Tensor::full({kCp, 8, 8}, 2e4f));
+  large->submit_step(Tensor::full({kCp, 12, 12}, 2e4f));
+  const Tensor a = small->await_step();
+  const Tensor b = large->await_step();
+  EXPECT_EQ(a.shape(), (Shape{kCs, 8, 8}));
+  EXPECT_EQ(b.shape(), (Shape{kCs, 12, 12}));
+}
+
+// --------------------------------------------------------------------------
+// Training side
+// --------------------------------------------------------------------------
+
+data::SequenceDataset synthetic_sequences(int n, int64_t k,
+                                          std::uint64_t seed) {
+  // Analytic dynamics (exponential relaxation toward a power-dependent
+  // fixed point) instead of the solver: fast, and a learnable target for
+  // the smoke-scale trainer.
+  data::SequenceDataset d;
+  d.chip_name = "synthetic";
+  d.resolution = static_cast<int>(kRes);
+  d.ambient = 318.0;
+  d.dt = 0.01;
+  Rng rng(seed);
+  d.init = Tensor::full({n, kCs, kRes, kRes}, 318.f);
+  d.powers = Tensor::rand_uniform({n, k, kCp, kRes, kRes}, rng, 0.f, 9e4f);
+  d.targets = Tensor({n, k, kCs, kRes, kRes});
+  const int64_t plane = kRes * kRes;
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t i = 0; i < plane; ++i) {
+      float t = 318.f;
+      for (int64_t step = 0; step < k; ++step) {
+        const float p = d.powers.at(((s * k + step) * kCp) * plane + i);
+        const float t_inf = 318.f + p * 3e-4f;
+        t = t + 0.4f * (t_inf - t);
+        d.targets.at(((s * k + step) * kCs) * plane + i) = t;
+      }
+    }
+  }
+  return d;
+}
+
+TEST(RolloutTrainer, FitReducesLossAndEvalTracksHorizon) {
+  const auto d = synthetic_sequences(12, 4, 9);
+  const auto norm = data::fit_sequence_normalizer(d);
+  const auto spec = d.spec();
+  auto model = train::make_model("SAU-FNO-micro", spec.in_channels(),
+                                 spec.out_channels(), 3);
+  train::RolloutTrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.teacher_forced_epochs = 3;  // exercises both loss modes
+  cfg.batch_size = 4;
+  cfg.lr = 2e-3;
+  train::RolloutTrainer trainer(*model, norm, spec, cfg);
+  const auto report = trainer.fit(d);
+  ASSERT_EQ(report.epoch_loss.size(), 6u);
+  EXPECT_LT(report.final_loss(), report.epoch_loss.front());
+  for (const double l : report.epoch_loss) EXPECT_TRUE(std::isfinite(l));
+
+  const auto tf = trainer.evaluate(d, /*teacher_forced=*/true);
+  const auto fr = trainer.evaluate(d, /*teacher_forced=*/false);
+  ASSERT_EQ(tf.mae_per_step.size(), 4u);
+  ASSERT_EQ(fr.mae_per_step.size(), 4u);
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_TRUE(std::isfinite(tf.mae_per_step[static_cast<std::size_t>(k)]));
+    EXPECT_GE(fr.rmse_per_step[static_cast<std::size_t>(k)],
+              fr.mae_per_step[static_cast<std::size_t>(k)] - 1e-12);
+  }
+  // Step 0 sees the reference start in both modes: identical by
+  // construction, a cheap invariant that catches feedback-path mixups.
+  EXPECT_DOUBLE_EQ(tf.mae_per_step[0], fr.mae_per_step[0]);
+}
+
+TEST(RolloutTrainer, RejectsMismatchedDataset) {
+  auto d = synthetic_sequences(2, 3, 10);
+  const auto norm = data::fit_sequence_normalizer(d);
+  auto spec = d.spec();
+  spec.dt = d.dt * 2;  // wrong step semantics
+  auto model = train::make_model("SAU-FNO-micro", spec.in_channels(),
+                                 spec.out_channels(), 3);
+  train::RolloutTrainer trainer(*model, norm, spec);
+  EXPECT_THROW(trainer.fit(d), std::runtime_error);
+  EXPECT_THROW(trainer.evaluate(d, true), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace saufno

@@ -10,7 +10,7 @@
 #include "autograd/spectral3d_ops.h"
 #include "core/spectral_conv.h"
 #include "fft/fft.h"
-#include "gradcheck.h"
+#include "testing.h"
 #include "tensor/tensor_ops.h"
 
 namespace saufno {
@@ -203,8 +203,9 @@ TEST(SpectralConvEquivalence, MatchesFullComplexReference2d) {
     const Tensor got =
         ops::spectral_conv2d(Var(x, false), Var(w, false), m1, m2, cout)
             .value();
-    EXPECT_TRUE(got.allclose(ref, 1e-3f, 1e-4f))
-        << "mismatch at H=" << H << " W=" << W;
+    testing::expect_allclose(got, ref, 1e-3f, 1e-4f,
+                             "spectral_conv2d H=" + std::to_string(H) +
+                                 " W=" + std::to_string(W));
   }
 }
 
@@ -256,7 +257,7 @@ TEST(SpectralConvEquivalence, MatchesFullComplexReference3d) {
   const Tensor got =
       ops::spectral_conv3d(Var(x, false), Var(w, false), m1, m2, m3, cout)
           .value();
-  EXPECT_TRUE(got.allclose(ref, 1e-3f, 1e-4f));
+  testing::expect_allclose(got, ref, 1e-3f, 1e-4f, "spectral_conv3d");
 }
 
 TEST(SpectralConvModule, ResolutionInvariantShapes) {

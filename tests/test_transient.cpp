@@ -1,6 +1,8 @@
 #include "thermal/transient.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -147,6 +149,89 @@ TEST(Transient, RejectsBadOptions) {
   thermal::TransientSolver::Options opt;
   opt.dt = 0;
   EXPECT_THROW(thermal::TransientSolver(opt).solve(g), std::runtime_error);
+  opt.dt = -1e-3;
+  EXPECT_THROW(thermal::TransientSolver(opt).solve(g), std::runtime_error);
+  opt.dt = 1e-3;
+  opt.steps = 0;
+  EXPECT_THROW(thermal::TransientSolver(opt).solve(g), std::runtime_error);
+  opt.steps = -4;
+  EXPECT_THROW(thermal::TransientSolver(opt).solve(g), std::runtime_error);
+}
+
+TEST(Transient, SolveFromRejectsMismatchedField) {
+  // A field sized for a different grid must be rejected up front, not read
+  // out of bounds inside the stencil loop.
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 7);
+  const auto g = thermal::build_grid(c, pa, 6, 6);
+  thermal::TransientSolver solver;
+  const auto n = static_cast<std::size_t>(g.num_cells());
+  EXPECT_THROW(solver.solve_from(g, std::vector<double>(n - 1, g.ambient)),
+               std::runtime_error);
+  EXPECT_THROW(solver.solve_from(g, std::vector<double>(n + 1, g.ambient)),
+               std::runtime_error);
+  EXPECT_THROW(solver.solve_from(g, {}), std::runtime_error);
+  EXPECT_NO_THROW(solver.solve_from(g, std::vector<double>(n, g.ambient)));
+}
+
+TEST(Transient, ChainedPhasesMatchOneLongRun) {
+  // Splitting a constant-power window into two solve_from phases must
+  // reproduce the single-run trajectory: the carried field is the whole
+  // state of the integrator.
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 8);
+  const auto g = thermal::build_grid(c, pa, 8, 8);
+  thermal::TransientSolver::Options whole;
+  whole.dt = 5e-3;
+  whole.steps = 12;
+  const auto full = thermal::TransientSolver(whole).solve(g);
+
+  thermal::TransientSolver::Options half = whole;
+  half.steps = 6;
+  thermal::TransientSolver solver(half);
+  const auto a = solver.solve(g);
+  const auto b = solver.solve_from(g, a.final_state.temperature);
+  ASSERT_EQ(full.max_temperature_history.size(), 12u);
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_NEAR(a.max_temperature_history[static_cast<std::size_t>(k)],
+                full.max_temperature_history[static_cast<std::size_t>(k)],
+                1e-6);
+    EXPECT_NEAR(b.max_temperature_history[static_cast<std::size_t>(k)],
+                full.max_temperature_history[static_cast<std::size_t>(k + 6)],
+                1e-6);
+  }
+}
+
+TEST(Transient, StepCallbackSeesEveryFieldAndFinalMatches) {
+  const auto c = chip::make_chip1();
+  const auto pa = sample_power(c, 9);
+  const auto g = thermal::build_grid(c, pa, 6, 6);
+  thermal::TransientSolver::Options opt;
+  opt.dt = 2e-3;
+  opt.steps = 5;
+  std::vector<int> seen;
+  std::vector<double> step_max;
+  std::vector<double> last_field;
+  const auto res = thermal::TransientSolver(opt).solve_from(
+      g, std::vector<double>(static_cast<std::size_t>(g.num_cells()),
+                             g.ambient),
+      [&](int step, const std::vector<double>& field) {
+        seen.push_back(step);
+        ASSERT_EQ(field.size(), static_cast<std::size_t>(g.num_cells()));
+        step_max.push_back(*std::max_element(field.begin(), field.end()));
+        last_field = field;
+      });
+  ASSERT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+  // The last callback field IS the final state.
+  ASSERT_EQ(last_field.size(), res.final_state.temperature.size());
+  for (std::size_t i = 0; i < last_field.size(); ++i) {
+    EXPECT_DOUBLE_EQ(last_field[i], res.final_state.temperature[i]);
+  }
+  // And per-step maxima line up with the returned history.
+  ASSERT_EQ(res.max_temperature_history.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_DOUBLE_EQ(step_max[k], res.max_temperature_history[k]);
+  }
 }
 
 }  // namespace

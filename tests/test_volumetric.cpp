@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "fft/fft.h"
-#include "gradcheck.h"
+#include "testing.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
 

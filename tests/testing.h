@@ -1,0 +1,210 @@
+#pragma once
+
+// Shared test utilities for the whole suite:
+//   - expect_allclose: rel/abs tensor & complex-vector comparison with
+//     worst-element reporting (which element, got/want, abs/rel error)
+//   - expect_gradients_match: finite-difference gradient verification
+//     (promoted from the former gradcheck.h)
+//   - test_rng: deterministic per-test RNG seeding
+//   - TmpFile: RAII temp-file path that cleans up after the test
+//   - write_tensor_file / read_tensor_file: tiny binary tensor IO used by
+//     the golden-regression fixtures under tests/data/
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace saufno {
+namespace testing {
+
+/// Elementwise |got - want| <= atol + rtol * |want| over two tensors, with
+/// a report naming the worst element when it fails — EXPECT_TRUE(allclose)
+/// tells you *that* two fields differ, this tells you *where* and by how
+/// much, which is what you need when a spectral refactor drifts one mode.
+inline void expect_allclose(const Tensor& got, const Tensor& want,
+                            float rtol = 1e-5f, float atol = 1e-6f,
+                            const std::string& what = "tensor") {
+  ASSERT_EQ(got.shape(), want.shape())
+      << what << ": shape " << shape_str(got.shape()) << " vs "
+      << shape_str(want.shape());
+  int64_t violations = 0, worst = -1;
+  double worst_excess = 0.0;
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    const double diff = std::fabs(static_cast<double>(got.at(i)) - want.at(i));
+    const double tol = atol + rtol * std::fabs(want.at(i));
+    if (diff > tol) {
+      ++violations;
+      if (diff - tol > worst_excess) {
+        worst_excess = diff - tol;
+        worst = i;
+      }
+    }
+  }
+  EXPECT_EQ(violations, 0)
+      << what << ": " << violations << "/" << got.numel()
+      << " elements out of tolerance (rtol=" << rtol << ", atol=" << atol
+      << "); worst at flat index " << worst << ": got " << got.at(worst)
+      << ", want " << want.at(worst) << ", |diff| "
+      << std::fabs(static_cast<double>(got.at(worst)) - want.at(worst));
+}
+
+/// Same contract for complex vectors (FFT tests): the tolerance applies to
+/// real and imaginary parts independently.
+inline void expect_allclose(const std::vector<std::complex<float>>& got,
+                            const std::vector<std::complex<float>>& want,
+                            float rtol = 0.f, float atol = 1e-5f,
+                            const std::string& what = "spectrum") {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  std::size_t violations = 0, worst = 0;
+  double worst_excess = 0.0;
+  bool worst_imag = false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double parts[2][2] = {{got[i].real(), want[i].real()},
+                                {got[i].imag(), want[i].imag()}};
+    for (int p = 0; p < 2; ++p) {
+      const double diff = std::fabs(parts[p][0] - parts[p][1]);
+      const double tol = atol + rtol * std::fabs(parts[p][1]);
+      if (diff > tol) {
+        ++violations;
+        if (diff - tol > worst_excess) {
+          worst_excess = diff - tol;
+          worst = i;
+          worst_imag = p == 1;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(violations, 0u)
+      << what << ": " << violations << " parts out of tolerance (rtol="
+      << rtol << ", atol=" << atol << "); worst at index " << worst << " ("
+      << (worst_imag ? "imag" : "real") << "): got " << got[worst]
+      << ", want " << want[worst];
+}
+
+/// Deterministic per-test RNG: seeds from the running test's full name, so
+/// two tests that both write `test_rng()` still draw independent streams,
+/// and a re-run of one test reproduces its data exactly.
+inline Rng test_rng(std::uint64_t salt = 0) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    for (const std::string& part :
+         {std::string(info->test_suite_name()), std::string(info->name())}) {
+      for (const char c : part) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 1099511628211ull;
+      }
+    }
+  }
+  return Rng(h ^ salt);
+}
+
+/// RAII guard for a file under the gtest temp dir: builds the path, removes
+/// the file on scope exit, so a failing test cannot leak fixtures into the
+/// next run.
+class TmpFile {
+ public:
+  explicit TmpFile(const std::string& name)
+      : path_(::testing::TempDir() + "/" + name) {}
+  ~TmpFile() { std::remove(path_.c_str()); }
+  TmpFile(const TmpFile&) = delete;
+  TmpFile& operator=(const TmpFile&) = delete;
+  const std::string& path() const { return path_; }
+  operator const std::string&() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Tiny binary tensor file ("SFT1": magic, rank, dims, float32 payload) —
+/// the storage format of the committed golden fixtures in tests/data/.
+inline void write_tensor_file(const Tensor& t, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  const char magic[4] = {'S', 'F', 'T', '1'};
+  out.write(magic, 4);
+  const std::int64_t rank = t.dim();
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (const int64_t d : t.shape()) {
+    out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  ASSERT_TRUE(out.good()) << "short write to " << path;
+}
+
+inline Tensor read_tensor_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path
+                         << " (regenerate golden fixtures with "
+                            "SAUFNO_REGEN_GOLDEN=1, see README)";
+  if (!in.good()) return Tensor();
+  char magic[4] = {};
+  in.read(magic, 4);
+  EXPECT_TRUE(in.good() && magic[0] == 'S' && magic[1] == 'F' &&
+              magic[2] == 'T' && magic[3] == '1')
+      << path << " is not a tensor fixture";
+  std::int64_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  EXPECT_TRUE(in.good() && rank >= 0 && rank <= 8) << path;
+  Shape shape(static_cast<std::size_t>(rank));
+  for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  EXPECT_TRUE(in.good()) << path << " is truncated";
+  return t;
+}
+
+/// Finite-difference gradient verification.
+///
+/// `fn` maps the leaf variables to a SCALAR Var; every leaf in `leaves`
+/// must require grad. For each leaf entry we compare the autograd gradient
+/// against a central difference of the loss. This is the ground truth for
+/// every backward rule in the library — including the hand-derived FFT
+/// adjoints of the spectral convolution.
+inline void expect_gradients_match(
+    const std::function<Var(std::vector<Var>&)>& fn, std::vector<Var> leaves,
+    float eps = 1e-2f, float rtol = 2e-2f, float atol = 2e-3f) {
+  for (auto& leaf : leaves) {
+    ASSERT_TRUE(leaf.requires_grad()) << "leaf must require grad";
+    leaf.zero_grad();
+  }
+  Var loss = fn(leaves);
+  ASSERT_EQ(loss.numel(), 1);
+  loss.backward();
+
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    Tensor analytic = leaves[li].grad();
+    Tensor& value = leaves[li].value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float orig = value.at(i);
+      value.at(i) = orig + eps;
+      const float up = fn(leaves).value().item();
+      value.at(i) = orig - eps;
+      const float down = fn(leaves).value().item();
+      value.at(i) = orig;
+      const float numeric = (up - down) / (2.f * eps);
+      const float got = analytic.at(i);
+      const float tol = atol + rtol * std::fabs(numeric);
+      EXPECT_NEAR(got, numeric, tol)
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace saufno
