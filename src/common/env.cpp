@@ -1,6 +1,8 @@
 #include "common/env.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <cstring>
 
@@ -22,8 +24,22 @@ int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0') return fallback;
+  if (end == v || *end != '\0') {
+    // A knob with trailing garbage ("8x", "1e3") is a user mistake, not a
+    // value — same warn-and-fall-back contract as env_int_in_range.
+    SAUFNO_WARN << name << "=\"" << v << "\" is not an integer; using "
+                << fallback;
+    return fallback;
+  }
+  if (errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+    // strtol saturates at LONG_MIN/LONG_MAX; the old blind int cast then
+    // truncated to an arbitrary value. Reject instead of wrapping.
+    SAUFNO_WARN << name << "=\"" << v << "\" overflows int; using "
+                << fallback;
+    return fallback;
+  }
   return static_cast<int>(parsed);
 }
 
@@ -32,13 +48,16 @@ int env_int_in_range(const char* name, int fallback, int lo, int hi) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol(v, &end, 10);
   if (end == v || *end != '\0') {
     SAUFNO_WARN << name << "=\"" << v << "\" is not an integer; using "
                 << fallback;
     return fallback;
   }
-  if (parsed < lo || parsed > hi) {
+  // ERANGE saturation lands outside [lo, hi] on LP64, but check explicitly
+  // so ILP32 (long == int) cannot wrap a huge value into range.
+  if (errno == ERANGE || parsed < lo || parsed > hi) {
     SAUFNO_WARN << name << "=" << parsed << " outside [" << lo << ", " << hi
                 << "]; using " << fallback;
     return fallback;

@@ -16,7 +16,10 @@ enum class Scale { kSmoke, kPaper };
 Scale bench_scale();
 const char* scale_name(Scale s);
 
-/// Integer environment override helper: returns `fallback` when unset/bad.
+/// Integer environment override helper: returns `fallback` when unset.
+/// Malformed values (trailing garbage, non-numeric) and values outside int
+/// range log a warning and fall back — same contract as env_int_in_range,
+/// minus the range clamp.
 int env_int(const char* name, int fallback);
 
 /// Range-validated integer environment override — the single parser for

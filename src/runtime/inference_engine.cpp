@@ -48,6 +48,7 @@ std::unique_ptr<InferenceEngine> InferenceEngine::from_zoo(
     nn::CheckpointMeta meta = nn::load_checkpoint(*model, checkpoint);
     if (meta.has_normalizer) norm = meta.normalizer;
   }
+  if (cfg.expected_in_channels == 0) cfg.expected_in_channels = in_channels;
   return std::make_unique<InferenceEngine>(std::move(model), std::move(norm),
                                            cfg);
 }
@@ -57,6 +58,9 @@ std::unique_ptr<InferenceEngine> InferenceEngine::from_checkpoint(
   train::LoadedModel loaded = train::load_deployable(checkpoint);
   std::optional<data::Normalizer> norm;
   if (loaded.meta.has_normalizer) norm = loaded.meta.normalizer;
+  if (cfg.expected_in_channels == 0) {
+    cfg.expected_in_channels = loaded.meta.in_channels;
+  }
   return std::make_unique<InferenceEngine>(std::move(loaded.model),
                                            std::move(norm), cfg);
 }
@@ -74,9 +78,23 @@ std::future<Tensor> InferenceEngine::submit(Tensor power_map) {
   SAUFNO_CHECK(power_map.dim() == 3,
                "submit expects a [C, H, W] field, got " +
                    shape_str(power_map.shape()));
-  SAUFNO_CHECK(!norm_ || power_map.size(0) >= norm_->n_power_channels(),
-               "submit: input has fewer channels than the checkpoint's "
-               "normalizer expects");
+  const int64_t in_ch = power_map.size(0);
+  if (cfg_.expected_in_channels > 0) {
+    // Exact check: a wider-than-expected input used to slip past the old
+    // normalizer lower bound and die inside model_->forward with an opaque
+    // shape error.
+    SAUFNO_CHECK(in_ch == cfg_.expected_in_channels,
+                 "submit: input has " + std::to_string(in_ch) +
+                     " channels but the model expects exactly " +
+                     std::to_string(cfg_.expected_in_channels));
+  } else {
+    SAUFNO_CHECK(!norm_ || in_ch >= norm_->n_power_channels(),
+                 "submit: input has " + std::to_string(in_ch) +
+                     " channels but the checkpoint's normalizer scales the "
+                     "first " +
+                     std::to_string(norm_ ? norm_->n_power_channels() : 0) +
+                     " power channels");
+  }
   InferenceRequest req;
   req.input = std::move(power_map);
   req.enqueued_at = std::chrono::steady_clock::now();
@@ -152,7 +170,11 @@ void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
   try {
     // Raw-in/kelvin-out: encode exactly like Trainer::predict does. Both
     // transforms are per-element affine maps, so encoding the stacked batch
-    // is bit-identical to encoding each sample alone (padding rows stay 0).
+    // is bit-identical to encoding each sample alone. Padding rows do NOT
+    // stay zero in general — encode_inputs maps them to whatever the
+    // encoder sends 0 to — and their outputs are garbage; real rows are
+    // untouched because every kernel in this library is per-sample
+    // independent (pinned by the padded-vs-unpadded bitwise test).
     if (norm_) stacked = norm_->encode_inputs(stacked);
     // No tape: serving forwards must not retain graph nodes or grads.
     NoGradGuard no_grad;
@@ -168,7 +190,15 @@ void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
     // future ready also observes this batch in stats().
     record_batch_done(/*record_latencies=*/true);
     for (int64_t i = 0; i < bsz; ++i) {
-      Tensor result = Tensor::scratch(result_shape);
+      // Plain heap tensors, deliberately NOT Tensor::scratch: results cross
+      // the engine/client thread boundary and die wherever the caller drops
+      // them. An arena-backed result released on a short-lived client
+      // thread lands in that thread's freelist and is freed at thread exit
+      // (worse, a release after the client's thread-local arena teardown is
+      // use-after-destruction), so the engine's arena would never reach
+      // allocation-free steady state. Heap storage keeps the arena cycle
+      // engine-side only.
+      Tensor result(result_shape);
       std::memcpy(result.data(), decoded.data() + i * out_sample,
                   sizeof(float) * static_cast<std::size_t>(out_sample));
       batch[static_cast<std::size_t>(i)].result.set_value(std::move(result));

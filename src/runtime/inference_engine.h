@@ -68,6 +68,13 @@ class InferenceEngine {
     int64_t max_batch = 8;
     int64_t max_wait_us = 2000;
     bool pad_to_full_batch = false;
+    /// Exact input channel count the model expects ([C, H, W] submissions
+    /// are rejected up front with both numbers in the message instead of
+    /// dying inside model_->forward with an opaque shape error). 0 means
+    /// unknown: submit() then falls back to the weaker normalizer lower
+    /// bound. The factories (`from_zoo`, `from_checkpoint`) always fill
+    /// this in from their channel arguments / the checkpoint meta.
+    int64_t expected_in_channels = 0;
   };
 
   /// Takes shared ownership of `model`, switches it to eval mode and starts

@@ -66,7 +66,11 @@ RolloutEngine::RolloutEngine(std::shared_ptr<nn::Module> model,
   // The engine serves the model RAW (no normalizer): the rollout codec
   // lives here, per session, because state and power channels encode
   // differently — InferenceEngine's power-map encoding would be wrong for
-  // the fed-back temperature channels.
+  // the fed-back temperature channels. The step codec always assembles
+  // state + power + 2 coordinate channels (data::assemble_step_input), so
+  // the inner engine can still validate the exact count up front.
+  cfg_.engine.expected_in_channels =
+      spec_.state_channels + spec_.power_channels + 2;
   engine_ = std::make_unique<InferenceEngine>(std::move(model), std::nullopt,
                                               cfg_.engine);
 }

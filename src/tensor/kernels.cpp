@@ -1,18 +1,203 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "runtime/parallel_for.h"
+#include "runtime/workspace.h"
+#include "tensor/simd.h"
 
 namespace saufno {
+namespace {
+
+// Blocked-gemm geometry. MR x NR is the register tile: 6 rows x 16 columns
+// is 12 fp32 accumulator vectors plus 2 B vectors plus 1 broadcast, which
+// exactly fills the 16 YMM registers of the AVX2 path (the portable body
+// uses the same shape so both paths tile the matrix identically). KC is the
+// K-block: one packed B panel slice (KC*NR floats = 32 KB) stays L2-resident
+// while every row panel of a chunk streams over it.
+constexpr int64_t kMR = 6;
+constexpr int64_t kNR = 16;
+constexpr int64_t kKC = 512;
+
+// Bench/test hook: route gemm() through the seed kernel so old-vs-new can
+// be measured end-to-end through unmodified model code.
+std::atomic<bool> g_force_seed_reference{false};
+
+// --- microkernel: tile[MR][NR] = Ap(kc x MR) * Bp(kc x NR) -----------------
+//
+// Ap is kk-major with MR consecutive rows per k step; Bp is kk-major with NR
+// consecutive columns. Per output element the additions form a single
+// mul-add chain in kk order, independent of where the tile sits in the
+// matrix, of zero-padding in dead lanes, and of which thread runs it — the
+// load-bearing fact behind bit-identical C for every SAUFNO_NUM_THREADS.
+// There is deliberately NO zero-skip branch: x*0 participates in the chain,
+// so NaN/Inf in either operand propagates exactly as IEEE demands, and the
+// inner loop stays branch-free for the vectorizer.
+
+void micro_kernel_scalar(int64_t kc, const float* ap, const float* bp,
+                         float* tile) {
+  float acc[kMR * kNR] = {};
+  for (int64_t kk = 0; kk < kc; ++kk, ap += kMR, bp += kNR) {
+    for (int64_t r = 0; r < kMR; ++r) {
+      const float a = ap[r];
+      SAUFNO_IVDEP
+      for (int64_t j = 0; j < kNR; ++j) acc[r * kNR + j] += a * bp[j];
+    }
+  }
+  std::memcpy(tile, acc, sizeof(acc));
+}
+
+#if SAUFNO_X86_DISPATCH
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2(int64_t kc,
+                                                           const float* ap,
+                                                           const float* bp,
+                                                           float* tile) {
+  __m256 acc[kMR][2];
+  for (int64_t r = 0; r < kMR; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (int64_t kk = 0; kk < kc; ++kk, ap += kMR, bp += kNR) {
+    const __m256 b0 = _mm256_loadu_ps(bp);
+    const __m256 b1 = _mm256_loadu_ps(bp + 8);
+    for (int64_t r = 0; r < kMR; ++r) {
+      const __m256 a = _mm256_broadcast_ss(ap + r);
+      acc[r][0] = _mm256_fmadd_ps(a, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(a, b1, acc[r][1]);
+    }
+  }
+  for (int64_t r = 0; r < kMR; ++r) {
+    _mm256_storeu_ps(tile + r * kNR, acc[r][0]);
+    _mm256_storeu_ps(tile + r * kNR + 8, acc[r][1]);
+  }
+}
+#endif
+
+using MicroKernelFn = void (*)(int64_t, const float*, const float*, float*);
+
+MicroKernelFn pick_micro_kernel() {
+#if SAUFNO_X86_DISPATCH
+  if (simd::level() == simd::Level::kAvx2) return micro_kernel_avx2;
+#endif
+  return micro_kernel_scalar;
+}
+
+// Pack B[k x n] into NR-wide column panels, layout [panel][kk][NR], dead
+// columns zero-filled. Pure data movement, so the parallel split over
+// panels cannot perturb numerics.
+void pack_b(const float* b, float* bp, int64_t k, int64_t n) {
+  const int64_t npanels = (n + kNR - 1) / kNR;
+  runtime::parallel_for(0, npanels, 1, [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t j0 = p * kNR;
+      const int64_t jw = std::min(kNR, n - j0);
+      float* dst = bp + p * k * kNR;
+      const float* src = b + j0;
+      for (int64_t kk = 0; kk < k; ++kk, dst += kNR, src += n) {
+        for (int64_t j = 0; j < jw; ++j) dst[j] = src[j];
+        for (int64_t j = jw; j < kNR; ++j) dst[j] = 0.f;
+      }
+    }
+  });
+}
+
+// Pack rows [i0, i0+mr) of A into one MR-tall panel, layout [kk][MR], dead
+// rows zero-filled.
+void pack_a_panel(const float* a, float* panel, int64_t i0, int64_t mr,
+                  int64_t k) {
+  for (int64_t r = 0; r < mr; ++r) {
+    const float* src = a + (i0 + r) * k;
+    float* dst = panel + r;
+    for (int64_t kk = 0; kk < k; ++kk) dst[kk * kMR] = src[kk];
+  }
+  for (int64_t r = mr; r < kMR; ++r) {
+    float* dst = panel + r;
+    for (int64_t kk = 0; kk < k; ++kk) dst[kk * kMR] = 0.f;
+  }
+}
+
+void gemm_blocked(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n, int64_t k, bool accumulate) {
+  const MicroKernelFn micro = pick_micro_kernel();
+  const int64_t npanels = (n + kNR - 1) / kNR;
+
+  // B is packed once into workspace-arena scratch and then read-only; every
+  // row chunk below shares it.
+  runtime::Scratch<float> bpack(static_cast<std::size_t>(npanels * k * kNR));
+  pack_b(b, bpack.data(), k, n);
+
+  // Row-chunk grain: MR-aligned, sized so a chunk's packed A slab stays
+  // ~128 KB, but small enough that short-m gemms (conv's cout x plane) still
+  // split across threads. Grain depends only on the shape — never on the
+  // thread count — so chunk boundaries (and C) are reproducible.
+  int64_t grain = 32768 / std::max<int64_t>(1, k);
+  grain = std::min(grain, (m + 7) / 8);
+  grain = std::max<int64_t>(kMR, (grain / kMR) * kMR);
+
+  runtime::parallel_for(0, m, grain, [&](int64_t r0, int64_t r1) {
+    const int64_t rows = r1 - r0;
+    const int64_t rpanels = (rows + kMR - 1) / kMR;
+    runtime::Scratch<float> apack(
+        static_cast<std::size_t>(rpanels * k * kMR));
+    for (int64_t rp = 0; rp < rpanels; ++rp) {
+      const int64_t i0 = r0 + rp * kMR;
+      pack_a_panel(a, apack.data() + rp * k * kMR, i0,
+                   std::min(kMR, r1 - i0), k);
+    }
+    alignas(32) float tile[kMR * kNR];
+    // K-blocked accumulation: partial tiles are folded into C in fixed pc
+    // order, so the per-element rounding sequence is the same for every
+    // chunking and thread count.
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      const bool assign = (pc == 0) && !accumulate;
+      for (int64_t p = 0; p < npanels; ++p) {
+        const float* bpanel = bpack.data() + (p * k + pc) * kNR;
+        const int64_t j0 = p * kNR;
+        const int64_t jw = std::min(kNR, n - j0);
+        for (int64_t rp = 0; rp < rpanels; ++rp) {
+          micro(kc, apack.data() + (rp * k + pc) * kMR, bpanel, tile);
+          const int64_t i0 = r0 + rp * kMR;
+          const int64_t mr = std::min(kMR, r1 - i0);
+          for (int64_t r = 0; r < mr; ++r) {
+            float* crow = c + (i0 + r) * n + j0;
+            const float* trow = tile + r * kNR;
+            if (assign) {
+              for (int64_t j = 0; j < jw; ++j) crow[j] = trow[j];
+            } else {
+              SAUFNO_IVDEP
+              for (int64_t j = 0; j < jw; ++j) crow[j] += trow[j];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
           int64_t k, bool accumulate) {
-  // Row-block partitioning: every output row is produced by exactly one
-  // chunk with the same sequential i-k-j body, so any thread count yields
-  // bit-identical C. Grain targets ~32k mul-adds per chunk so small gemms
-  // do not pay scheduling overhead.
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    // Empty contraction: C (+)= 0.
+    if (!accumulate) {
+      std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m * n));
+    }
+    return;
+  }
+  if (g_force_seed_reference.load(std::memory_order_relaxed)) {
+    gemm_seed_reference(a, b, c, m, n, k, accumulate);
+    return;
+  }
+  gemm_blocked(a, b, c, m, n, k, accumulate);
+}
+
+void gemm_seed_reference(const float* a, const float* b, float* c, int64_t m,
+                         int64_t n, int64_t k, bool accumulate) {
   const int64_t row_cost = std::max<int64_t>(1, n * k);
   const int64_t grain = std::max<int64_t>(1, 32768 / row_cost);
   runtime::parallel_for(0, m, grain, [&](int64_t r0, int64_t r1) {
@@ -20,19 +205,25 @@ void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
       std::memset(c + r0 * n, 0,
                   sizeof(float) * static_cast<std::size_t>((r1 - r0) * n));
     }
-    // i-k-j order: c_row accumulates A[i,k] * B[k, :]; the inner loop is a
-    // contiguous saxpy that GCC auto-vectorizes.
     for (int64_t i = r0; i < r1; ++i) {
       float* crow = c + i * n;
       const float* arow = a + i * k;
       for (int64_t kk = 0; kk < k; ++kk) {
         const float aik = arow[kk];
-        if (aik == 0.f) continue;  // power maps are block-sparse; worth a branch
+        // The seed's data-dependent zero-skip, preserved verbatim HERE ONLY
+        // so benches/tests can measure against the exact old behavior. It
+        // silently drops NaN/Inf columns of B (0 * NaN must be NaN) — the
+        // bug the serving kernel above fixes.
+        if (aik == 0.f) continue;
         const float* brow = b + kk * n;
         for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
       }
     }
   });
+}
+
+void gemm_force_seed_reference(bool on) {
+  g_force_seed_reference.store(on, std::memory_order_relaxed);
 }
 
 void im2col(const float* img, float* cols, int64_t c, int64_t h, int64_t w,

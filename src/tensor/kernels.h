@@ -6,12 +6,28 @@ namespace saufno {
 
 /// Row-major sgemm: C[M,N] (+)= A[M,K] * B[K,N].
 ///
-/// The i-k-j loop order streams B rows through cache and lets the compiler
-/// vectorize the inner j loop; on the single-core target this is within a
-/// small factor of an optimized BLAS for the matrix sizes the models use
-/// (K, N of a few hundred to a few thousand).
+/// Packed, cache-blocked implementation: A row panels and B column panels
+/// are packed into workspace-arena scratch, then an MR x NR register-tiled
+/// microkernel (AVX2+FMA when the CPU has it — see tensor/simd.h — with a
+/// portable auto-vectorizable body otherwise) runs K-blocked over the
+/// panels. Dense and branch-free: NaN/Inf in either operand propagates per
+/// IEEE (no data-dependent zero-skip). Row-block partitioning with a
+/// thread-count-independent grain keeps C bit-identical for every
+/// SAUFNO_NUM_THREADS.
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
           int64_t k, bool accumulate);
+
+/// The seed repo's scalar i-k-j gemm, preserved verbatim (including its
+/// data-dependent `a[i,k] == 0` skip, which silently drops NaN/Inf columns
+/// of B) as the old-vs-new baseline for bench_kernels and regression tests.
+/// Never used by the serving path.
+void gemm_seed_reference(const float* a, const float* b, float* c, int64_t m,
+                         int64_t n, int64_t k, bool accumulate);
+
+/// Bench/test hook: while on, gemm() routes through gemm_seed_reference so
+/// end-to-end old-vs-new comparisons run through unmodified model code.
+/// Not for production use (flipping it mid-run changes numerics).
+void gemm_force_seed_reference(bool on);
 
 /// im2col for 2-D convolution with square stride-1 semantics generalized to
 /// arbitrary stride/padding. Input is one image [C, H, W]; the column buffer

@@ -1,0 +1,119 @@
+#pragma once
+
+// SIMD dispatch + small vector helpers for the CPU kernel core.
+//
+// Portable by default: every kernel keeps a plain-C body that the compiler
+// auto-vectorizes, and on x86-64 an AVX2+FMA body is additionally compiled
+// via per-function target attributes (no global -mavx2, so the binary still
+// runs on any x86-64) and selected once per process from cpuid.
+// SAUFNO_SIMD=0 forces the portable path (A/B measurement, debugging).
+//
+// Determinism contract: the selected level is cached on first query and
+// never changes for the process lifetime, and level choice never depends on
+// the thread count — so the bit-identical-across-SAUFNO_NUM_THREADS
+// guarantee is preserved. The AVX2 path's FMA contractions round
+// differently than the portable path: results are bit-identical across
+// runs/thread counts on the same machine+build, not across SIMD levels.
+
+#include "common/env.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SAUFNO_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define SAUFNO_X86_DISPATCH 0
+#endif
+
+// Hint that a loop has no loop-carried dependence so -O3 vectorizes it even
+// when aliasing cannot be proven. Semantics-preserving: it never licenses
+// reassociation, only independence.
+#if defined(__clang__)
+#define SAUFNO_IVDEP _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define SAUFNO_IVDEP _Pragma("GCC ivdep")
+#else
+#define SAUFNO_IVDEP
+#endif
+
+namespace saufno {
+namespace simd {
+
+enum class Level { kScalar = 0, kAvx2 = 1 };
+
+inline Level detect_level() {
+#if SAUFNO_X86_DISPATCH
+  // Range-validated knob parser: malformed values ("0x", "false", trailing
+  // spaces) warn and fall back to enabled instead of silently running the
+  // wrong path during an A/B comparison.
+  if (env_int_in_range("SAUFNO_SIMD", 1, 0, 1) == 0) return Level::kScalar;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kScalar;
+}
+
+/// Process-wide SIMD level, detected once (first call wins; thereafter the
+/// level is immutable so kernel results cannot change mid-run).
+inline Level level() {
+  static const Level lvl = detect_level();
+  return lvl;
+}
+
+inline const char* level_name() {
+  return level() == Level::kAvx2 ? "avx2+fma" : "scalar";
+}
+
+#if SAUFNO_X86_DISPATCH
+__attribute__((target("avx2"))) inline float reduce_max_avx2(const float* p,
+                                                             int64_t n) {
+  __m256 best = _mm256_set1_ps(p[0]);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    best = _mm256_max_ps(best, _mm256_loadu_ps(p + i));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, best);
+  float m = lanes[0];
+  for (int j = 1; j < 8; ++j) m = lanes[j] > m ? lanes[j] : m;
+  for (; i < n; ++i) m = p[i] > m ? p[i] : m;
+  return m;
+}
+
+__attribute__((target("avx2"))) inline void scale_avx2(float* p, int64_t n,
+                                                       float s) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(p + i, _mm256_mul_ps(_mm256_loadu_ps(p + i), vs));
+  }
+  for (; i < n; ++i) p[i] *= s;
+}
+#endif
+
+/// max over p[0..n) (n >= 1). Max is associative/commutative, so the
+/// vector reduction order cannot change the result on non-NaN data (and a
+/// softmax over NaN input is already poisoned either way).
+inline float reduce_max(const float* p, int64_t n) {
+#if SAUFNO_X86_DISPATCH
+  if (level() == Level::kAvx2) return reduce_max_avx2(p, n);
+#endif
+  float m = p[0];
+  for (int64_t i = 1; i < n; ++i) m = p[i] > m ? p[i] : m;
+  return m;
+}
+
+/// p[i] *= s — element-independent, so lane order is irrelevant.
+inline void scale(float* p, int64_t n, float s) {
+#if SAUFNO_X86_DISPATCH
+  if (level() == Level::kAvx2) {
+    scale_avx2(p, n, s);
+    return;
+  }
+#endif
+  SAUFNO_IVDEP
+  for (int64_t i = 0; i < n; ++i) p[i] *= s;
+}
+
+}  // namespace simd
+}  // namespace saufno

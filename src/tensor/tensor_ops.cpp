@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "runtime/parallel_for.h"
 #include "tensor/kernels.h"
+#include "tensor/simd.h"
 
 namespace saufno {
 namespace {
@@ -38,13 +39,15 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b, F f) {
   }
 
   // Fast path: identical shapes -> single flat loop, split across threads
-  // (each output index is written by exactly one chunk).
+  // (each output index is written by exactly one chunk). The ivdep hint is
+  // what lets -O3 vectorize through the three unproven-distinct pointers.
   if (a.shape() == b.shape()) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
     const int64_t n = out.numel();
     runtime::parallel_for(0, n, kElemwiseGrain, [&](int64_t i0, int64_t i1) {
+      SAUFNO_IVDEP
       for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
     });
     return out;
@@ -80,6 +83,7 @@ Tensor unary(const Tensor& a, F f) {
   float* q = out.data();
   const int64_t n = a.numel();
   runtime::parallel_for(0, n, kElemwiseGrain, [&](int64_t i0, int64_t i1) {
+    SAUFNO_IVDEP
     for (int64_t i = i0; i < i1; ++i) q[i] = f(p[i]);
   });
   return out;
@@ -451,15 +455,18 @@ Tensor softmax_lastdim(const Tensor& a) {
   for (int64_t r = r0; r < r1; ++r) {
     const float* row = p + r * n;
     float* orow = q + r * n;
-    float mx = row[0];
-    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+    // Max and rescale run through the SIMD helpers (max is associative, and
+    // the scale is per-element, so lane order cannot change the result).
+    // The exp+sum stays scalar: libm exp keeps results identical on every
+    // CPU, and the double accumulation order is part of the determinism
+    // contract.
+    const float mx = simd::reduce_max(row, n);
     double s = 0.0;
     for (int64_t i = 0; i < n; ++i) {
       orow[i] = std::exp(row[i] - mx);
       s += orow[i];
     }
-    const float inv = static_cast<float>(1.0 / s);
-    for (int64_t i = 0; i < n; ++i) orow[i] *= inv;
+    simd::scale(orow, n, static_cast<float>(1.0 / s));
   }
   });
   return out;

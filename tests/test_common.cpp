@@ -154,8 +154,57 @@ TEST(Env, IntOverride) {
   EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 5);
   setenv("SAUFNO_TEST_INT", "12", 1);
   EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 12);
+  setenv("SAUFNO_TEST_INT", "-7", 1);
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), -7);
   setenv("SAUFNO_TEST_INT", "oops", 1);
   EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 5);
+  unsetenv("SAUFNO_TEST_INT");
+}
+
+TEST(Env, IntRejectsTrailingGarbage) {
+  // "8x" or "1e3" is a user mistake, not the number 8 / 1 — fall back.
+  setenv("SAUFNO_TEST_INT", "8x", 1);
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 5);
+  setenv("SAUFNO_TEST_INT", "1e3", 1);
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 5);
+  setenv("SAUFNO_TEST_INT", "3.5", 1);
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 5);
+  setenv("SAUFNO_TEST_INT", "", 1);
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 5);
+  unsetenv("SAUFNO_TEST_INT");
+}
+
+TEST(Env, IntRejectsOverflow) {
+  // Values past int range used to be blindly truncated by the long->int
+  // cast (e.g. 4294967296 -> 0); they must fall back instead.
+  setenv("SAUFNO_TEST_INT", "4294967296", 1);  // 2^32: would truncate to 0
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 5);
+  setenv("SAUFNO_TEST_INT", "-4294967296", 1);
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 5);
+  setenv("SAUFNO_TEST_INT", "99999999999999999999", 1);  // > LONG_MAX: ERANGE
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 5);
+  setenv("SAUFNO_TEST_INT", "2147483647", 1);  // INT_MAX itself is fine
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), 2147483647);
+  setenv("SAUFNO_TEST_INT", "-2147483648", 1);
+  EXPECT_EQ(env_int("SAUFNO_TEST_INT", 5), -2147483648);
+  unsetenv("SAUFNO_TEST_INT");
+}
+
+TEST(Env, IntInRange) {
+  unsetenv("SAUFNO_TEST_INT");
+  EXPECT_EQ(env_int_in_range("SAUFNO_TEST_INT", 4, 1, 8), 4);
+  // Fallback itself is clamped into range.
+  EXPECT_EQ(env_int_in_range("SAUFNO_TEST_INT", 99, 1, 8), 8);
+  setenv("SAUFNO_TEST_INT", "6", 1);
+  EXPECT_EQ(env_int_in_range("SAUFNO_TEST_INT", 4, 1, 8), 6);
+  setenv("SAUFNO_TEST_INT", "0", 1);
+  EXPECT_EQ(env_int_in_range("SAUFNO_TEST_INT", 4, 1, 8), 4);
+  setenv("SAUFNO_TEST_INT", "9", 1);
+  EXPECT_EQ(env_int_in_range("SAUFNO_TEST_INT", 4, 1, 8), 4);
+  setenv("SAUFNO_TEST_INT", "6x", 1);
+  EXPECT_EQ(env_int_in_range("SAUFNO_TEST_INT", 4, 1, 8), 4);
+  setenv("SAUFNO_TEST_INT", "99999999999999999999", 1);
+  EXPECT_EQ(env_int_in_range("SAUFNO_TEST_INT", 4, 1, 8), 4);
   unsetenv("SAUFNO_TEST_INT");
 }
 

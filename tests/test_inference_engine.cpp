@@ -115,6 +115,100 @@ TEST(InferenceEngine, PaddedBatchesDoNotChangeRealRows) {
   }
 }
 
+TEST(InferenceEngine, SubmitValidatesExactChannelCount) {
+  // A wider-than-expected input used to pass the normalizer's `>=` lower
+  // bound and then die inside model_->forward with an opaque shape error;
+  // the exact check must reject it at submit() with both counts named.
+  InferenceEngine::Config cfg;
+  cfg.expected_in_channels = 3;
+  InferenceEngine engine(smoke_model(), cfg);
+  Rng rng(41);
+  try {
+    engine.submit(Tensor::randn({5, 10, 10}, rng));
+    FAIL() << "5-channel submit on a 3-channel model did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("5 channels"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expects exactly 3"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(engine.submit(Tensor::randn({2, 10, 10}, rng)),
+               std::runtime_error);
+  EXPECT_NO_THROW(engine.submit(Tensor::randn({3, 10, 10}, rng)).get());
+}
+
+TEST(InferenceEngine, FromZooFillsExpectedChannels) {
+  auto engine = InferenceEngine::from_zoo("SAU-FNO", 3, 1, /*seed=*/42,
+                                          /*checkpoint=*/"",
+                                          InferenceEngine::Config{});
+  EXPECT_EQ(engine->config().expected_in_channels, 3);
+  Rng rng(43);
+  EXPECT_THROW(engine->submit(Tensor::randn({4, 10, 10}, rng)),
+               std::runtime_error);
+}
+
+TEST(InferenceEngine, PaddedBatchBitIdenticalToUnpaddedWithNormalizer) {
+  // Padding rows are zeros at submit time but encode_inputs maps them to
+  // whatever the encoder sends 0 to — they do NOT stay zero in general.
+  // Real rows must still be bit-identical to an unpadded engine because
+  // every kernel is per-sample independent; this pins that invariant down
+  // through the full encode -> forward -> decode path.
+  auto model = smoke_model();
+  const auto norm =
+      data::Normalizer::from_stats(298.15, 2.0, 10.0, /*n_power=*/1);
+  const auto maps = random_maps(3, 12, 77);
+
+  auto serve = [&](bool pad) {
+    InferenceEngine::Config cfg;
+    cfg.max_batch = 8;  // > request count: the padded engine always pads
+    cfg.max_wait_us = 50000;
+    cfg.pad_to_full_batch = pad;
+    InferenceEngine engine(model, norm, cfg);
+    std::vector<std::future<Tensor>> futs;
+    for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+    std::vector<Tensor> out;
+    for (auto& f : futs) out.push_back(f.get());
+    return out;
+  };
+  const auto unpadded = serve(false);
+  const auto padded = serve(true);
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    ASSERT_EQ(padded[i].shape(), unpadded[i].shape());
+    EXPECT_EQ(std::memcmp(padded[i].data(), unpadded[i].data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(padded[i].numel())),
+              0)
+        << "request " << i << ": padding perturbed a real row";
+  }
+}
+
+TEST(InferenceEngine, ShortLivedClientThreadsCanDropResults) {
+  // Regression for the cross-thread arena hazard: results used to be
+  // arena-backed, so a client thread dropping its tensor at thread exit
+  // released the block into a dying thread's freelist (and a release after
+  // that thread's arena teardown is use-after-destruction — caught by the
+  // ASan lane, which runs this test). Results are now plain heap tensors;
+  // hammer the pattern with many short-lived client threads to keep it so.
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 2000;
+  InferenceEngine engine(smoke_model(), cfg);
+  const auto maps = random_maps(4, 10, 55);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 4; ++i) {
+      clients.emplace_back([&, i] {
+        // get() the result, touch it, and let the thread exit immediately
+        // while still owning the tensor — the destructor runs during
+        // thread teardown.
+        Tensor result = engine.submit(maps[static_cast<std::size_t>(i)].clone()).get();
+        ASSERT_GT(result.numel(), 0);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  EXPECT_EQ(engine.stats().requests, 8 * 4);
+}
+
 TEST(InferenceEngine, CoalescesAndReportsStats) {
   InferenceEngine::Config cfg;
   cfg.max_batch = 4;

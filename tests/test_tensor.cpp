@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -275,6 +276,89 @@ TEST(Gemm, AccumulateFlag) {
   Tensor c({2, 2}, {1, 1, 1, 1});
   gemm(a.data(), b.data(), c.data(), 2, 2, 2, /*accumulate=*/true);
   EXPECT_TRUE(c.allclose(Tensor({2, 2}, {6, 7, 8, 9})));
+}
+
+TEST(Gemm, PropagatesNanAndInfFromB) {
+  // The seed kernel's `a[i,k] == 0` skip silently dropped whole columns of
+  // B, so NaN/Inf there never reached C — a data-dependent result. The
+  // dense kernel must honor IEEE: 0 * NaN = NaN, 0 * Inf = NaN.
+  const int64_t m = 3, n = 5, k = 4;
+  Tensor a = Tensor::zeros({m, k});
+  a.at(0 * k + 1) = 1.f;  // row 0 touches only B row 1 (finite values)
+  Tensor b({k, n});
+  for (int64_t i = 0; i < b.numel(); ++i) b.at(i) = 1.f;
+  b.at(2 * n + 0) = std::numeric_limits<float>::quiet_NaN();
+  b.at(3 * n + 1) = std::numeric_limits<float>::infinity();
+  Tensor c({m, n});
+  gemm(a.data(), b.data(), c.data(), m, n, k, /*accumulate=*/false);
+  // Every row multiplies the NaN at B[2,0] by a[i,2] (possibly 0) — NaN
+  // must survive into column 0; the Inf at B[3,1] times 0 is also NaN.
+  for (int64_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(std::isnan(c.at(i * n + 0))) << "row " << i;
+    EXPECT_TRUE(std::isnan(c.at(i * n + 1))) << "row " << i;
+  }
+  // Columns that only ever meet finite B values stay finite.
+  EXPECT_FLOAT_EQ(c.at(0 * n + 4), 1.f);
+
+  // The preserved seed kernel exhibits the old buggy behavior — pin it so
+  // the bench baseline is honestly labeled.
+  Tensor c_seed({m, n});
+  gemm_seed_reference(a.data(), b.data(), c_seed.data(), m, n, k, false);
+  EXPECT_FALSE(std::isnan(c_seed.at(1 * n + 0)));  // all-zero row skipped B
+}
+
+TEST(Gemm, BlockedMatchesSeedKernelOnDenseData) {
+  // On dense (zero-free) random data the seed kernel is correct, so the
+  // blocked kernel must agree within fp32 accumulation noise. Shapes chosen
+  // to hit every edge: MR/NR-aligned, ragged tails, single row/col, and a
+  // K larger than the 512-wide K-block.
+  const struct { int64_t m, n, k; } shapes[] = {
+      {6, 16, 8},  {12, 32, 16}, {7, 17, 5},   {1, 40, 3},  {13, 1, 9},
+      {5, 9, 600}, {32, 48, 64}, {25, 100, 7}, {2, 2, 1100}};
+  for (const auto& s : shapes) {
+    Rng rng(0xC0FFEEULL + static_cast<std::uint64_t>(s.m * 131 + s.n));
+    Tensor a = Tensor::randn({s.m, s.k}, rng);
+    Tensor b = Tensor::randn({s.k, s.n}, rng);
+    // Shift away from zero so the seed zero-skip cannot fire and relative
+    // comparison is well-conditioned.
+    a = add_scalar(a, 3.f);
+    b = add_scalar(b, 3.f);
+    Tensor c_seed({s.m, s.n}), c_new({s.m, s.n});
+    gemm_seed_reference(a.data(), b.data(), c_seed.data(), s.m, s.n, s.k,
+                        false);
+    gemm(a.data(), b.data(), c_new.data(), s.m, s.n, s.k, false);
+    EXPECT_TRUE(c_new.allclose(c_seed, 1e-4f, 1e-4f * s.k))
+        << "shape " << s.m << "x" << s.n << "x" << s.k;
+    // accumulate=true must add on top of existing C in both kernels.
+    Tensor acc_seed = c_seed.clone(), acc_new = c_new.clone();
+    gemm_seed_reference(a.data(), b.data(), acc_seed.data(), s.m, s.n, s.k,
+                        true);
+    gemm(a.data(), b.data(), acc_new.data(), s.m, s.n, s.k, true);
+    EXPECT_TRUE(acc_new.allclose(acc_seed, 1e-4f, 2e-4f * s.k))
+        << "accumulate shape " << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+TEST(Gemm, ForceSeedReferenceHookRoutesAndRestores) {
+  Rng rng(99);
+  Tensor a = Tensor::randn({4, 3}, rng);
+  Tensor b = Tensor::randn({3, 4}, rng);
+  Tensor c_ref({4, 4}), c_hook({4, 4});
+  gemm_seed_reference(a.data(), b.data(), c_ref.data(), 4, 4, 3, false);
+  gemm_force_seed_reference(true);
+  gemm(a.data(), b.data(), c_hook.data(), 4, 4, 3, false);
+  gemm_force_seed_reference(false);
+  // Routed results must be bitwise the seed kernel's.
+  for (int64_t i = 0; i < 16; ++i) EXPECT_EQ(c_hook.at(i), c_ref.at(i));
+}
+
+TEST(Gemm, EmptyKZeroesOrPreservesC) {
+  Tensor a({2, 0}), b({0, 3});
+  Tensor c({2, 3}, {1, 2, 3, 4, 5, 6});
+  gemm(a.data(), b.data(), c.data(), 2, 3, 0, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c.at(0), 1.f);  // accumulate: C untouched
+  gemm(a.data(), b.data(), c.data(), 2, 3, 0, /*accumulate=*/false);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(c.at(i), 0.f);
 }
 
 TEST(Im2Col, RoundTripAgainstDirectConvolution) {
