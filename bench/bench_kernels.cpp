@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/json_writer.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "obs/export.h"
 #include "tensor/kernels.h"
 #include "tensor/simd.h"
 #include "tensor/tensor.h"
@@ -130,32 +132,32 @@ double bench_end_to_end(bool smoke, double* fwd_per_sec_out) {
 
 void write_json(const char* path, bool smoke, double ref_speedup,
                 double e2e_speedup, double fwd_per_sec) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::printf("could not open %s for writing\n", path);
-    return;
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", "bench_kernels");
+  w.field("mode", smoke ? "smoke" : "full");
+  w.field("simd_level", simd::level_name());
+  w.field("gemm_speedup_reference_shape", ref_speedup, 4);
+  w.field("end_to_end_forward_speedup", e2e_speedup, 4);
+  w.field("end_to_end_forward_per_sec", fwd_per_sec, 4);
+  w.key("results");
+  w.begin_array();
+  for (const auto& e : g_entries) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("m", e.m);
+    w.field("n", e.n);
+    w.field("k", e.k);
+    w.field("gflops_seed", e.gflops_seed, 4);
+    w.field("gflops_new", e.gflops_new, 4);
+    w.field("speedup", e.speedup, 4);
+    w.end_object();
   }
-  std::fprintf(f, "{\n  \"bench\": \"bench_kernels\",\n");
-  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
-  std::fprintf(f, "  \"simd_level\": \"%s\",\n", simd::level_name());
-  std::fprintf(f, "  \"gemm_speedup_reference_shape\": %.4f,\n", ref_speedup);
-  std::fprintf(f, "  \"end_to_end_forward_speedup\": %.4f,\n", e2e_speedup);
-  std::fprintf(f, "  \"end_to_end_forward_per_sec\": %.4f,\n", fwd_per_sec);
-  std::fprintf(f, "  \"results\": [\n");
-  for (std::size_t i = 0; i < g_entries.size(); ++i) {
-    const auto& e = g_entries[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": "
-                 "%lld, \"gflops_seed\": %.4f, \"gflops_new\": %.4f, "
-                 "\"speedup\": %.4f}%s\n",
-                 e.name.c_str(), static_cast<long long>(e.m),
-                 static_cast<long long>(e.n), static_cast<long long>(e.k),
-                 e.gflops_seed, e.gflops_new, e.speedup,
-                 i + 1 < g_entries.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path);
+  w.end_array();
+  w.key("obs");
+  w.raw_value(obs::dump_json());
+  w.end_object();
+  w.write_file(path);
 }
 
 }  // namespace

@@ -17,10 +17,12 @@
 
 #include "autograd/spectral3d_ops.h"
 #include "autograd/spectral_ops.h"
+#include "common/json_writer.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "fft/fft.h"
 #include "fft/plan.h"
+#include "obs/export.h"
 #include "runtime/workspace.h"
 #include "tensor/tensor.h"
 
@@ -272,29 +274,29 @@ double bench_spectral_conv3d(bool smoke) {
 
 void write_json(const char* path, bool smoke, double speedup2d,
                 double speedup3d) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::printf("could not open %s for writing\n", path);
-    return;
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", "bench_spectral");
+  w.field("mode", smoke ? "smoke" : "full");
+  w.field("speedup_spectral_conv2d", speedup2d, 4);
+  w.field("speedup_spectral_conv3d", speedup3d, 4);
+  w.field("arena_hit_rate", runtime::arena_stats().hit_rate(), 4);
+  w.key("results");
+  w.begin_array();
+  for (const auto& e : g_entries) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("seconds_per_call", e.seconds, 9);
+    w.field("speedup", e.speedup, 4);
+    w.end_object();
   }
-  std::fprintf(f, "{\n  \"bench\": \"bench_spectral\",\n");
-  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
-  std::fprintf(f, "  \"speedup_spectral_conv2d\": %.4f,\n", speedup2d);
-  std::fprintf(f, "  \"speedup_spectral_conv3d\": %.4f,\n", speedup3d);
-  const auto arena = runtime::arena_stats();
-  std::fprintf(f, "  \"arena_hit_rate\": %.4f,\n", arena.hit_rate());
-  std::fprintf(f, "  \"results\": [\n");
-  for (std::size_t i = 0; i < g_entries.size(); ++i) {
-    const auto& e = g_entries[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"seconds_per_call\": %.9f, "
-                 "\"speedup\": %.4f}%s\n",
-                 e.name.c_str(), e.seconds, e.speedup,
-                 i + 1 < g_entries.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path);
+  w.end_array();
+  // Full telemetry scrape: plan-cache hit rates and arena behavior under
+  // the benched workload ride along with the timings.
+  w.key("obs");
+  w.raw_value(obs::dump_json());
+  w.end_object();
+  w.write_file(path);
 }
 
 }  // namespace

@@ -15,6 +15,10 @@
 //   SAUFNO_MAX_BATCH     coalescing limit per forward        (default 8)
 //   SAUFNO_MAX_WAIT_US   batching wait after first request   (default 2000)
 //   SAUFNO_CHECKPOINT    optional checkpoint path to restore from
+//   SAUFNO_TRACE         write a Chrome trace-event JSON here at exit
+//   SAUFNO_PROFILE_KERNELS  1 = per-kernel timing histograms
+//   SAUFNO_OBS_SCRAPE    "prom" emits a Prometheus-style text scrape
+//                        instead of the default JSON metrics dump
 //
 // Usage: serving_demo [n_clients] [requests_per_client]
 
@@ -25,7 +29,10 @@
 #include <vector>
 
 #include "common/env.h"
+#include "data/normalizer.h"
 #include "nn/serialize.h"
+#include "obs/export.h"
+#include "train/model_zoo.h"
 #include "runtime/inference_engine.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
@@ -48,10 +55,20 @@ int main(int argc, char** argv) {
   if (self_describing) {
     engine = runtime::InferenceEngine::from_checkpoint(ckpt, cfg);
     std::printf("restored self-describing v2 checkpoint %s\n", ckpt);
-  } else {
+  } else if (ckpt != nullptr) {
     engine = runtime::InferenceEngine::from_zoo(
         "SAU-FNO", /*in_channels=*/3, /*out_channels=*/1, /*seed=*/42,
-        ckpt != nullptr ? std::string(ckpt) : std::string(), cfg);
+        std::string(ckpt), cfg);
+  } else {
+    // No checkpoint at all: untrained zoo weights plus synthetic normalizer
+    // stats, so the demo still drives the full encode -> forward -> decode
+    // pipeline (a SAUFNO_TRACE of this binary shows every serving stage).
+    cfg.expected_in_channels = 3;
+    engine = std::make_unique<runtime::InferenceEngine>(
+        train::make_model("SAU-FNO", /*in_channels=*/3, /*out_channels=*/1,
+                          /*seed=*/42),
+        data::Normalizer::from_stats(318.0, 3e4, 9.0, /*n_power_channels=*/1),
+        cfg);
   }
 
   std::printf("serving SAU-FNO on %d kernel lanes, max_batch=%lld, "
@@ -102,5 +119,14 @@ int main(int argc, char** argv) {
   std::printf("latency p95     %.2f ms\n", s.latency_p95_ms);
   std::printf("latency p99     %.2f ms\n", s.latency_p99_ms);
   std::printf("latency max     %.2f ms\n", s.latency_max_ms);
+
+  // Full telemetry scrape: everything the obs registry collected across
+  // the pool, queue, engine, arena and FFT plan cache. This is what a
+  // metrics endpoint would serve; the demo prints it to stdout.
+  const char* scrape = std::getenv("SAUFNO_OBS_SCRAPE");
+  const bool prom = scrape != nullptr && std::string(scrape) == "prom";
+  std::printf("\n-- obs scrape (%s) --\n%s\n", prom ? "prometheus" : "json",
+              prom ? obs::dump_prometheus().c_str()
+                   : obs::dump_json().c_str());
   return 0;
 }

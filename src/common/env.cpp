@@ -1,10 +1,12 @@
 #include "common/env.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/logging.h"
 
@@ -63,6 +65,42 @@ int env_int_in_range(const char* name, int fallback, int lo, int hi) {
     return fallback;
   }
   return static_cast<int>(parsed);
+}
+
+int env_choice(const char* name, int fallback, const char* const* names,
+               int n_names) {
+  fallback = std::min(std::max(fallback, 0), n_names - 1);
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  for (int i = 0; i < n_names; ++i) {
+    const char* a = v;
+    const char* b = names[i];
+    while (*a != '\0' && *b != '\0' &&
+           std::tolower(static_cast<unsigned char>(*a)) ==
+               std::tolower(static_cast<unsigned char>(*b))) {
+      ++a;
+      ++b;
+    }
+    if (*a == '\0' && *b == '\0') return i;
+  }
+  // Numeric form: an index into the same list, with the hardened integer
+  // contract (trailing garbage / overflow warn and fall back below).
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end != v && *end == '\0' && errno != ERANGE && parsed >= 0 &&
+      parsed < n_names) {
+    return static_cast<int>(parsed);
+  }
+  std::string accepted;
+  for (int i = 0; i < n_names; ++i) {
+    if (i > 0) accepted += ", ";
+    accepted += names[i];
+  }
+  SAUFNO_WARN << name << "=\"" << v << "\" is not one of {" << accepted
+              << "} or an index in [0, " << (n_names - 1) << "]; using "
+              << names[fallback];
+  return fallback;
 }
 
 int scaled(int smoke_v, int paper_v) {

@@ -28,6 +28,13 @@ int env_int(const char* name, int fallback);
 /// clamped into [lo, hi] so callers cannot smuggle a bad default through.
 int env_int_in_range(const char* name, int fallback, int lo, int hi);
 
+/// Named-choice environment knob (SAUFNO_LOG_LEVEL and friends): the value
+/// may be one of `names[0..n_names)` (matched case-insensitively) or an
+/// integer index in [0, n_names). Unknown values log a warning listing the
+/// accepted names and fall back; `fallback` is clamped into range.
+int env_choice(const char* name, int fallback, const char* const* names,
+               int n_names);
+
 /// Pick `smoke_v` or `paper_v` according to bench_scale().
 int scaled(int smoke_v, int paper_v);
 

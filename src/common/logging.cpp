@@ -4,9 +4,29 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/env.h"
+
 namespace saufno {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+// SAUFNO_LOG_LEVEL is applied once, on first logger use. State machine (not
+// std::call_once) because the parser itself may WARN about a bad value:
+// that nested log call must fall through at the default level instead of
+// deadlocking on a re-entered once-flag.
+std::atomic<int> g_env_applied{0};
+
+void apply_env_level() {
+  int expected = 0;
+  if (!g_env_applied.compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel)) {
+    return;
+  }
+  static const char* const kNames[] = {"debug", "info", "warn", "error"};
+  const int v = env_choice("SAUFNO_LOG_LEVEL",
+                           static_cast<int>(g_level.load()), kNames, 4);
+  g_level.store(static_cast<LogLevel>(v));
+}
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -18,10 +38,20 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  // An explicit programmatic level wins over the env knob; mark the env as
+  // consumed so a later first-log cannot clobber this choice.
+  g_env_applied.store(1, std::memory_order_release);
+  g_level.store(level);
+}
+
+LogLevel log_level() {
+  apply_env_level();
+  return g_level.load();
+}
 
 void log_message(LogLevel level, const std::string& msg) {
+  apply_env_level();
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::fprintf(stderr, "[saufno %s] %s\n", level_name(level), msg.c_str());
 }

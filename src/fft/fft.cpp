@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "fft/plan.h"
+#include "obs/kernel_profile.h"
 #include "runtime/parallel_for.h"
 #include "runtime/workspace.h"
 
@@ -132,6 +133,8 @@ void fft_1d(cfloat* x, int64_t n, bool inverse) {
 }
 
 void fft_2d(cfloat* x, int64_t batch, int64_t h, int64_t w, bool inverse) {
+  static obs::Histogram& prof_hist = obs::histogram("kernel.fft_2d_us");
+  obs::KernelTimer prof_timer(prof_hist, "fft.fft_2d");
   // The batch axis is the parallel seam: each [h, w] plane is transformed
   // independently by one chunk, so results are bit-identical for any thread
   // count. The spectral layers batch all B*C channel planes into one call,
@@ -153,6 +156,8 @@ void fft_2d(cfloat* x, int64_t batch, int64_t h, int64_t w, bool inverse) {
 
 void fft_3d(cfloat* x, int64_t batch, int64_t d, int64_t h, int64_t w,
             bool inverse) {
+  static obs::Histogram& prof_hist = obs::histogram("kernel.fft_3d_us");
+  obs::KernelTimer prof_timer(prof_hist, "fft.fft_3d");
   // Planes first (h, w), then 1-D transforms along the depth axis. Each
   // volume's depth pass is independent, so volumes parallelize like planes.
   fft_2d(x, batch * d, h, w, inverse);
@@ -170,6 +175,8 @@ void fft_3d(cfloat* x, int64_t batch, int64_t d, int64_t h, int64_t w,
 
 void rfft_2d(const float* x, cfloat* out, int64_t batch, int64_t h, int64_t w,
              int64_t wk) {
+  static obs::Histogram& prof_hist = obs::histogram("kernel.rfft_2d_us");
+  obs::KernelTimer prof_timer(prof_hist, "fft.rfft_2d");
   SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
                "rfft_2d: wk out of range for width " + std::to_string(w));
   const auto rp = get_rfft_plan(w);
@@ -190,6 +197,8 @@ void rfft_2d(const float* x, cfloat* out, int64_t batch, int64_t h, int64_t w,
 
 void irfft_2d(cfloat* spec, float* out, int64_t batch, int64_t h, int64_t w,
               int64_t wk, float scale) {
+  static obs::Histogram& prof_hist = obs::histogram("kernel.irfft_2d_us");
+  obs::KernelTimer prof_timer(prof_hist, "fft.irfft_2d");
   SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
                "irfft_2d: wk out of range for width " + std::to_string(w));
   const auto rp = get_rfft_plan(w);
@@ -226,6 +235,8 @@ void for_each_kept_row(int64_t h, int64_t mh, Fn fn) {
 
 void rfft_3d(const float* x, cfloat* out, int64_t batch, int64_t d, int64_t h,
              int64_t w, int64_t wk, int64_t mh) {
+  static obs::Histogram& prof_hist = obs::histogram("kernel.rfft_3d_us");
+  obs::KernelTimer prof_timer(prof_hist, "fft.rfft_3d");
   SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
                "rfft_3d: wk out of range for width " + std::to_string(w));
   const auto rp = get_rfft_plan(w);
@@ -258,6 +269,8 @@ void rfft_3d(const float* x, cfloat* out, int64_t batch, int64_t d, int64_t h,
 
 void irfft_3d(cfloat* spec, float* out, int64_t batch, int64_t d, int64_t h,
               int64_t w, int64_t wk, int64_t mh, float scale) {
+  static obs::Histogram& prof_hist = obs::histogram("kernel.irfft_3d_us");
+  obs::KernelTimer prof_timer(prof_hist, "fft.irfft_3d");
   SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
                "irfft_3d: wk out of range for width " + std::to_string(w));
   const auto rp = get_rfft_plan(w);

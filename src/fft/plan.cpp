@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "runtime/workspace.h"
 
 namespace saufno {
@@ -22,6 +23,19 @@ int64_t next_pow2(int64_t n) {
 std::mutex g_cache_m;
 std::unordered_map<int64_t, std::shared_ptr<const FftPlan>> g_plans;
 std::unordered_map<int64_t, std::shared_ptr<const RfftPlan>> g_rplans;
+
+/// Cache telemetry via the metrics registry (batched drivers fetch the
+/// plan once per call, so these tick at driver frequency, not per line).
+/// Steady-state serving should show misses frozen at the warmup count.
+struct PlanCacheMetrics {
+  obs::Counter& hits = obs::counter("fft.plan_cache.hits");
+  obs::Counter& misses = obs::counter("fft.plan_cache.misses");
+};
+
+PlanCacheMetrics& plan_metrics() {
+  static PlanCacheMetrics m;
+  return m;
+}
 
 void fill_pow2_tables(FftPlan& p) {
   const int64_t n = p.n;
@@ -152,8 +166,12 @@ std::shared_ptr<const FftPlan> get_plan(int64_t n) {
   {
     std::lock_guard<std::mutex> lk(g_cache_m);
     auto it = g_plans.find(n);
-    if (it != g_plans.end()) return it->second;
+    if (it != g_plans.end()) {
+      plan_metrics().hits.add();
+      return it->second;
+    }
   }
+  plan_metrics().misses.add();
   // Build outside the lock: plan construction for non-pow2 lengths calls
   // get_plan(m) recursively and may take a while; racing first users build
   // duplicates, but only the first insert is published.
@@ -168,8 +186,12 @@ std::shared_ptr<const RfftPlan> get_rfft_plan(int64_t n) {
   {
     std::lock_guard<std::mutex> lk(g_cache_m);
     auto it = g_rplans.find(n);
-    if (it != g_rplans.end()) return it->second;
+    if (it != g_rplans.end()) {
+      plan_metrics().hits.add();
+      return it->second;
+    }
   }
+  plan_metrics().misses.add();
   auto plan = std::make_shared<RfftPlan>();
   plan->n = n;
   plan->even = (n % 2 == 0);

@@ -1,0 +1,84 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "common/json_writer.h"
+#include "obs/metrics.h"
+
+namespace saufno {
+namespace obs {
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = "saufno_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[64];
+  // %.17g round-trips doubles; integers render without a trailing ".0".
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string dump_json() {
+  JsonWriter w;
+  w.begin_object();
+  for (const MetricSnapshot& s : Registry::instance().snapshot()) {
+    if (s.kind == MetricKind::kHistogram) {
+      w.key(s.name);
+      w.begin_object();
+      w.field("count", s.count);
+      w.field("sum", s.sum, 9);
+      w.field("min", s.min, 9);
+      w.field("max", s.max, 9);
+      w.field("p50", s.p50, 9);
+      w.field("p95", s.p95, 9);
+      w.field("p99", s.p99, 9);
+      w.end_object();
+    } else {
+      w.field(s.name, s.value, 6);
+    }
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string dump_prometheus() {
+  std::string out;
+  for (const MetricSnapshot& s : Registry::instance().snapshot()) {
+    const std::string n = prom_name(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + n + " counter\n";
+        out += n + " " + num(s.value) + "\n";
+        break;
+      case MetricKind::kGauge:
+      case MetricKind::kCallback:
+        out += "# TYPE " + n + " gauge\n";
+        out += n + " " + num(s.value) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + n + " summary\n";
+        out += n + "{quantile=\"0.5\"} " + num(s.p50) + "\n";
+        out += n + "{quantile=\"0.95\"} " + num(s.p95) + "\n";
+        out += n + "{quantile=\"0.99\"} " + num(s.p99) + "\n";
+        out += n + "_sum " + num(s.sum) + "\n";
+        out += n + "_count " + num(static_cast<double>(s.count)) + "\n";
+        out += n + "_min " + num(s.min) + "\n";
+        out += n + "_max " + num(s.max) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace saufno

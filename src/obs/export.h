@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+namespace saufno {
+namespace obs {
+
+/// Exporters — pillar 3 of the telemetry subsystem. Both walk one
+/// Registry::snapshot(), so a scrape is safe while every writer is hot.
+
+/// JSON object mapping metric name -> value (counters/gauges/callbacks) or
+/// -> {count, sum, min, max, p50, p95, p99} (histograms). Embedded verbatim
+/// in every BENCH_*.json and printable by serving binaries.
+std::string dump_json();
+
+/// Prometheus-style text exposition: one `# TYPE` line per metric, metric
+/// names with dots mapped to underscores, histograms as
+/// <name>_count/_sum/_min/_max plus {quantile="..."} summary samples.
+std::string dump_prometheus();
+
+}  // namespace obs
+}  // namespace saufno

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace saufno {
+namespace obs {
+
+/// RAII kernel timer behind the SAUFNO_PROFILE_KERNELS knob. Disabled (the
+/// default) it costs one relaxed load and a branch — no clock read, no
+/// histogram touch — so the gemm/FFT hot paths stay unperturbed. Enabled,
+/// the elapsed microseconds land in `hist` and, when tracing is also on,
+/// the interval is emitted as a span (`name` must be a string literal).
+///
+/// Usage at a kernel entry point:
+///   static obs::Histogram& h = obs::histogram("kernel.gemm_us");
+///   obs::KernelTimer timer(h, "kernel.gemm");
+class KernelTimer {
+ public:
+  KernelTimer(Histogram& hist, const char* name) {
+    if (profile_kernels()) {
+      hist_ = &hist;
+      name_ = name;
+      t0_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~KernelTimer() {
+    if (hist_ != nullptr) {
+      const int64_t t1_ns = detail::trace_now_ns();
+      hist_->record(static_cast<double>(t1_ns - t0_ns_) / 1e3);
+      if (trace_enabled()) detail::trace_record(name_, t0_ns_, t1_ns);
+    }
+  }
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;
+  const char* name_ = nullptr;
+  int64_t t0_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace saufno

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 #include "runtime/workspace.h"
 #include "tensor/tensor_ops.h"
 #include "train/model_zoo.h"
@@ -13,13 +14,39 @@ namespace saufno {
 namespace runtime {
 namespace {
 
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+/// Engine telemetry, aggregated across every InferenceEngine in the
+/// process (each engine additionally keeps its own latency histogram for
+/// per-instance stats()).
+struct EngineMetrics {
+  obs::Counter& requests = obs::counter("engine.requests");
+  obs::Counter& batches = obs::counter("engine.batches");
+  obs::Counter& batch_errors = obs::counter("engine.batch_errors");
+  obs::Histogram& latency_ms = obs::histogram("engine.latency_ms");
+  obs::Histogram& forward_ms = obs::histogram("engine.forward_ms");
+  obs::Histogram& batch_size = obs::histogram("engine.batch_size");
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
+}
+
+/// Latency histogram for a power-of-two batch-size class (bs1, bs2, bs4,
+/// ..., bs1024): mixed traffic shows at a glance whether full batches are
+/// actually cheaper per request than stragglers.
+obs::Histogram& batch_size_class_hist(int64_t bsz) {
+  constexpr int kClasses = 11;  // 2^0 .. 2^10 (max_batch is capped at 1024)
+  static obs::Histogram* const* hists = [] {
+    static obs::Histogram* h[kClasses];
+    for (int i = 0; i < kClasses; ++i) {
+      h[i] = &obs::histogram("engine.latency_ms.bs" +
+                             std::to_string(int64_t{1} << i));
+    }
+    return h;
+  }();
+  int cls = 0;
+  while ((int64_t{1} << cls) < bsz && cls < kClasses - 1) ++cls;
+  return *hists[cls];
 }
 
 }  // namespace
@@ -113,14 +140,21 @@ void InferenceEngine::stop() {
 
 void InferenceEngine::batcher_loop() {
   for (;;) {
-    std::vector<InferenceRequest> batch = queue_.pop_batch(
-        static_cast<std::size_t>(cfg_.max_batch), cfg_.max_wait_us);
+    std::vector<InferenceRequest> batch;
+    {
+      // Dequeue covers both idle waiting and the straggler deadline, so a
+      // trace shows exactly how much of a slow request was batching wait.
+      SAUFNO_TRACE_SPAN("engine.dequeue");
+      batch = queue_.pop_batch(static_cast<std::size_t>(cfg_.max_batch),
+                               cfg_.max_wait_us);
+    }
     if (batch.empty()) return;  // shutdown + drained
     serve_batch(std::move(batch));
   }
 }
 
 void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
+  SAUFNO_TRACE_SPAN("engine.batch");
   const int64_t bsz = static_cast<int64_t>(batch.size());
   const Shape& in_shape = batch.front().input.shape();  // [C, H, W]
   const int64_t sample = numel_of(in_shape);
@@ -130,41 +164,57 @@ void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
   // of a given shape, stacking allocates nothing.
   Tensor stacked =
       Tensor::scratch({padded, in_shape[0], in_shape[1], in_shape[2]});
-  for (int64_t i = 0; i < bsz; ++i) {
-    std::memcpy(stacked.data() + i * sample, batch[static_cast<std::size_t>(i)].input.data(),
-                sizeof(float) * static_cast<std::size_t>(sample));
-  }
-  if (padded > bsz) {
-    // Scratch tensors are uninitialized; padding rows must still be zero so
-    // they cannot perturb stats-free kernels or produce NaNs downstream.
-    std::memset(stacked.data() + bsz * sample, 0,
-                sizeof(float) * static_cast<std::size_t>((padded - bsz) * sample));
+  {
+    SAUFNO_TRACE_SPAN("engine.assemble");
+    for (int64_t i = 0; i < bsz; ++i) {
+      std::memcpy(stacked.data() + i * sample,
+                  batch[static_cast<std::size_t>(i)].input.data(),
+                  sizeof(float) * static_cast<std::size_t>(sample));
+    }
+    if (padded > bsz) {
+      // Scratch tensors are uninitialized; padding rows must still be zero
+      // so they cannot perturb stats-free kernels or produce NaNs
+      // downstream.
+      std::memset(stacked.data() + bsz * sample, 0,
+                  sizeof(float) *
+                      static_cast<std::size_t>((padded - bsz) * sample));
+    }
   }
 
-  // One critical section per batch: counters, busy window and latency
-  // samples move together, so stats() always sees a consistent snapshot.
+  // Counters and the busy window move together under stats_m_ so stats()
+  // sees a consistent snapshot; latency samples go to the lock-free
+  // histograms outside the critical section.
   auto record_batch_done = [&](bool record_latencies) {
     const auto now = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lk(stats_m_);
-    batches_ += 1;
-    requests_done_ += bsz;
-    for (const auto& req : batch) {
-      if (!window_open_ || req.enqueued_at < window_start_) {
-        window_start_ = req.enqueued_at;
-        window_open_ = true;
+    {
+      std::lock_guard<std::mutex> lk(stats_m_);
+      batches_ += 1;
+      requests_done_ += bsz;
+      for (const auto& req : batch) {
+        if (!window_open_ || req.enqueued_at < window_start_) {
+          window_start_ = req.enqueued_at;
+          window_open_ = true;
+        }
       }
-      if (!record_latencies) continue;
+      window_end_ = now;
+    }
+    EngineMetrics& em = engine_metrics();
+    em.batches.add();
+    em.requests.add(bsz);
+    em.batch_size.record(static_cast<double>(bsz));
+    if (!record_latencies) {
+      em.batch_errors.add();
+      return;
+    }
+    obs::Histogram& bs_hist = batch_size_class_hist(bsz);
+    for (const auto& req : batch) {
       const double ms =
           std::chrono::duration<double, std::milli>(now - req.enqueued_at)
               .count();
-      if (latencies_ms_.size() < kLatencyWindow) {
-        latencies_ms_.push_back(ms);
-      } else {
-        latencies_ms_[latency_next_] = ms;
-      }
-      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      latency_hist_.record(ms);
+      em.latency_ms.record(ms);
+      bs_hist.record(ms);
     }
-    window_end_ = now;
   };
 
   try {
@@ -175,20 +225,36 @@ void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
     // encoder sends 0 to — and their outputs are garbage; real rows are
     // untouched because every kernel in this library is per-sample
     // independent (pinned by the padded-vs-unpadded bitwise test).
-    if (norm_) stacked = norm_->encode_inputs(stacked);
+    if (norm_) {
+      SAUFNO_TRACE_SPAN("engine.normalize");
+      stacked = norm_->encode_inputs(stacked);
+    }
     // No tape: serving forwards must not retain graph nodes or grads.
     NoGradGuard no_grad;
-    Var out = model_->forward(Var(std::move(stacked)));
+    Var out = [&] {
+      SAUFNO_TRACE_SPAN("engine.forward");
+      const auto t0 = std::chrono::steady_clock::now();
+      Var v = model_->forward(Var(std::move(stacked)));
+      engine_metrics().forward_ms.record(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      return v;
+    }();
     const Shape& os = out.shape();  // [padded, C_out, H, W]
     SAUFNO_CHECK(os.size() == 4 && os[0] == padded,
                  "model returned unexpected shape " + shape_str(os));
-    Tensor decoded =
-        norm_ ? norm_->decode_targets(out.value()) : out.value();
+    Tensor decoded;
+    {
+      SAUFNO_TRACE_SPAN("engine.denormalize");
+      decoded = norm_ ? norm_->decode_targets(out.value()) : out.value();
+    }
     const Shape result_shape{os[1], os[2], os[3]};
     const int64_t out_sample = numel_of(result_shape);
     // Record stats BEFORE fulfilling promises so a caller that observes its
     // future ready also observes this batch in stats().
     record_batch_done(/*record_latencies=*/true);
+    SAUFNO_TRACE_SPAN("engine.scatter");
     for (int64_t i = 0; i < bsz; ++i) {
       // Plain heap tensors, deliberately NOT Tensor::scratch: results cross
       // the engine/client thread boundary and die wherever the caller drops
@@ -211,27 +277,32 @@ void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
 }
 
 InferenceStats InferenceEngine::stats() const {
-  std::lock_guard<std::mutex> lk(stats_m_);
   InferenceStats s;
-  s.requests = requests_done_;
-  s.batches = batches_;
+  {
+    // The lock covers only the scalar counters + busy window; percentiles
+    // come from the histogram outside it (the seed copied AND fully sorted
+    // an 8192-entry ring under this mutex on every call, stalling the
+    // batcher's completion path whenever anyone polled stats).
+    std::lock_guard<std::mutex> lk(stats_m_);
+    s.requests = requests_done_;
+    s.batches = batches_;
+    // Busy window only — an engine idle before its first request (or after
+    // its last batch) reports its actual serving rate, not a lifetime
+    // average diluted by idle time.
+    s.wall_seconds =
+        window_open_
+            ? std::chrono::duration<double>(window_end_ - window_start_).count()
+            : 0.0;
+  }
   s.avg_batch_size =
-      batches_ > 0 ? static_cast<double>(requests_done_) / batches_ : 0.0;
-  // Busy window only — an engine idle before its first request (or after
-  // its last batch) reports its actual serving rate, not a lifetime
-  // average diluted by idle time.
-  s.wall_seconds =
-      window_open_
-          ? std::chrono::duration<double>(window_end_ - window_start_).count()
-          : 0.0;
+      s.batches > 0 ? static_cast<double>(s.requests) / s.batches : 0.0;
   s.throughput_rps =
-      s.wall_seconds > 0.0 ? static_cast<double>(requests_done_) / s.wall_seconds : 0.0;
-  std::vector<double> sorted = latencies_ms_;
-  std::sort(sorted.begin(), sorted.end());
-  s.latency_p50_ms = percentile(sorted, 0.50);
-  s.latency_p95_ms = percentile(sorted, 0.95);
-  s.latency_p99_ms = percentile(sorted, 0.99);
-  s.latency_max_ms = sorted.empty() ? 0.0 : sorted.back();
+      s.wall_seconds > 0.0 ? static_cast<double>(s.requests) / s.wall_seconds
+                           : 0.0;
+  s.latency_p50_ms = latency_hist_.quantile(0.50);
+  s.latency_p95_ms = latency_hist_.quantile(0.95);
+  s.latency_p99_ms = latency_hist_.quantile(0.99);
+  s.latency_max_ms = latency_hist_.max();
   const ArenaStats arena = arena_stats();
   s.arena_hits = arena.hits;
   s.arena_misses = arena.misses;

@@ -1,7 +1,30 @@
 #include "runtime/request_queue.h"
 
+#include "obs/metrics.h"
+
 namespace saufno {
 namespace runtime {
+namespace {
+
+/// Queue telemetry, aggregated across every RequestQueue in the process
+/// (instances are per-engine; depth uses gauge add/sub so concurrent
+/// queues sum correctly). Recorded under the queue mutex — all plain
+/// relaxed RMWs, noise next to the lock itself.
+struct QueueMetrics {
+  obs::Counter& pushed = obs::counter("queue.requests_pushed");
+  obs::Counter& batches = obs::counter("queue.batches_popped");
+  obs::Gauge& depth = obs::gauge("queue.depth");
+  obs::Histogram& occupancy = obs::histogram("queue.batch_occupancy");
+  obs::Histogram& head_wait_ms = obs::histogram("queue.head_wait_ms");
+  obs::Histogram& live_shards = obs::histogram("queue.live_shards");
+};
+
+QueueMetrics& queue_metrics() {
+  static QueueMetrics m;
+  return m;
+}
+
+}  // namespace
 
 bool RequestQueue::push(InferenceRequest req) {
   {
@@ -9,6 +32,8 @@ bool RequestQueue::push(InferenceRequest req) {
     if (shutdown_) return false;  // batcher may already have drained + exited
     shards_[req.input.shape()].push_back(std::move(req));
     ++pending_;
+    queue_metrics().pushed.add();
+    queue_metrics().depth.add(1);
   }
   cv_.notify_one();
   return true;
@@ -58,7 +83,21 @@ std::vector<InferenceRequest> RequestQueue::pop_batch(std::size_t max_batch,
     --pending_;
   }
   last_served_ = it->first;
+  const std::size_t live_shards = shards_.size();  // incl. the one served
   if (shard.empty()) shards_.erase(it);
+  // Batch-shape telemetry: how full batches actually run, how long heads
+  // waited for stragglers, and how many shapes were live when this batch
+  // shipped — the occupancy histogram is the observable the batching
+  // deadline and max_batch knobs get tuned against.
+  QueueMetrics& qm = queue_metrics();
+  qm.batches.add();
+  qm.depth.add(-static_cast<int64_t>(batch.size()));
+  qm.occupancy.record(static_cast<double>(batch.size()));
+  qm.live_shards.record(static_cast<double>(live_shards));
+  qm.head_wait_ms.record(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - batch.front().enqueued_at)
+          .count());
   return batch;
 }
 

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#include <chrono>
+
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "train/model_zoo.h"
 
@@ -53,6 +57,8 @@ Tensor RolloutSession::await_step() {
   norm_state_ = std::move(out);
   kelvin_state_ = norm_->decode_targets(norm_state_);
   ++steps_;
+  static obs::Counter& steps_served = obs::counter("rollout.steps");
+  steps_served.add();
   return kelvin_state_;
 }
 
@@ -114,17 +120,23 @@ std::vector<Tensor> RolloutEngine::run(
                               p.size(3)});
     max_k = std::max(max_k, p.size(0));
   }
+  static obs::Histogram& wave_ms = obs::histogram("rollout.wave_ms");
   for (int64_t k = 0; k < max_k; ++k) {
-    // Submit the whole wave before awaiting any of it: step k of every
-    // still-active session lands in the queue together and coalesces.
-    for (std::size_t s = 0; s < n; ++s) {
-      if (k >= power_sequences[s].size(0)) continue;
-      sessions[s]->submit_step(
-          slice(power_sequences[s], 0, k, 1)
-              .reshape({power_sequences[s].size(1),
-                        power_sequences[s].size(2),
-                        power_sequences[s].size(3)}));
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      // Submit the whole wave before awaiting any of it: step k of every
+      // still-active session lands in the queue together and coalesces.
+      SAUFNO_TRACE_SPAN("rollout.submit_wave");
+      for (std::size_t s = 0; s < n; ++s) {
+        if (k >= power_sequences[s].size(0)) continue;
+        sessions[s]->submit_step(
+            slice(power_sequences[s], 0, k, 1)
+                .reshape({power_sequences[s].size(1),
+                          power_sequences[s].size(2),
+                          power_sequences[s].size(3)}));
+      }
     }
+    SAUFNO_TRACE_SPAN("rollout.await_wave");
     for (std::size_t s = 0; s < n; ++s) {
       if (k >= power_sequences[s].size(0)) continue;
       const Tensor kelvin = sessions[s]->await_step();
@@ -132,6 +144,9 @@ std::vector<Tensor> RolloutEngine::run(
       std::memcpy(trajectories[s].data() + k * row, kelvin.data(),
                   sizeof(float) * static_cast<std::size_t>(row));
     }
+    wave_ms.record(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
   }
   return trajectories;
 }

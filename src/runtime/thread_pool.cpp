@@ -1,7 +1,10 @@
 #include "runtime/thread_pool.h"
 
+#include <chrono>
+
 #include "common/env.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace saufno {
 namespace runtime {
@@ -14,6 +17,30 @@ int default_num_threads() {
   return env_int_in_range("SAUFNO_NUM_THREADS", hw, 1, 1024);
 }
 
+int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Pool telemetry. Counters are process-wide (the pool is a singleton);
+/// idle time is measured only around the cv sleep (2 clock reads per
+/// sleep/wake cycle — off the task-execution fast path), and per-task busy
+/// time only under SAUFNO_PROFILE_KERNELS so a fine-grained parallel_for is
+/// never taxed with clock reads by default.
+struct PoolMetrics {
+  obs::Counter& submitted = obs::counter("pool.tasks_submitted");
+  obs::Counter& inline_runs = obs::counter("pool.tasks_inline");
+  obs::Counter& steals = obs::counter("pool.tasks_stolen");
+  obs::Counter& idle_us = obs::counter("pool.worker_idle_us");
+  obs::Counter& busy_us = obs::counter("pool.worker_busy_us");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
 }  // namespace
 
 ThreadPool& ThreadPool::instance() {
@@ -21,9 +48,20 @@ ThreadPool& ThreadPool::instance() {
   return pool;
 }
 
-ThreadPool::ThreadPool(int n) { start(n); }
+ThreadPool::ThreadPool(int n) {
+  start(n);
+  obs::Registry::instance().register_callback(
+      "pool.queue_depth",
+      [this] { return static_cast<double>(queued_tasks()); });
+  obs::Registry::instance().register_callback(
+      "pool.lanes", [this] { return static_cast<double>(num_threads()); });
+}
 
-ThreadPool::~ThreadPool() { stop_and_join(); }
+ThreadPool::~ThreadPool() {
+  obs::Registry::instance().unregister_callback("pool.queue_depth");
+  obs::Registry::instance().unregister_callback("pool.lanes");
+  stop_and_join();
+}
 
 void ThreadPool::start(int n) {
   if (n < 1) n = 1;
@@ -64,10 +102,13 @@ void ThreadPool::resize(int n) {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& pm = pool_metrics();
   if (workers_.empty()) {
+    pm.inline_runs.add();
     task();
     return;
   }
+  pm.submitted.add();
   const std::size_t idx =
       static_cast<std::size_t>(next_queue_.fetch_add(1, std::memory_order_relaxed)) %
       workers_.size();
@@ -105,12 +146,19 @@ bool ThreadPool::run_one(std::size_t id) {
       if (!v.q.empty()) {
         task = std::move(v.q.front());
         v.q.pop_front();
+        pool_metrics().steals.add();
       }
     }
   }
   if (!task) return false;
   task_count_.fetch_sub(1, std::memory_order_acq_rel);
-  task();
+  if (obs::profile_kernels()) {
+    const int64_t t0 = now_us();
+    task();
+    pool_metrics().busy_us.add(now_us() - t0);
+  } else {
+    task();
+  }
   return true;
 }
 
@@ -118,10 +166,12 @@ void ThreadPool::worker_loop(std::size_t id) {
   for (;;) {
     if (run_one(id)) continue;
     std::unique_lock<std::mutex> lk(wake_m_);
+    const int64_t t0 = now_us();
     wake_cv_.wait(lk, [this] {
       return stop_.load(std::memory_order_relaxed) ||
              task_count_.load(std::memory_order_acquire) > 0;
     });
+    pool_metrics().idle_us.add(now_us() - t0);
     if (stop_.load(std::memory_order_relaxed) &&
         task_count_.load(std::memory_order_acquire) == 0) {
       return;

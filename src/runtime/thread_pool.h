@@ -50,6 +50,12 @@ class ThreadPool {
   /// 1) the task runs inline on the calling thread.
   void submit(std::function<void()> task);
 
+  /// Tasks currently queued (submitted, not yet started). Scrape-side
+  /// accessor for the `pool.queue_depth` callback gauge.
+  int64_t queued_tasks() const {
+    return task_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   explicit ThreadPool(int n);
   void start(int n);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "obs/kernel_profile.h"
 #include "runtime/parallel_for.h"
 #include "runtime/workspace.h"
 #include "tensor/simd.h"
@@ -181,6 +182,10 @@ void gemm_blocked(const float* a, const float* b, float* c, int64_t m,
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
           int64_t k, bool accumulate) {
+  // SAUFNO_PROFILE_KERNELS: time every gemm into the registry (and the
+  // trace when one is live). Off by default — a relaxed load and a branch.
+  static obs::Histogram& prof_hist = obs::histogram("kernel.gemm_us");
+  obs::KernelTimer prof_timer(prof_hist, "kernel.gemm");
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
     // Empty contraction: C (+)= 0.
