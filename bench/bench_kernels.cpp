@@ -4,12 +4,17 @@
 // 64x64 grids), plus an end-to-end SAU-FNO forward with gemm routed through
 // each implementation.
 //
+// Also times the compiled-execution-plan forward (plan::PlanRunner) against
+// the define-by-run interpreter on the same weights and input: the two are
+// bit-identical by construction, so the delta is pure dispatch/fusion/arena
+// win.
+//
 // Results are printed AND written to BENCH_kernels.json so the performance
 // trajectory is machine-trackable across PRs. `--smoke` (or SAUFNO_SMOKE=1)
 // shrinks sizes so CI runs in seconds; in smoke mode the binary exits
 // nonzero if the new gemm is SLOWER than the seed kernel at the reference
-// shape, so a kernel-core perf regression fails CI instead of just
-// flattening a graph.
+// shape, or if the plan-mode forward is slower than the interpreted one —
+// either perf regression fails CI instead of just flattening a graph.
 
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +28,8 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "obs/export.h"
+#include "plan/executor.h"
+#include "plan/runner.h"
 #include "tensor/kernels.h"
 #include "tensor/simd.h"
 #include "tensor/tensor.h"
@@ -130,8 +137,63 @@ double bench_end_to_end(bool smoke, double* fwd_per_sec_out) {
   return sec_seed / sec_new;
 }
 
+struct PlanBench {
+  double compile_ms = 0.0;
+  double speedup = 0.0;  // interpreted sec/call over plan sec/call
+  int64_t instr_count = 0;
+  int64_t fused_kernels = 0;
+  int64_t folded_ops = 0;
+};
+
+/// Compiled plan vs interpreter on the same model/input. The outputs are
+/// bit-identical (tests/test_plan.cpp proves it), so this only measures the
+/// fused-dispatch win. Compile cost is reported as first-call time minus a
+/// steady-state call, i.e. what one cache miss actually adds to a request.
+PlanBench bench_plan(bool smoke) {
+  const int64_t B = smoke ? 2 : 8;
+  const int64_t H = smoke ? 16 : 64, W = H;
+  auto model = train::make_model(smoke ? "SAU-FNO-micro" : "SAU-FNO", 3, 1,
+                                 /*seed=*/7);
+  model->set_training(false);
+  Rng rng(13);
+  Tensor x = Tensor::randn({B, 3, H, W}, rng);
+  const int iters = smoke ? 4 : 10;
+
+  plan::PlanRunner interp(model, plan::Mode::kOff);
+  plan::PlanRunner planned(model, plan::Mode::kOn);
+
+  (void)interp.forward(x);  // warm FFT plans + arena freelists
+  Timer t;
+  (void)planned.forward(x);  // first call traces + compiles + runs
+  const double first_call = t.seconds();
+
+  const double sec_interp =
+      time_per_call(iters, [&] { (void)interp.forward(x); });
+  const double sec_plan =
+      time_per_call(iters, [&] { (void)planned.forward(x); });
+
+  PlanBench r;
+  r.compile_ms = std::max(0.0, (first_call - sec_plan) * 1e3);
+  r.speedup = sec_interp / sec_plan;
+  if (auto exec = planned.executor_for(x.shape())) {
+    r.instr_count = static_cast<int64_t>(exec->plan().instrs.size());
+    r.fused_kernels = exec->plan().fused_ops;
+    r.folded_ops = exec->plan().folded_ops;
+  }
+  std::printf("\nplan vs interpreter (B=%lld, %lldx%lld): %.2f ms -> %.2f ms  "
+              "%.2fx  (compile %.1f ms, %lld instrs, %lld fused, %lld "
+              "folded)\n",
+              static_cast<long long>(B), static_cast<long long>(H),
+              static_cast<long long>(W), sec_interp * 1e3, sec_plan * 1e3,
+              r.speedup, r.compile_ms, static_cast<long long>(r.instr_count),
+              static_cast<long long>(r.fused_kernels),
+              static_cast<long long>(r.folded_ops));
+  return r;
+}
+
 void write_json(const char* path, bool smoke, double ref_speedup,
-                double e2e_speedup, double fwd_per_sec) {
+                double e2e_speedup, double fwd_per_sec,
+                const PlanBench& plan) {
   JsonWriter w;
   w.begin_object();
   w.field("bench", "bench_kernels");
@@ -140,6 +202,11 @@ void write_json(const char* path, bool smoke, double ref_speedup,
   w.field("gemm_speedup_reference_shape", ref_speedup, 4);
   w.field("end_to_end_forward_speedup", e2e_speedup, 4);
   w.field("end_to_end_forward_per_sec", fwd_per_sec, 4);
+  w.field("plan_compile_ms", plan.compile_ms, 4);
+  w.field("plan_vs_interp_speedup", plan.speedup, 4);
+  w.field("plan_instr_count", plan.instr_count);
+  w.field("plan_fused_kernels", plan.fused_kernels);
+  w.field("plan_folded_ops", plan.folded_ops);
   w.key("results");
   w.begin_array();
   for (const auto& e : g_entries) {
@@ -194,13 +261,21 @@ int main(int argc, char** argv) {
 
   double fwd_per_sec = 0.0;
   const double e2e = bench_end_to_end(smoke, &fwd_per_sec);
+  const PlanBench plan = bench_plan(smoke);
 
-  write_json("BENCH_kernels.json", smoke, ref.speedup, e2e, fwd_per_sec);
+  write_json("BENCH_kernels.json", smoke, ref.speedup, e2e, fwd_per_sec,
+             plan);
 
+  int rc = 0;
   if (smoke && ref.speedup < 1.0) {
     std::printf("FAIL: blocked gemm slower than the seed kernel at the "
                 "reference shape (%.2fx)\n", ref.speedup);
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (smoke && plan.speedup < 1.0) {
+    std::printf("FAIL: plan-mode forward slower than the interpreter "
+                "(%.2fx)\n", plan.speedup);
+    rc = 1;
+  }
+  return rc;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "plan/trace.h"
 #include "runtime/workspace.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor_ops.h"
@@ -15,47 +16,99 @@ using detail::Node;
 using detail::accumulate_grad;
 }  // namespace
 
-Var conv2d(const Var& x, const Var& w, const Var& b, int64_t stride,
-           int64_t pad) {
-  SAUFNO_CHECK(x.value().dim() == 4, "conv2d input must be [B,C,H,W]");
-  SAUFNO_CHECK(w.value().dim() == 4, "conv2d weight must be [Cout,Cin,kh,kw]");
-  const int64_t B = x.size(0), cin = x.size(1), h = x.size(2), w_in = x.size(3);
+namespace fwd {
+
+void conv2d_into(const Tensor& x, const Tensor& w, const Tensor* bias,
+                 int64_t stride, int64_t pad, int act, Tensor& out) {
+  SAUFNO_CHECK(x.dim() == 4, "conv2d input must be [B,C,H,W]");
+  SAUFNO_CHECK(w.dim() == 4, "conv2d weight must be [Cout,Cin,kh,kw]");
+  const int64_t B = x.size(0), cin = x.size(1), h = x.size(2),
+                w_in = x.size(3);
   const int64_t cout = w.size(0), kh = w.size(2), kw = w.size(3);
   SAUFNO_CHECK(w.size(1) == cin, "conv2d channel mismatch: input has " +
-                                     std::to_string(cin) + ", weight expects " +
+                                     std::to_string(cin) +
+                                     ", weight expects " +
                                      std::to_string(w.size(1)));
   const int64_t oh = conv_out_size(h, kh, stride, pad);
   const int64_t ow = conv_out_size(w_in, kw, stride, pad);
   SAUFNO_CHECK(oh > 0 && ow > 0, "conv2d output would be empty");
   const int64_t ck = cin * kh * kw;
   const int64_t plane = oh * ow;
-
-  Tensor out({B, cout, oh, ow});
-  runtime::Scratch<float> cols(static_cast<std::size_t>(ck * plane));
-  const bool has_bias = b.defined();
-  if (has_bias) {
-    SAUFNO_CHECK(b.value().dim() == 1 && b.size(0) == cout,
+  SAUFNO_CHECK(out.numel() == B * cout * plane,
+               "conv2d destination numel mismatch");
+  if (bias != nullptr) {
+    SAUFNO_CHECK(bias->dim() == 1 && bias->size(0) == cout,
                  "conv2d bias must be [Cout]");
   }
 
+  runtime::Scratch<float> cols(static_cast<std::size_t>(ck * plane));
   for (int64_t n = 0; n < B; ++n) {
-    im2col(x.value().data() + n * cin * h * w_in, cols.data(), cin, h, w_in,
-           kh, kw, stride, pad);
+    im2col(x.data() + n * cin * h * w_in, cols.data(), cin, h, w_in, kh, kw,
+           stride, pad);
     float* dst = out.data() + n * cout * plane;
     // out[n] = W[cout, ck] * cols[ck, plane]
-    gemm(w.value().data(), cols.data(), dst, cout, plane, ck,
+    gemm(w.data(), cols.data(), dst, cout, plane, ck,
          /*accumulate=*/false);
-    if (has_bias) {
-      const float* bias = b.value().data();
+    if (bias != nullptr) {
+      const float* bp = bias->data();
       for (int64_t co = 0; co < cout; ++co) {
         float* row = dst + co * plane;
-        for (int64_t i = 0; i < plane; ++i) row[i] += bias[co];
+        for (int64_t i = 0; i < plane; ++i) row[i] += bp[co];
+      }
+    }
+    if (act != 0) {
+      for (int64_t i = 0; i < cout * plane; ++i) {
+        dst[i] = act_apply(act, dst[i]);
       }
     }
   }
+}
 
+void maxpool2d_into(const Tensor& x, int64_t kernel, int64_t* argmax,
+                    Tensor& out) {
+  SAUFNO_CHECK(x.dim() == 4, "maxpool2d input must be [B,C,H,W]");
+  const int64_t B = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  SAUFNO_CHECK(h >= kernel && w >= kernel,
+               "maxpool2d: input smaller than kernel");
+  const int64_t oh = conv_out_size(h, kernel, kernel, 0);
+  const int64_t ow = conv_out_size(w, kernel, kernel, 0);
+  SAUFNO_CHECK(out.numel() == B * c * oh * ow,
+               "maxpool2d destination numel mismatch");
+  runtime::Scratch<int64_t> local(
+      static_cast<std::size_t>(argmax == nullptr ? c * oh * ow : 1));
+  for (int64_t n = 0; n < B; ++n) {
+    int64_t* arg =
+        argmax != nullptr ? argmax + n * c * oh * ow : local.data();
+    saufno::maxpool2d(x.data() + n * c * h * w, out.data() + n * c * oh * ow,
+                      arg, c, h, w, kernel, kernel);
+  }
+}
+
+}  // namespace fwd
+
+Var conv2d(const Var& x, const Var& w, const Var& b, int64_t stride,
+           int64_t pad) {
+  SAUFNO_CHECK(x.value().dim() == 4, "conv2d input must be [B,C,H,W]");
+  SAUFNO_CHECK(w.value().dim() == 4, "conv2d weight must be [Cout,Cin,kh,kw]");
+  const int64_t B = x.size(0), cin = x.size(1), h = x.size(2), w_in = x.size(3);
+  const int64_t cout = w.size(0), kh = w.size(2), kw = w.size(3);
+  const int64_t oh = conv_out_size(h, w.size(2), stride, pad);
+  const int64_t ow = conv_out_size(w_in, w.size(3), stride, pad);
+  const int64_t ck = cin * kh * kw;
+  const int64_t plane = oh * ow;
+  const bool has_bias = b.defined();
+
+  Tensor out({B, cout, oh, ow});
+  fwd::conv2d_into(x.value(), w.value(), has_bias ? &b.value() : nullptr,
+                   stride, pad, /*act=*/0, out);
+
+  plan::tr::Attrs attrs;
+  attrs.ivals = {stride, pad, has_bias ? 1 : 0};
   if (!any_requires_grad({x, w, b.defined() ? b : Var()})) {
-    return Var(std::move(out));
+    // The undefined bias Var is skipped by the tracer; ivals' has_bias flag
+    // tells the executor how many inputs to expect.
+    return plan::tr::record(plan::OpCode::kConv2d, {&x, &w, &b},
+                            Var(std::move(out)), attrs);
   }
   std::vector<Var> inputs = {x, w};
   if (has_bias) inputs.push_back(b);
@@ -106,7 +159,8 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int64_t stride,
     accumulate_grad(iw, gw);
     if (has_bias) accumulate_grad(ib, gb);
   };
-  return Var::from_op(std::move(out), node);
+  return plan::tr::record(plan::OpCode::kConv2d, {&x, &w, &b},
+                          Var::from_op(std::move(out), node), attrs);
 }
 
 Var maxpool2d(const Var& x, int64_t kernel) {
@@ -119,13 +173,13 @@ Var maxpool2d(const Var& x, int64_t kernel) {
   Tensor out({B, c, oh, ow});
   auto argmax = std::make_shared<std::vector<int64_t>>(
       static_cast<std::size_t>(B * c * oh * ow));
-  for (int64_t n = 0; n < B; ++n) {
-    saufno::maxpool2d(x.value().data() + n * c * h * w,
-                      out.data() + n * c * oh * ow,
-                      argmax->data() + n * c * oh * ow, c, h, w, kernel,
-                      kernel);
+  fwd::maxpool2d_into(x.value(), kernel, argmax->data(), out);
+  plan::tr::Attrs attrs;
+  attrs.ivals = {kernel};
+  if (!should_record(x)) {
+    return plan::tr::record(plan::OpCode::kMaxPool2d, {&x},
+                            Var(std::move(out)), attrs);
   }
-  if (!should_record(x)) return Var(std::move(out));
   auto node = std::make_shared<Node>();
   node->name = "maxpool2d";
   node->inputs.push_back(x.impl());
@@ -146,7 +200,8 @@ Var maxpool2d(const Var& x, int64_t kernel) {
     }
     accumulate_grad(ix, gx);
   };
-  return Var::from_op(std::move(out), node);
+  return plan::tr::record(plan::OpCode::kMaxPool2d, {&x},
+                          Var::from_op(std::move(out), node), attrs);
 }
 
 }  // namespace ops

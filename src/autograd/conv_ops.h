@@ -5,6 +5,26 @@
 namespace saufno {
 namespace ops {
 
+namespace fwd {
+
+/// Raw conv2d forward (im2col + gemm per image) shared by the autograd op
+/// and the plan executor — one implementation is what keeps compiled plans
+/// bit-identical to the interpreter. `bias` may be null. `act` is an
+/// act_apply code (0 none, 1 relu, 2 gelu, 3 tanh) applied after the bias;
+/// the fused application matches a separate activation op exactly because
+/// the per-element expressions are the same. `out` must be [B,Cout,oh,ow]
+/// (contents ignored; fully overwritten).
+void conv2d_into(const Tensor& x, const Tensor& w, const Tensor* bias,
+                 int64_t stride, int64_t pad, int act, Tensor& out);
+
+/// Raw maxpool forward (kernel == stride). `argmax` receives the winning
+/// flat in-plane index per pooled element (B*C*oh*ow entries) for the
+/// backward scatter; pass null when gradients are not needed.
+void maxpool2d_into(const Tensor& x, int64_t kernel, int64_t* argmax,
+                    Tensor& out);
+
+}  // namespace fwd
+
 /// Differentiable 2-D convolution.
 ///   x: [B, Cin, H, W]
 ///   w: [Cout, Cin, kh, kw]

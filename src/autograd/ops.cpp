@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "plan/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace saufno {
@@ -12,6 +13,8 @@ namespace {
 using detail::Node;
 using detail::VarImpl;
 using detail::accumulate_grad;
+using plan::OpCode;
+namespace tr = plan::tr;
 
 std::shared_ptr<Node> make_node(std::string name, std::vector<Var> inputs) {
   auto node = std::make_shared<Node>();
@@ -23,45 +26,58 @@ std::shared_ptr<Node> make_node(std::string name, std::vector<Var> inputs) {
 
 }  // namespace
 
+// Every op funnels its return through plan::tr::record, which is a no-op
+// (one thread-local load) unless a TraceSession is active on this thread —
+// that hook is how the plan compiler sees the forward dataflow without the
+// model code changing.
+
 Var add(const Var& a, const Var& b) {
   Tensor out = saufno::add(a.value(), b.value());
-  if (!any_requires_grad({a, b})) return Var(std::move(out));
+  if (!any_requires_grad({a, b})) {
+    return tr::record(OpCode::kAdd, {&a, &b}, Var(std::move(out)));
+  }
   auto node = make_node("add", {a, b});
   auto ia = a.impl(), ib = b.impl();
   node->backward = [ia, ib](const Tensor& g) {
     accumulate_grad(ia, reduce_to(g, ia->value.shape()));
     accumulate_grad(ib, reduce_to(g, ib->value.shape()));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kAdd, {&a, &b}, Var::from_op(std::move(out), node));
 }
 
 Var sub(const Var& a, const Var& b) {
   Tensor out = saufno::sub(a.value(), b.value());
-  if (!any_requires_grad({a, b})) return Var(std::move(out));
+  if (!any_requires_grad({a, b})) {
+    return tr::record(OpCode::kSub, {&a, &b}, Var(std::move(out)));
+  }
   auto node = make_node("sub", {a, b});
   auto ia = a.impl(), ib = b.impl();
   node->backward = [ia, ib](const Tensor& g) {
     accumulate_grad(ia, reduce_to(g, ia->value.shape()));
     accumulate_grad(ib, reduce_to(saufno::neg(g), ib->value.shape()));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kSub, {&a, &b}, Var::from_op(std::move(out), node));
 }
 
 Var mul(const Var& a, const Var& b) {
   Tensor out = saufno::mul(a.value(), b.value());
-  if (!any_requires_grad({a, b})) return Var(std::move(out));
+  if (!any_requires_grad({a, b})) {
+    return tr::record(OpCode::kMul, {&a, &b}, Var(std::move(out)));
+  }
   auto node = make_node("mul", {a, b});
   auto ia = a.impl(), ib = b.impl();
   node->backward = [ia, ib](const Tensor& g) {
     accumulate_grad(ia, reduce_to(saufno::mul(g, ib->value), ia->value.shape()));
     accumulate_grad(ib, reduce_to(saufno::mul(g, ia->value), ib->value.shape()));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kMul, {&a, &b}, Var::from_op(std::move(out), node));
 }
 
 Var div(const Var& a, const Var& b) {
   Tensor out = saufno::div(a.value(), b.value());
-  if (!any_requires_grad({a, b})) return Var(std::move(out));
+  if (!any_requires_grad({a, b})) {
+    return tr::record(OpCode::kDiv, {&a, &b}, Var(std::move(out)));
+  }
   auto node = make_node("div", {a, b});
   auto ia = a.impl(), ib = b.impl();
   node->backward = [ia, ib](const Tensor& g) {
@@ -72,27 +88,37 @@ Var div(const Var& a, const Var& b) {
                     saufno::mul(ib->value, ib->value)));
     accumulate_grad(ib, reduce_to(gb, ib->value.shape()));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kDiv, {&a, &b}, Var::from_op(std::move(out), node));
 }
 
 Var add_scalar(const Var& a, float s) {
+  tr::Attrs attrs;
+  attrs.fval = s;
   Tensor out = saufno::add_scalar(a.value(), s);
-  if (!should_record(a)) return Var(std::move(out));
+  if (!should_record(a)) {
+    return tr::record(OpCode::kAddScalar, {&a}, Var(std::move(out)), attrs);
+  }
   auto node = make_node("add_scalar", {a});
   auto ia = a.impl();
   node->backward = [ia](const Tensor& g) { accumulate_grad(ia, g); };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kAddScalar, {&a},
+                    Var::from_op(std::move(out), node), attrs);
 }
 
 Var mul_scalar(const Var& a, float s) {
+  tr::Attrs attrs;
+  attrs.fval = s;
   Tensor out = saufno::mul_scalar(a.value(), s);
-  if (!should_record(a)) return Var(std::move(out));
+  if (!should_record(a)) {
+    return tr::record(OpCode::kMulScalar, {&a}, Var(std::move(out)), attrs);
+  }
   auto node = make_node("mul_scalar", {a});
   auto ia = a.impl();
   node->backward = [ia, s](const Tensor& g) {
     accumulate_grad(ia, saufno::mul_scalar(g, s));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kMulScalar, {&a},
+                    Var::from_op(std::move(out), node), attrs);
 }
 
 Var neg(const Var& a) { return mul_scalar(a, -1.f); }
@@ -100,21 +126,23 @@ Var neg(const Var& a) { return mul_scalar(a, -1.f); }
 // Generic unary-op builder: f computes the value, dfdx(x) the local slope.
 namespace {
 template <typename FwdF, typename GradF>
-Var unary_op(const char* name, const Var& a, FwdF fwd, GradF grad_of_input) {
+Var unary_op(const char* name, OpCode op, const Var& a, FwdF fwd,
+             GradF grad_of_input) {
   Tensor out = fwd(a.value());
-  if (!should_record(a)) return Var(std::move(out));
+  if (!should_record(a)) return tr::record(op, {&a}, Var(std::move(out)));
   auto node = make_node(name, {a});
   auto ia = a.impl();
   node->backward = [ia, grad_of_input](const Tensor& g) {
     accumulate_grad(ia, saufno::mul(g, grad_of_input(ia->value)));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(op, {&a}, Var::from_op(std::move(out), node));
 }
 }  // namespace
 
 Var relu(const Var& a) {
   return unary_op(
-      "relu", a, [](const Tensor& x) { return saufno::relu(x); },
+      "relu", OpCode::kRelu, a,
+      [](const Tensor& x) { return saufno::relu(x); },
       [](const Tensor& x) {
         return saufno::map(x, [](float v) { return v > 0.f ? 1.f : 0.f; });
       });
@@ -122,13 +150,15 @@ Var relu(const Var& a) {
 
 Var gelu(const Var& a) {
   return unary_op(
-      "gelu", a, [](const Tensor& x) { return saufno::gelu(x); },
+      "gelu", OpCode::kGelu, a,
+      [](const Tensor& x) { return saufno::gelu(x); },
       [](const Tensor& x) { return saufno::gelu_grad(x); });
 }
 
 Var tanh(const Var& a) {
   return unary_op(
-      "tanh", a, [](const Tensor& x) { return saufno::tanh(x); },
+      "tanh", OpCode::kTanh, a,
+      [](const Tensor& x) { return saufno::tanh(x); },
       [](const Tensor& x) {
         return saufno::map(x, [](float v) {
           const float t = std::tanh(v);
@@ -139,7 +169,8 @@ Var tanh(const Var& a) {
 
 Var sigmoid(const Var& a) {
   return unary_op(
-      "sigmoid", a, [](const Tensor& x) { return saufno::sigmoid(x); },
+      "sigmoid", OpCode::kSigmoid, a,
+      [](const Tensor& x) { return saufno::sigmoid(x); },
       [](const Tensor& x) {
         return saufno::map(x, [](float v) {
           const float s = 1.f / (1.f + std::exp(-v));
@@ -150,13 +181,15 @@ Var sigmoid(const Var& a) {
 
 Var exp(const Var& a) {
   return unary_op(
-      "exp", a, [](const Tensor& x) { return saufno::exp(x); },
+      "exp", OpCode::kExp, a,
+      [](const Tensor& x) { return saufno::exp(x); },
       [](const Tensor& x) { return saufno::exp(x); });
 }
 
 Var log(const Var& a) {
   return unary_op(
-      "log", a, [](const Tensor& x) { return saufno::log(x); },
+      "log", OpCode::kLog, a,
+      [](const Tensor& x) { return saufno::log(x); },
       [](const Tensor& x) {
         return saufno::map(x, [](float v) { return 1.f / v; });
       });
@@ -164,7 +197,8 @@ Var log(const Var& a) {
 
 Var sqrt(const Var& a) {
   return unary_op(
-      "sqrt", a, [](const Tensor& x) { return saufno::sqrt(x); },
+      "sqrt", OpCode::kSqrt, a,
+      [](const Tensor& x) { return saufno::sqrt(x); },
       [](const Tensor& x) {
         return saufno::map(x, [](float v) { return 0.5f / std::sqrt(v); });
       });
@@ -172,14 +206,15 @@ Var sqrt(const Var& a) {
 
 Var square(const Var& a) {
   return unary_op(
-      "square", a,
+      "square", OpCode::kSquare, a,
       [](const Tensor& x) { return saufno::mul(x, x); },
       [](const Tensor& x) { return saufno::mul_scalar(x, 2.f); });
 }
 
 Var abs(const Var& a) {
   return unary_op(
-      "abs", a, [](const Tensor& x) { return saufno::abs(x); },
+      "abs", OpCode::kAbs, a,
+      [](const Tensor& x) { return saufno::abs(x); },
       [](const Tensor& x) {
         return saufno::map(x, [](float v) {
           return v > 0.f ? 1.f : (v < 0.f ? -1.f : 0.f);
@@ -189,7 +224,9 @@ Var abs(const Var& a) {
 
 Var reshape(const Var& a, Shape new_shape) {
   Tensor out = a.value().reshape(std::move(new_shape));
-  if (!should_record(a)) return Var(std::move(out));
+  if (!should_record(a)) {
+    return tr::record(OpCode::kReshape, {&a}, Var(std::move(out)));
+  }
   auto node = make_node("reshape", {a});
   auto ia = a.impl();
   const Shape in_shape = a.shape();
@@ -198,12 +235,17 @@ Var reshape(const Var& a, Shape new_shape) {
     // consumer's grad buffer.
     accumulate_grad(ia, g.clone().reshape(in_shape));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kReshape, {&a},
+                    Var::from_op(std::move(out), node));
 }
 
 Var permute(const Var& a, const std::vector<int64_t>& perm) {
+  tr::Attrs attrs;
+  attrs.ivals = perm;
   Tensor out = saufno::permute(a.value(), perm);
-  if (!should_record(a)) return Var(std::move(out));
+  if (!should_record(a)) {
+    return tr::record(OpCode::kPermute, {&a}, Var(std::move(out)), attrs);
+  }
   auto node = make_node("permute", {a});
   auto ia = a.impl();
   std::vector<int64_t> inv(perm.size());
@@ -213,17 +255,21 @@ Var permute(const Var& a, const std::vector<int64_t>& perm) {
   node->backward = [ia, inv](const Tensor& g) {
     accumulate_grad(ia, saufno::permute(g, inv));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kPermute, {&a},
+                    Var::from_op(std::move(out), node), attrs);
 }
 
 Var slice(const Var& a, int64_t dim, int64_t start, int64_t length) {
+  const int64_t d = dim < 0 ? dim + a.value().dim() : dim;
+  tr::Attrs attrs;
+  attrs.ivals = {d, start, length};
   Tensor out = saufno::slice(a.value(), dim, start, length);
-  if (!should_record(a)) return Var(std::move(out));
+  if (!should_record(a)) {
+    return tr::record(OpCode::kSlice, {&a}, Var(std::move(out)), attrs);
+  }
   auto node = make_node("slice", {a});
   auto ia = a.impl();
   const Shape in_shape = a.shape();
-  const int64_t rank = a.value().dim();
-  const int64_t d = dim < 0 ? dim + rank : dim;
   node->backward = [ia, in_shape, d, start, length](const Tensor& g) {
     // Scatter the slice gradient into a zero tensor of the input shape.
     Tensor gin = Tensor::zeros(in_shape);
@@ -241,15 +287,21 @@ Var slice(const Var& a, int64_t dim, int64_t start, int64_t length) {
     }
     accumulate_grad(ia, gin);
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kSlice, {&a}, Var::from_op(std::move(out), node),
+                    attrs);
 }
 
 Var cat(const std::vector<Var>& vs, int64_t dim) {
   std::vector<Tensor> ts;
   ts.reserve(vs.size());
   for (const auto& v : vs) ts.push_back(v.value());
+  const int64_t d0 = dim < 0 ? dim + vs[0].value().dim() : dim;
   Tensor out = saufno::cat(ts, dim);
-  if (!any_requires_grad(vs)) return Var(std::move(out));
+  if (!any_requires_grad(vs)) {
+    Var r(std::move(out));
+    tr::record_cat(vs, r, d0);
+    return r;
+  }
   auto node = make_node("cat", vs);
   const int64_t rank = vs[0].value().dim();
   const int64_t d = dim < 0 ? dim + rank : dim;
@@ -264,13 +316,19 @@ Var cat(const std::vector<Var>& vs, int64_t dim) {
       off += sizes[i];
     }
   };
-  return Var::from_op(std::move(out), node);
+  Var r = Var::from_op(std::move(out), node);
+  tr::record_cat(vs, r, d);
+  return r;
 }
 
 Var pad2d(const Var& a, int64_t top, int64_t bottom, int64_t left,
           int64_t right) {
+  tr::Attrs attrs;
+  attrs.ivals = {top, bottom, left, right};
   Tensor out = saufno::pad2d(a.value(), top, bottom, left, right);
-  if (!should_record(a)) return Var(std::move(out));
+  if (!should_record(a)) {
+    return tr::record(OpCode::kPad2d, {&a}, Var(std::move(out)), attrs);
+  }
   auto node = make_node("pad2d", {a});
   auto ia = a.impl();
   const int64_t rank = a.value().dim();
@@ -281,12 +339,15 @@ Var pad2d(const Var& a, int64_t top, int64_t bottom, int64_t left,
     gi = saufno::slice(gi, rank - 1, left, w);
     accumulate_grad(ia, gi);
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kPad2d, {&a}, Var::from_op(std::move(out), node),
+                    attrs);
 }
 
 Var matmul(const Var& a, const Var& b) {
   Tensor out = saufno::matmul(a.value(), b.value());
-  if (!any_requires_grad({a, b})) return Var(std::move(out));
+  if (!any_requires_grad({a, b})) {
+    return tr::record(OpCode::kMatmul, {&a, &b}, Var(std::move(out)));
+  }
   auto node = make_node("matmul", {a, b});
   auto ia = a.impl(), ib = b.impl();
   node->backward = [ia, ib](const Tensor& g) {
@@ -294,12 +355,15 @@ Var matmul(const Var& a, const Var& b) {
     accumulate_grad(ia, saufno::matmul(g, transpose2d(ib->value)));
     accumulate_grad(ib, saufno::matmul(transpose2d(ia->value), g));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kMatmul, {&a, &b},
+                    Var::from_op(std::move(out), node));
 }
 
 Var bmm(const Var& a, const Var& b) {
   Tensor out = saufno::bmm(a.value(), b.value());
-  if (!any_requires_grad({a, b})) return Var(std::move(out));
+  if (!any_requires_grad({a, b})) {
+    return tr::record(OpCode::kBmm, {&a, &b}, Var(std::move(out)));
+  }
   auto node = make_node("bmm", {a, b});
   auto ia = a.impl(), ib = b.impl();
   node->backward = [ia, ib](const Tensor& g) {
@@ -320,10 +384,15 @@ Var bmm(const Var& a, const Var& b) {
     accumulate_grad(ia, ga);
     accumulate_grad(ib, gb);
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kBmm, {&a, &b},
+                    Var::from_op(std::move(out), node));
 }
 
 Var sum_all(const Var& a) {
+  // Scalar reductions exist for losses/metrics, not the serving forward;
+  // the plan IR does not model them, so a traced forward that reaches one
+  // poisons the session and the runner falls back to the interpreter.
+  tr::record_unsupported("sum_all");
   Tensor out({1}, {saufno::sum_all(a.value())});
   if (!should_record(a)) return Var(std::move(out));
   auto node = make_node("sum_all", {a});
@@ -340,12 +409,16 @@ Var mean_all(const Var& a) {
 }
 
 Var sum_dim(const Var& a, int64_t dim, bool keepdim) {
-  Tensor out = saufno::sum_dim(a.value(), dim, keepdim);
-  if (!should_record(a)) return Var(std::move(out));
-  auto node = make_node("sum_dim", {a});
-  auto ia = a.impl();
   const int64_t rank = a.value().dim();
   const int64_t d = dim < 0 ? dim + rank : dim;
+  tr::Attrs attrs;
+  attrs.ivals = {d, keepdim ? 1 : 0};
+  Tensor out = saufno::sum_dim(a.value(), dim, keepdim);
+  if (!should_record(a)) {
+    return tr::record(OpCode::kSumDim, {&a}, Var(std::move(out)), attrs);
+  }
+  auto node = make_node("sum_dim", {a});
+  auto ia = a.impl();
   node->backward = [ia, d, keepdim](const Tensor& g) {
     // Broadcast g back along the reduced dim.
     Tensor gk = g;
@@ -362,12 +435,15 @@ Var sum_dim(const Var& a, int64_t dim, bool keepdim) {
     accumulate_grad(
         ia, saufno::add(gk, Tensor::zeros(ia->value.shape())));  // broadcast
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kSumDim, {&a},
+                    Var::from_op(std::move(out), node), attrs);
 }
 
 Var softmax_lastdim(const Var& a) {
   Tensor out = saufno::softmax_lastdim(a.value());
-  if (!should_record(a)) return Var(std::move(out));
+  if (!should_record(a)) {
+    return tr::record(OpCode::kSoftmax, {&a}, Var(std::move(out)));
+  }
   auto node = make_node("softmax", {a});
   auto ia = a.impl();
   Tensor s = out;  // keep the softmax output for the backward rule
@@ -378,12 +454,18 @@ Var softmax_lastdim(const Var& a) {
     Tensor gx = saufno::mul(s, saufno::sub(g, row_sum));
     accumulate_grad(ia, gx);
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kSoftmax, {&a},
+                    Var::from_op(std::move(out), node));
 }
 
 Var resize_bilinear(const Var& a, int64_t oh, int64_t ow) {
+  tr::Attrs attrs;
+  attrs.ivals = {oh, ow};
   Tensor out = saufno::resize_bilinear(a.value(), oh, ow);
-  if (!should_record(a)) return Var(std::move(out));
+  if (!should_record(a)) {
+    return tr::record(OpCode::kResizeBilinear, {&a}, Var(std::move(out)),
+                      attrs);
+  }
   auto node = make_node("resize_bilinear", {a});
   auto ia = a.impl();
   const int64_t rank = a.value().dim();
@@ -392,7 +474,8 @@ Var resize_bilinear(const Var& a, int64_t oh, int64_t ow) {
   node->backward = [ia, ih, iw](const Tensor& g) {
     accumulate_grad(ia, saufno::resize_bilinear_adjoint(g, ih, iw));
   };
-  return Var::from_op(std::move(out), node);
+  return tr::record(OpCode::kResizeBilinear, {&a},
+                    Var::from_op(std::move(out), node), attrs);
 }
 
 Var mse_loss(const Var& pred, const Var& target) {

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "fft/fft.h"
+#include "plan/trace.h"
 #include "runtime/parallel_for.h"
 #include "runtime/workspace.h"
 
@@ -65,6 +66,87 @@ void herm_prep_3d(cfloat* vol, int64_t D, int64_t H, int64_t wk,
 
 }  // namespace
 
+namespace fwd {
+
+void spectral_conv3d_into(const Tensor& x, const Tensor& w, int64_t m1,
+                          int64_t m2, int64_t m3, int64_t cout, Tensor& out) {
+  SAUFNO_CHECK(x.dim() == 5, "spectral_conv3d input must be [B,C,D,H,W]");
+  SAUFNO_CHECK(w.dim() == 6,
+               "spectral_conv3d weight must be [Cin,Cout,2*m1,2*m2,m3,2]");
+  const int64_t B = x.size(0), cin = x.size(1), D = x.size(2), H = x.size(3),
+                W = x.size(4);
+  SAUFNO_CHECK(w.size(0) == cin && w.size(1) == cout &&
+                   w.size(2) == 2 * m1 && w.size(3) == 2 * m2 &&
+                   w.size(4) == m3 && w.size(5) == 2,
+               "spectral_conv3d weight shape mismatch");
+  SAUFNO_CHECK(out.numel() == B * cout * D * H * W,
+               "spectral_conv3d destination numel mismatch");
+  const AxisMap map_d = signed_axis_map(D, m1);
+  const AxisMap map_h = signed_axis_map(H, m2);
+  const int64_t wk = std::min(m3, W / 2);
+  const int64_t nd = static_cast<int64_t>(map_d.size());
+  const int64_t mhe = std::min(m2, H / 2);  // per-side kept count along H
+
+  auto widx = [=](int64_t i, int64_t o, int64_t r, int64_t c, int64_t k) {
+    return ((((i * cout + o) * (2 * m1) + r) * (2 * m2) + c) * m3 + k) * 2;
+  };
+
+  if (wk == 0 || map_d.empty() || map_h.empty()) {
+    out.fill_(0.f);
+    return;
+  }
+
+  const int64_t cvol = D * H * wk;  // compact half-spectrum volume
+
+  runtime::Scratch<cfloat> xf(static_cast<std::size_t>(B * cin * cvol));
+  runtime::Scratch<cfloat> yf(static_cast<std::size_t>(B * cout * cvol));
+  rfft_3d(x.data(), xf.data(), B * cin, D, H, W, wk, mhe);
+  yf.zero();
+
+  // One chunk owns one (batch, kept-kd) pair: disjoint output rows, fixed
+  // accumulation order, bit-identical across thread counts. The inner k
+  // loop runs over contiguous kept columns in both the compact spectrum
+  // and the weight layout.
+  const float* wp = w.data();
+  const float* xfp = reinterpret_cast<const float*>(xf.data());
+  float* yfp = reinterpret_cast<float*>(yf.data());
+  runtime::parallel_for(0, B * nd, 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t idx = i0; idx < i1; ++idx) {
+      const int64_t b = idx / nd;
+      const auto& [wr, kd] = map_d[static_cast<std::size_t>(idx % nd)];
+      for (const auto& [wc, kh] : map_h) {
+        const int64_t off = (kd * H + kh) * wk;
+        for (int64_t o = 0; o < cout; ++o) {
+          float* yrow = yfp + 2 * ((b * cout + o) * cvol + off);
+          for (int64_t i = 0; i < cin; ++i) {
+            const float* wrow = wp + widx(i, o, wr, wc, 0);
+            const float* xrow = xfp + 2 * ((b * cin + i) * cvol + off);
+            for (int64_t k = 0; k < wk; ++k) {
+              const float xr = xrow[2 * k], xi = xrow[2 * k + 1];
+              const float ar = wrow[2 * k], ai = wrow[2 * k + 1];
+              yrow[2 * k] += ar * xr - ai * xi;
+              yrow[2 * k + 1] += ar * xi + ai * xr;
+            }
+          }
+        }
+      }
+    }
+  });
+
+  runtime::parallel_for(0, B * cout, 1, [&](int64_t p0, int64_t p1) {
+    runtime::Scratch<cfloat> planebuf(static_cast<std::size_t>(D * H));
+    for (int64_t p = p0; p < p1; ++p) {
+      herm_prep_3d(yf.data() + p * cvol, D, H, wk, map_d, map_h,
+                   planebuf.data());
+    }
+  });
+  // The k3=0 symmetrization populates one extra kh row per side, so the
+  // inverse depth pass widens its kept set by one.
+  irfft_3d(yf.data(), out.data(), B * cout, D, H, W, wk, mhe + 1, 1.f);
+}
+
+}  // namespace fwd
+
 Var spectral_conv3d(const Var& x, const Var& w, int64_t m1, int64_t m2,
                     int64_t m3, int64_t cout) {
   SAUFNO_CHECK(x.value().dim() == 5,
@@ -87,9 +169,15 @@ Var spectral_conv3d(const Var& x, const Var& w, int64_t m1, int64_t m2,
     return ((((i * cout + o) * (2 * m1) + r) * (2 * m2) + c) * m3 + k) * 2;
   };
 
+  plan::tr::Attrs attrs;
+  attrs.ivals = {m1, m2, m3, cout};
+
   if (wk == 0 || map_d.empty() || map_h.empty()) {
     Tensor out = Tensor::zeros({B, cout, D, H, W});
-    if (!any_requires_grad({x, w})) return Var(std::move(out));
+    if (!any_requires_grad({x, w})) {
+      return plan::tr::record(plan::OpCode::kSpectralConv3d, {&x, &w},
+                              Var(std::move(out)), attrs);
+    }
     auto node = std::make_shared<Node>();
     node->name = "spectral_conv3d";
     node->inputs = {x.impl(), w.impl()};
@@ -98,62 +186,20 @@ Var spectral_conv3d(const Var& x, const Var& w, int64_t m1, int64_t m2,
       accumulate_grad(ix, Tensor::zeros(ix->value.shape()));
       accumulate_grad(iw, Tensor::zeros(iw->value.shape()));
     };
-    return Var::from_op(std::move(out), node);
+    return plan::tr::record(plan::OpCode::kSpectralConv3d, {&x, &w},
+                            Var::from_op(std::move(out), node), attrs);
   }
 
   const int64_t cvol = D * H * wk;  // compact half-spectrum volume
 
   // Arena-backed like the 2-D op: irfft_3d writes every element.
   Tensor out = Tensor::scratch({B, cout, D, H, W});
-  {
-    runtime::Scratch<cfloat> xf(static_cast<std::size_t>(B * cin * cvol));
-    runtime::Scratch<cfloat> yf(static_cast<std::size_t>(B * cout * cvol));
-    rfft_3d(x.value().data(), xf.data(), B * cin, D, H, W, wk, mhe);
-    yf.zero();
+  fwd::spectral_conv3d_into(x.value(), w.value(), m1, m2, m3, cout, out);
 
-    // One chunk owns one (batch, kept-kd) pair: disjoint output rows,
-    // fixed accumulation order, bit-identical across thread counts. The
-    // inner k loop runs over contiguous kept columns in both the compact
-    // spectrum and the weight layout.
-    const float* wp = w.value().data();
-    const float* xfp = reinterpret_cast<const float*>(xf.data());
-    float* yfp = reinterpret_cast<float*>(yf.data());
-    runtime::parallel_for(0, B * nd, 1, [&](int64_t i0, int64_t i1) {
-      for (int64_t idx = i0; idx < i1; ++idx) {
-        const int64_t b = idx / nd;
-        const auto& [wr, kd] = map_d[static_cast<std::size_t>(idx % nd)];
-        for (const auto& [wc, kh] : map_h) {
-          const int64_t off = (kd * H + kh) * wk;
-          for (int64_t o = 0; o < cout; ++o) {
-            float* yrow = yfp + 2 * ((b * cout + o) * cvol + off);
-            for (int64_t i = 0; i < cin; ++i) {
-              const float* wrow = wp + widx(i, o, wr, wc, 0);
-              const float* xrow = xfp + 2 * ((b * cin + i) * cvol + off);
-              for (int64_t k = 0; k < wk; ++k) {
-                const float xr = xrow[2 * k], xi = xrow[2 * k + 1];
-                const float ar = wrow[2 * k], ai = wrow[2 * k + 1];
-                yrow[2 * k] += ar * xr - ai * xi;
-                yrow[2 * k + 1] += ar * xi + ai * xr;
-              }
-            }
-          }
-        }
-      }
-    });
-
-    runtime::parallel_for(0, B * cout, 1, [&](int64_t p0, int64_t p1) {
-      runtime::Scratch<cfloat> planebuf(static_cast<std::size_t>(D * H));
-      for (int64_t p = p0; p < p1; ++p) {
-        herm_prep_3d(yf.data() + p * cvol, D, H, wk, map_d, map_h,
-                     planebuf.data());
-      }
-    });
-    // The k3=0 symmetrization populates one extra kh row per side, so the
-    // inverse depth pass widens its kept set by one.
-    irfft_3d(yf.data(), out.data(), B * cout, D, H, W, wk, mhe + 1, 1.f);
+  if (!any_requires_grad({x, w})) {
+    return plan::tr::record(plan::OpCode::kSpectralConv3d, {&x, &w},
+                            Var(std::move(out)), attrs);
   }
-
-  if (!any_requires_grad({x, w})) return Var(std::move(out));
 
   auto node = std::make_shared<Node>();
   node->name = "spectral_conv3d";
@@ -221,7 +267,8 @@ Var spectral_conv3d(const Var& x, const Var& w, int64_t m1, int64_t m2,
     accumulate_grad(ix, gx);
     accumulate_grad(iw, gw);
   };
-  return Var::from_op(std::move(out), node);
+  return plan::tr::record(plan::OpCode::kSpectralConv3d, {&x, &w},
+                          Var::from_op(std::move(out), node), attrs);
 }
 
 }  // namespace ops

@@ -20,6 +20,17 @@ std::vector<std::pair<int64_t, int64_t>> signed_axis_map(int64_t n,
 
 }  // namespace spectral
 
+namespace fwd {
+
+/// Raw spectral_conv3d forward shared by the autograd op and the plan
+/// executor (single implementation => bit-identical compiled plans). When
+/// the grid keeps no modes, `out` is zero-filled; otherwise every element
+/// is written by the inverse FFT.
+void spectral_conv3d_into(const Tensor& x, const Tensor& w, int64_t m1,
+                          int64_t m2, int64_t m3, int64_t cout, Tensor& out);
+
+}  // namespace fwd
+
 /// Differentiable 3-D Fourier-domain convolution — the volumetric kernel
 /// integral operator for models that predict the FULL 3-D temperature
 /// distribution (Section IV-A: "The model output is a three-dimensional

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "fft/fft.h"
+#include "plan/trace.h"
 #include "runtime/parallel_for.h"
 #include "runtime/workspace.h"
 
@@ -58,6 +59,82 @@ void herm_prep(cfloat* plane, int64_t H, int64_t wk,
 
 }  // namespace
 
+namespace fwd {
+
+void spectral_conv2d_into(const Tensor& x, const Tensor& w, int64_t m1,
+                          int64_t m2, int64_t cout, Tensor& out) {
+  SAUFNO_CHECK(x.dim() == 4, "spectral_conv2d input must be [B,C,H,W]");
+  SAUFNO_CHECK(w.dim() == 5,
+               "spectral_conv2d weight must be [Cin,Cout,2*m1,m2,2]");
+  const int64_t B = x.size(0), cin = x.size(1), H = x.size(2), W = x.size(3);
+  SAUFNO_CHECK(w.size(0) == cin && w.size(1) == cout &&
+                   w.size(2) == 2 * m1 && w.size(3) == m2 && w.size(4) == 2,
+               "spectral_conv2d weight shape mismatch");
+  SAUFNO_CHECK(out.numel() == B * cout * H * W,
+               "spectral_conv2d destination numel mismatch");
+  const ModeMap mm = make_mode_map(H, W, m1, m2);
+  const int64_t wk = mm.m2e;
+  const int64_t nr = static_cast<int64_t>(mm.rows.size());
+
+  auto widx = [m2, m1](int64_t i, int64_t o, int64_t r, int64_t c,
+                       int64_t cout_) {
+    return (((i * cout_ + o) * (2 * m1) + r) * m2 + c) * 2;
+  };
+
+  if (wk == 0 || nr == 0) {
+    // Grid too coarse for any kept mode: the operator is identically zero.
+    out.fill_(0.f);
+    return;
+  }
+
+  const int64_t cs = H * wk;  // compact half-spectrum plane size
+
+  runtime::Scratch<cfloat> xf(static_cast<std::size_t>(B * cin * cs));
+  runtime::Scratch<cfloat> yf(static_cast<std::size_t>(B * cout * cs));
+  rfft_2d(x.data(), xf.data(), B * cin, H, W, wk);
+  yf.zero();
+
+  // Mix channels on the kept modes: Yf[b,o,k] = sum_i W[i,o,k] Xf[b,i,k].
+  // One chunk owns one (batch, kept-row) pair, so every output row is
+  // written by exactly one chunk and the i-accumulation order is fixed —
+  // bit-identical for any thread count. The inner c loop runs over three
+  // contiguous streams (the kept columns are adjacent in both the compact
+  // spectrum and the weight layout), i.e. a small complex GEMM per mode
+  // row with the column index vectorized.
+  const float* wp = w.data();
+  const float* xfp = reinterpret_cast<const float*>(xf.data());
+  float* yfp = reinterpret_cast<float*>(yf.data());
+  runtime::parallel_for(0, B * nr, 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t idx = i0; idx < i1; ++idx) {
+      const int64_t b = idx / nr;
+      const auto& [wr, kr] = mm.rows[static_cast<std::size_t>(idx % nr)];
+      for (int64_t o = 0; o < cout; ++o) {
+        float* yrow = yfp + 2 * (((b * cout + o) * H + kr) * wk);
+        for (int64_t i = 0; i < cin; ++i) {
+          const float* wrow = wp + widx(i, o, wr, 0, cout);
+          const float* xrow = xfp + 2 * (((b * cin + i) * H + kr) * wk);
+          for (int64_t c = 0; c < wk; ++c) {
+            const float xr = xrow[2 * c], xi = xrow[2 * c + 1];
+            const float ar = wrow[2 * c], ai = wrow[2 * c + 1];
+            yrow[2 * c] += ar * xr - ai * xi;
+            yrow[2 * c + 1] += ar * xi + ai * xr;
+          }
+        }
+      }
+    }
+  });
+
+  runtime::parallel_for(0, B * cout, 1, [&](int64_t p0, int64_t p1) {
+    runtime::Scratch<cfloat> colbuf(static_cast<std::size_t>(H));
+    for (int64_t p = p0; p < p1; ++p) {
+      herm_prep(yf.data() + p * cs, H, wk, mm.rows, colbuf.data());
+    }
+  });
+  irfft_2d(yf.data(), out.data(), B * cout, H, W, wk, 1.f);
+}
+
+}  // namespace fwd
+
 Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
                     int64_t cout) {
   SAUFNO_CHECK(x.value().dim() == 4, "spectral_conv2d input must be [B,C,H,W]");
@@ -76,10 +153,16 @@ Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
     return (((i * cout_ + o) * (2 * m1) + r) * m2 + c) * 2;
   };
 
+  plan::tr::Attrs attrs;
+  attrs.ivals = {m1, m2, cout};
+
   if (wk == 0 || nr == 0) {
     // Grid too coarse for any kept mode: the operator is identically zero.
     Tensor out = Tensor::zeros({B, cout, H, W});
-    if (!any_requires_grad({x, w})) return Var(std::move(out));
+    if (!any_requires_grad({x, w})) {
+      return plan::tr::record(plan::OpCode::kSpectralConv2d, {&x, &w},
+                              Var(std::move(out)), attrs);
+    }
     auto node = std::make_shared<Node>();
     node->name = "spectral_conv2d";
     node->inputs = {x.impl(), w.impl()};
@@ -88,7 +171,8 @@ Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
       accumulate_grad(ix, Tensor::zeros(ix->value.shape()));
       accumulate_grad(iw, Tensor::zeros(iw->value.shape()));
     };
-    return Var::from_op(std::move(out), node);
+    return plan::tr::record(plan::OpCode::kSpectralConv2d, {&x, &w},
+                            Var::from_op(std::move(out), node), attrs);
   }
 
   const int64_t cs = H * wk;  // compact half-spectrum plane size
@@ -97,52 +181,12 @@ Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
   // written by the inverse transform, and steady-state training/serving
   // then runs the whole spectral path without touching the heap.
   Tensor out = Tensor::scratch({B, cout, H, W});
-  {
-    runtime::Scratch<cfloat> xf(static_cast<std::size_t>(B * cin * cs));
-    runtime::Scratch<cfloat> yf(static_cast<std::size_t>(B * cout * cs));
-    rfft_2d(x.value().data(), xf.data(), B * cin, H, W, wk);
-    yf.zero();
+  fwd::spectral_conv2d_into(x.value(), w.value(), m1, m2, cout, out);
 
-    // Mix channels on the kept modes: Yf[b,o,k] = sum_i W[i,o,k] Xf[b,i,k].
-    // One chunk owns one (batch, kept-row) pair, so every output row is
-    // written by exactly one chunk and the i-accumulation order is fixed —
-    // bit-identical for any thread count. The inner c loop runs over three
-    // contiguous streams (the kept columns are adjacent in both the compact
-    // spectrum and the weight layout), i.e. a small complex GEMM per mode
-    // row with the column index vectorized.
-    const float* wp = w.value().data();
-    const float* xfp = reinterpret_cast<const float*>(xf.data());
-    float* yfp = reinterpret_cast<float*>(yf.data());
-    runtime::parallel_for(0, B * nr, 1, [&](int64_t i0, int64_t i1) {
-      for (int64_t idx = i0; idx < i1; ++idx) {
-        const int64_t b = idx / nr;
-        const auto& [wr, kr] = mm.rows[static_cast<std::size_t>(idx % nr)];
-        for (int64_t o = 0; o < cout; ++o) {
-          float* yrow = yfp + 2 * (((b * cout + o) * H + kr) * wk);
-          for (int64_t i = 0; i < cin; ++i) {
-            const float* wrow = wp + widx(i, o, wr, 0, cout);
-            const float* xrow = xfp + 2 * (((b * cin + i) * H + kr) * wk);
-            for (int64_t c = 0; c < wk; ++c) {
-              const float xr = xrow[2 * c], xi = xrow[2 * c + 1];
-              const float ar = wrow[2 * c], ai = wrow[2 * c + 1];
-              yrow[2 * c] += ar * xr - ai * xi;
-              yrow[2 * c + 1] += ar * xi + ai * xr;
-            }
-          }
-        }
-      }
-    });
-
-    runtime::parallel_for(0, B * cout, 1, [&](int64_t p0, int64_t p1) {
-      runtime::Scratch<cfloat> colbuf(static_cast<std::size_t>(H));
-      for (int64_t p = p0; p < p1; ++p) {
-        herm_prep(yf.data() + p * cs, H, wk, mm.rows, colbuf.data());
-      }
-    });
-    irfft_2d(yf.data(), out.data(), B * cout, H, W, wk, 1.f);
+  if (!any_requires_grad({x, w})) {
+    return plan::tr::record(plan::OpCode::kSpectralConv2d, {&x, &w},
+                            Var(std::move(out)), attrs);
   }
-
-  if (!any_requires_grad({x, w})) return Var(std::move(out));
 
   auto node = std::make_shared<Node>();
   node->name = "spectral_conv2d";
@@ -214,7 +258,8 @@ Var spectral_conv2d(const Var& x, const Var& w, int64_t m1, int64_t m2,
     accumulate_grad(ix, gx);
     accumulate_grad(iw, gw);
   };
-  return Var::from_op(std::move(out), node);
+  return plan::tr::record(plan::OpCode::kSpectralConv2d, {&x, &w},
+                          Var::from_op(std::move(out), node), attrs);
 }
 
 }  // namespace ops

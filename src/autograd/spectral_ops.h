@@ -26,6 +26,17 @@ ModeMap make_mode_map(int64_t H, int64_t W, int64_t m1, int64_t m2);
 
 }  // namespace spectral
 
+namespace fwd {
+
+/// Raw spectral_conv2d forward shared by the autograd op and the plan
+/// executor (single implementation => bit-identical compiled plans). When
+/// the grid keeps no modes the operator is identically zero and `out` is
+/// zero-filled; otherwise every element is written by the inverse FFT.
+void spectral_conv2d_into(const Tensor& x, const Tensor& w, int64_t m1,
+                          int64_t m2, int64_t cout, Tensor& out);
+
+}  // namespace fwd
+
 /// Differentiable Fourier-domain convolution — the kernel integral operator
 /// K of Eq. (6)/(8) in the paper.
 ///

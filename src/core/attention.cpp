@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "plan/trace.h"
 
 namespace saufno {
 namespace core {
@@ -22,6 +23,7 @@ SelfAttentionBlock::SelfAttentionBlock(int64_t channels, int64_t d, Rng& rng)
 }
 
 Var SelfAttentionBlock::forward(const Var& x) {
+  plan::TraceScope scope("attention");
   SAUFNO_CHECK(x.value().dim() == 4, "attention input must be [B,C,H,W]");
   const int64_t B = x.size(0), H = x.size(2), W = x.size(3);
   const int64_t N = H * W;

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "plan/trace.h"
 
 namespace saufno {
 namespace core {
@@ -61,6 +62,7 @@ SauFno::SauFno(const Config& cfg, Rng& rng) : cfg_(cfg) {
 }
 
 Var SauFno::forward(const Var& x) {
+  plan::TraceScope scope("sau_fno");
   SAUFNO_CHECK(x.value().dim() == 4, "SauFno input must be [B,C,H,W]");
   SAUFNO_CHECK(x.size(1) == cfg_.in_channels,
                "SauFno expects " + std::to_string(cfg_.in_channels) +

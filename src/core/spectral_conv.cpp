@@ -1,5 +1,7 @@
 #include "core/spectral_conv.h"
 
+#include "plan/trace.h"
+
 namespace saufno {
 namespace core {
 
@@ -13,6 +15,7 @@ SpectralConv2d::SpectralConv2d(int64_t cin, int64_t cout, int64_t modes1,
 }
 
 Var SpectralConv2d::forward(const Var& x) {
+  plan::TraceScope scope("spectral");
   return ops::spectral_conv2d(x, weight_, m1_, m2_, cout_);
 }
 

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "plan/trace.h"
+
 namespace saufno {
 namespace core {
 
@@ -19,6 +21,7 @@ UFourierLayer::UFourierLayer(const Config& cfg, Rng& rng) : cfg_(cfg) {
 }
 
 Var UFourierLayer::forward(const Var& v) {
+  plan::TraceScope scope(cfg_.with_unet ? "ufourier" : "fourier");
   Var s = ops::add(k_->forward(v), w_->forward(v));
   if (u_ != nullptr) s = ops::add(s, u_->forward(v));
   return cfg_.final_activation ? ops::gelu(s) : s;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "plan/trace.h"
 
 namespace saufno {
 namespace core {
@@ -33,6 +34,7 @@ UNet::UNet(int64_t width, int64_t base, int64_t depth, Rng& rng)
 }
 
 Var UNet::forward(const Var& x) {
+  plan::TraceScope scope("unet");
   SAUFNO_CHECK(x.value().dim() == 4, "UNet input must be [B,C,H,W]");
   const int64_t h = x.size(2), w = x.size(3);
   // Clamp depth so the bottleneck keeps at least 4x4 texels.

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "plan/trace.h"
 
 namespace saufno {
 namespace core {
@@ -18,6 +19,7 @@ SpectralConv3d::SpectralConv3d(int64_t cin, int64_t cout, int64_t modes1,
 }
 
 Var SpectralConv3d::forward(const Var& x) {
+  plan::TraceScope scope("spectral3d");
   return ops::spectral_conv3d(x, weight_, m1_, m2_, m3_, cout_);
 }
 
@@ -53,6 +55,7 @@ Var Fno3d::pointwise5d(nn::PointwiseConv& pw, const Var& x) {
 }
 
 Var Fno3d::forward(const Var& x) {
+  plan::TraceScope scope("fno3d");
   SAUFNO_CHECK(x.value().dim() == 5, "Fno3d input must be [B,C,D,H,W]");
   SAUFNO_CHECK(x.size(1) == cfg_.in_channels,
                "Fno3d expects " + std::to_string(cfg_.in_channels) +

@@ -63,7 +63,18 @@ Sequential& Sequential::append(std::shared_ptr<Module> m) {
 
 Var Sequential::forward(const Var& x) {
   Var cur = x;
-  for (Module* m : mods_) cur = m->forward(cur);
+  if (plan::tracing()) {
+    // Scope each child by its registration index so traced instructions
+    // carry "0/...", "1/..." labels. The label strings are only built while
+    // a trace is recording — the interpreted path stays allocation-free.
+    int id = 0;
+    for (Module* m : mods_) {
+      plan::TraceScope scope(std::to_string(id++));
+      cur = m->forward(cur);
+    }
+  } else {
+    for (Module* m : mods_) cur = m->forward(cur);
+  }
   return cur;
 }
 

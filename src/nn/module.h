@@ -7,6 +7,7 @@
 
 #include "autograd/ops.h"
 #include "autograd/variable.h"
+#include "plan/trace.h"
 
 namespace saufno {
 namespace nn {
@@ -26,6 +27,16 @@ class Module {
   /// Single-input forward; every model in this repo maps a [B, Cin, H, W]
   /// input field to a [B, Cout, H, W] output field.
   virtual Var forward(const Var& x) = 0;
+
+  /// forward() wrapped in a plan::TraceScope: while a plan trace is
+  /// recording, every instruction emitted inside carries `label` in its
+  /// scope path ("layers.0/unet/..."), which is what the plan dump and
+  /// per-instruction profiles key on. One thread-local load when no tracer
+  /// is active, so callers may use it unconditionally.
+  Var traced_forward(const char* label, const Var& x) {
+    plan::TraceScope scope(label);
+    return forward(x);
+  }
 
   /// All trainable parameters of this module and its children (tree order).
   std::vector<Var> parameters() const;

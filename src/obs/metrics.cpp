@@ -177,6 +177,12 @@ Registry::Registry() : impl_(new Impl()) {
   impl_->callbacks["arena.outstanding"] = [] {
     return static_cast<double>(runtime::arena_stats().outstanding);
   };
+  impl_->callbacks["arena.reserved_bytes"] = [] {
+    return static_cast<double>(runtime::arena_stats().reserved_bytes);
+  };
+  impl_->callbacks["arena.reservations"] = [] {
+    return static_cast<double>(runtime::arena_stats().reservations);
+  };
   impl_->callbacks["fft.plan_cache.size"] = [] {
     return static_cast<double>(fft::plan_cache_size());
   };

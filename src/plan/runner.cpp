@@ -1,0 +1,137 @@
+#include "plan/runner.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "plan/compile.h"
+#include "plan/trace.h"
+
+namespace saufno {
+namespace plan {
+
+namespace {
+
+struct RunnerMetrics {
+  obs::Counter& hits = obs::counter("plan.cache.hits");
+  obs::Counter& misses = obs::counter("plan.cache.misses");
+  obs::Counter& fallbacks = obs::counter("plan.fallbacks");
+  obs::Gauge& size = obs::gauge("plan.cache.size");
+  obs::Histogram& compile_ms = obs::histogram("plan.compile_ms");
+};
+
+RunnerMetrics& runner_metrics() {
+  static RunnerMetrics m;
+  return m;
+}
+
+}  // namespace
+
+Mode mode_from_env() {
+  static const char* const kNames[] = {"off", "on", "compile-only"};
+  return static_cast<Mode>(
+      env_choice("SAUFNO_PLAN", static_cast<int>(Mode::kOn), kNames, 3));
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kOn:
+      return "on";
+    case Mode::kCompileOnly:
+      return "compile-only";
+  }
+  return "?";
+}
+
+PlanRunner::PlanRunner(std::shared_ptr<nn::Module> model, Mode mode)
+    : model_(std::move(model)), mode_(mode) {
+  SAUFNO_CHECK(model_ != nullptr, "PlanRunner requires a model");
+}
+
+Tensor PlanRunner::interpret(const Tensor& input) {
+  NoGradGuard no_grad;
+  return model_->forward(Var(input)).value();
+}
+
+std::shared_ptr<PlanExecutor> PlanRunner::compile_shape(const Shape& shape) {
+  SAUFNO_TRACE_SPAN("plan.compile");
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    NoGradGuard no_grad;
+    // Trace on a zero probe: the plan depends only on shapes, and the
+    // recorded kernels never branch on values.
+    Var in{Tensor(shape)};
+    TraceSession sess(model_->named_parameters(), in);
+    Var out = model_->forward(in);
+    if (!sess.ok()) {
+      SAUFNO_WARN << "plan: falling back to interpreter for shape "
+                  << shape_str(shape) << ": " << sess.error();
+      return nullptr;
+    }
+    Plan compiled = compile(sess.take_plan(out));
+    const auto t1 = std::chrono::steady_clock::now();
+    runner_metrics().compile_ms.record(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    return std::make_shared<PlanExecutor>(std::move(compiled));
+  } catch (const std::exception& e) {
+    SAUFNO_WARN << "plan: compile failed for shape " << shape_str(shape)
+                << " (interpreting instead): " << e.what();
+    return nullptr;
+  }
+}
+
+std::shared_ptr<PlanExecutor> PlanRunner::get_or_compile(const Shape& shape) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = cache_.find(shape);
+    if (it != cache_.end()) {
+      runner_metrics().hits.add();
+      return it->second;
+    }
+  }
+  runner_metrics().misses.add();
+  // Compile OUTSIDE the lock (same discipline as the FFT plan cache): a
+  // multi-second first compile must not stall forwards for other shapes.
+  // Concurrent first-users may both compile; the first to publish wins and
+  // the loser's work is dropped.
+  std::shared_ptr<PlanExecutor> exec = compile_shape(shape);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto ins = cache_.emplace(shape, exec);
+  runner_metrics().size.set(static_cast<int64_t>(cache_.size()));
+  return ins.first->second;
+}
+
+Tensor PlanRunner::forward(const Tensor& input) {
+  if (mode_ == Mode::kOff) return interpret(input);
+  std::shared_ptr<PlanExecutor> exec = get_or_compile(input.shape());
+  if (exec == nullptr) {
+    // Negative cache entry: this shape traced to an unsupported op; the
+    // warning was logged once at compile time.
+    runner_metrics().fallbacks.add();
+    return interpret(input);
+  }
+  if (mode_ == Mode::kCompileOnly) return interpret(input);
+  SAUFNO_TRACE_SPAN("plan.execute");
+  return exec->run(input);
+}
+
+std::size_t PlanRunner::cache_size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.size();
+}
+
+std::shared_ptr<PlanExecutor> PlanRunner::executor_for(
+    const Shape& shape) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = cache_.find(shape);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
+}  // namespace plan
+}  // namespace saufno

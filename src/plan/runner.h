@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "nn/module.h"
+#include "plan/executor.h"
+#include "tensor/tensor.h"
+
+namespace saufno {
+namespace plan {
+
+/// Plan execution policy, selected per engine via Config or the
+/// SAUFNO_PLAN environment knob (`on` / `off` / `compile-only`, or 1/0/2).
+enum class Mode : int {
+  kOff = 0,          // always interpret (define-by-run ops::)
+  kOn = 1,           // compile per input shape, execute the plan
+  kCompileOnly = 2,  // compile + validate, but still execute interpreted
+                     // (deploy canary: proves every shape is plan-clean
+                     // without routing traffic through the new path)
+};
+
+/// Resolve Mode from SAUFNO_PLAN (hardened env_choice parse; unset => kOn).
+Mode mode_from_env();
+const char* mode_name(Mode m);
+
+/// Serving-side entry point to the plan subsystem: owns one compiled plan
+/// per input shape for a fixed model (the FFT plan cache pattern — compile
+/// outside the lock, first published wins) and transparently falls back to
+/// the interpreted forward when tracing fails or the mode says so.
+///
+/// Thread-safe. All forwards run under NoGradGuard semantics — the runner
+/// is for inference; training keeps the define-by-run path.
+class PlanRunner {
+ public:
+  PlanRunner(std::shared_ptr<nn::Module> model, Mode mode);
+
+  /// Run one forward. Plan-mode results are bit-identical to the
+  /// interpreter's; on any compile failure the runner logs once per shape
+  /// and interprets instead, so serving never breaks.
+  Tensor forward(const Tensor& input);
+
+  Mode mode() const { return mode_; }
+  /// Number of shapes with a cached compile attempt (hit or failed).
+  std::size_t cache_size() const;
+  /// The compiled plan for `shape`, or nullptr (uncompiled / failed).
+  std::shared_ptr<PlanExecutor> executor_for(const Shape& shape) const;
+
+ private:
+  /// Cached compile result; `exec == nullptr` is a negative entry (the
+  /// shape traced to an unsupported op) so failures are not re-attempted.
+  std::shared_ptr<PlanExecutor> get_or_compile(const Shape& shape);
+  std::shared_ptr<PlanExecutor> compile_shape(const Shape& shape);
+
+  Tensor interpret(const Tensor& input);
+
+  std::shared_ptr<nn::Module> model_;
+  Mode mode_;
+  mutable std::mutex mu_;
+  std::map<Shape, std::shared_ptr<PlanExecutor>> cache_;
+};
+
+}  // namespace plan
+}  // namespace saufno

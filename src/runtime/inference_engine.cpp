@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "nn/serialize.h"
 #include "obs/trace.h"
+#include "runtime/pipeline.h"
 #include "runtime/workspace.h"
 #include "tensor/tensor_ops.h"
 #include "train/model_zoo.h"
@@ -61,7 +62,16 @@ InferenceEngine::InferenceEngine(std::shared_ptr<nn::Module> model,
   SAUFNO_CHECK(model_ != nullptr, "InferenceEngine needs a model");
   SAUFNO_CHECK(cfg_.max_batch >= 1, "max_batch must be >= 1");
   SAUFNO_CHECK(cfg_.max_wait_us >= 0, "max_wait_us must be >= 0");
+  SAUFNO_CHECK(cfg_.plan_mode >= -1 && cfg_.plan_mode <= 2,
+               "plan_mode must be -1 (env), 0 (off), 1 (on) or 2 "
+               "(compile-only)");
   model_->set_training(false);
+  const plan::Mode mode = cfg_.plan_mode < 0
+                              ? plan::mode_from_env()
+                              : static_cast<plan::Mode>(cfg_.plan_mode);
+  plan_ = std::make_unique<plan::PlanRunner>(model_, mode);
+  SAUFNO_INFO << "engine: plan mode " << plan::mode_name(mode)
+              << (cfg_.plan_mode < 0 ? " (SAUFNO_PLAN)" : " (config)");
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
@@ -82,13 +92,13 @@ std::unique_ptr<InferenceEngine> InferenceEngine::from_zoo(
 
 std::unique_ptr<InferenceEngine> InferenceEngine::from_checkpoint(
     const std::string& checkpoint, Config cfg) {
-  train::LoadedModel loaded = train::load_deployable(checkpoint);
+  Pipeline pipe = build_pipeline(checkpoint);
   std::optional<data::Normalizer> norm;
-  if (loaded.meta.has_normalizer) norm = loaded.meta.normalizer;
+  if (pipe.meta.has_normalizer) norm = pipe.meta.normalizer;
   if (cfg.expected_in_channels == 0) {
-    cfg.expected_in_channels = loaded.meta.in_channels;
+    cfg.expected_in_channels = pipe.meta.in_channels;
   }
-  return std::make_unique<InferenceEngine>(std::move(loaded.model),
+  return std::make_unique<InferenceEngine>(std::move(pipe.model),
                                            std::move(norm), cfg);
 }
 
@@ -229,25 +239,27 @@ void InferenceEngine::serve_batch(std::vector<InferenceRequest> batch) {
       SAUFNO_TRACE_SPAN("engine.normalize");
       stacked = norm_->encode_inputs(stacked);
     }
-    // No tape: serving forwards must not retain graph nodes or grads.
-    NoGradGuard no_grad;
-    Var out = [&] {
+    // The runner picks the path: compiled plan (flat fused instruction
+    // stream, zero per-op allocation) or define-by-run interpreter under
+    // its own NoGradGuard. Either way the result is bit-identical and no
+    // autograd tape survives the forward.
+    Tensor fwd_out = [&] {
       SAUFNO_TRACE_SPAN("engine.forward");
       const auto t0 = std::chrono::steady_clock::now();
-      Var v = model_->forward(Var(std::move(stacked)));
+      Tensor v = plan_->forward(stacked);
       engine_metrics().forward_ms.record(
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - t0)
               .count());
       return v;
     }();
-    const Shape& os = out.shape();  // [padded, C_out, H, W]
+    const Shape& os = fwd_out.shape();  // [padded, C_out, H, W]
     SAUFNO_CHECK(os.size() == 4 && os[0] == padded,
                  "model returned unexpected shape " + shape_str(os));
     Tensor decoded;
     {
       SAUFNO_TRACE_SPAN("engine.denormalize");
-      decoded = norm_ ? norm_->decode_targets(out.value()) : out.value();
+      decoded = norm_ ? norm_->decode_targets(fwd_out) : fwd_out;
     }
     const Shape result_shape{os[1], os[2], os[3]};
     const int64_t out_sample = numel_of(result_shape);

@@ -11,6 +11,7 @@
 #include "data/normalizer.h"
 #include "nn/module.h"
 #include "obs/metrics.h"
+#include "plan/runner.h"
 #include "runtime/request_queue.h"
 
 namespace saufno {
@@ -78,6 +79,12 @@ class InferenceEngine {
     /// bound. The factories (`from_zoo`, `from_checkpoint`) always fill
     /// this in from their channel arguments / the checkpoint meta.
     int64_t expected_in_channels = 0;
+    /// Execution-plan policy for the forward: a plan::Mode value (0 = off /
+    /// interpret, 1 = on, 2 = compile-only), or -1 to read the SAUFNO_PLAN
+    /// environment knob (the default). Plan-mode forwards are bit-identical
+    /// to interpreted ones; any shape the tracer cannot plan falls back to
+    /// the interpreter automatically.
+    int plan_mode = -1;
   };
 
   /// Takes shared ownership of `model`, switches it to eval mode and starts
@@ -120,6 +127,8 @@ class InferenceEngine {
   bool has_normalizer() const { return norm_.has_value(); }
   /// Throws when the engine was built without one (has_normalizer() false).
   const data::Normalizer& normalizer() const;
+  /// The plan runner serving this engine's forwards (mode, cache stats).
+  const plan::PlanRunner& plan_runner() const { return *plan_; }
 
  private:
   void batcher_loop();
@@ -128,6 +137,10 @@ class InferenceEngine {
   std::shared_ptr<nn::Module> model_;
   std::optional<data::Normalizer> norm_;
   Config cfg_;
+  /// Compiles one plan per input shape and runs the flat instruction
+  /// stream; transparently interprets when the mode or a trace failure
+  /// says so.
+  std::unique_ptr<plan::PlanRunner> plan_;
   RequestQueue queue_;
   std::thread batcher_;
   std::atomic<bool> stopped_{false};

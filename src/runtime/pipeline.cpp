@@ -1,0 +1,25 @@
+#include "runtime/pipeline.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "train/model_zoo.h"
+
+namespace saufno {
+namespace runtime {
+
+Pipeline build_pipeline(const std::string& checkpoint, bool require_rollout) {
+  train::LoadedModel loaded = train::load_deployable(checkpoint);
+  if (require_rollout) {
+    SAUFNO_CHECK(loaded.meta.has_rollout,
+                 "checkpoint " + checkpoint +
+                     " carries no rollout spec; write it with "
+                     "train::save_rollout_deployable");
+    SAUFNO_CHECK(loaded.meta.has_normalizer,
+                 "rollout checkpoint " + checkpoint + " has no normalizer");
+  }
+  return Pipeline{std::move(loaded.model), std::move(loaded.meta)};
+}
+
+}  // namespace runtime
+}  // namespace saufno

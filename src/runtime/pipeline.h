@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/module.h"
+#include "nn/serialize.h"
+
+namespace saufno {
+namespace runtime {
+
+/// A deployable model rebuilt from a self-describing checkpoint: the module
+/// with weights loaded, plus the checkpoint metadata (channels, optional
+/// normalizer, optional rollout spec) the engines configure themselves
+/// from.
+struct Pipeline {
+  std::shared_ptr<nn::Module> model;
+  nn::CheckpointMeta meta;
+};
+
+/// Single checkpoint -> serving-pipeline rebuild shared by
+/// InferenceEngine::from_checkpoint and RolloutEngine::from_checkpoint
+/// (previously duplicated in both factories). Validates once, with the
+/// checkpoint path in every message:
+///  - the file must be a v2+ self-describing checkpoint (train::
+///    load_deployable enforces this),
+///  - with `require_rollout`, it must carry a rollout spec AND a normalizer
+///    (autoregression feeds model outputs back through the codec, which is
+///    meaningless without the normalization statistics).
+Pipeline build_pipeline(const std::string& checkpoint,
+                        bool require_rollout = false);
+
+}  // namespace runtime
+}  // namespace saufno

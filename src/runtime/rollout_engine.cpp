@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/pipeline.h"
 #include "tensor/tensor_ops.h"
 #include "train/model_zoo.h"
 
@@ -83,16 +84,10 @@ RolloutEngine::RolloutEngine(std::shared_ptr<nn::Module> model,
 
 std::unique_ptr<RolloutEngine> RolloutEngine::from_checkpoint(
     const std::string& checkpoint, Config cfg) {
-  train::LoadedModel loaded = train::load_deployable(checkpoint);
-  SAUFNO_CHECK(loaded.meta.has_rollout,
-               "checkpoint " + checkpoint +
-                   " carries no rollout spec; write it with "
-                   "train::save_rollout_deployable");
-  SAUFNO_CHECK(loaded.meta.has_normalizer,
-               "rollout checkpoint " + checkpoint + " has no normalizer");
-  return std::make_unique<RolloutEngine>(std::move(loaded.model),
-                                         loaded.meta.normalizer,
-                                         loaded.meta.rollout, cfg);
+  Pipeline pipe = build_pipeline(checkpoint, /*require_rollout=*/true);
+  return std::make_unique<RolloutEngine>(std::move(pipe.model),
+                                         pipe.meta.normalizer,
+                                         pipe.meta.rollout, cfg);
 }
 
 RolloutEngine::~RolloutEngine() { stop(); }

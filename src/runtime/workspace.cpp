@@ -158,7 +158,46 @@ ThreadArena& local_arena() {
   return arena;
 }
 
+// Plan-reservation accounting (process-global: reservations are created on
+// whatever thread compiles a plan and destroyed wherever the last executor
+// buffer drops, so per-thread counters would only confuse).
+std::atomic<int64_t> g_reserved_bytes{0};
+std::atomic<int64_t> g_reservations{0};
+
 }  // namespace
+
+Reservation::Reservation(std::size_t bytes) : bytes_(bytes) {
+  if (bytes == 0) return;
+  p_ = ::operator new(bytes, std::align_val_t{64});
+  g_reserved_bytes.fetch_add(static_cast<int64_t>(bytes),
+                             std::memory_order_relaxed);
+  g_reservations.fetch_add(1, std::memory_order_relaxed);
+}
+
+Reservation::~Reservation() {
+  if (p_ == nullptr) return;
+  ::operator delete(p_, std::align_val_t{64});
+  g_reserved_bytes.fetch_sub(static_cast<int64_t>(bytes_),
+                             std::memory_order_relaxed);
+  g_reservations.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Reservation::Reservation(Reservation&& o) noexcept
+    : p_(o.p_), bytes_(o.bytes_) {
+  o.p_ = nullptr;
+  o.bytes_ = 0;
+}
+
+Reservation& Reservation::operator=(Reservation&& o) noexcept {
+  if (this != &o) {
+    this->~Reservation();
+    p_ = o.p_;
+    bytes_ = o.bytes_;
+    o.p_ = nullptr;
+    o.bytes_ = 0;
+  }
+  return *this;
+}
 
 void* arena_acquire(std::size_t bytes) {
   const int b = bucket_of(bytes);
@@ -221,6 +260,8 @@ ArenaStats arena_stats() {
     s.outstanding += a->c.outstanding.load(std::memory_order_relaxed);
   }
   s.bytes_cached += global_pool().bytes.load(std::memory_order_relaxed);
+  s.reserved_bytes = g_reserved_bytes.load(std::memory_order_relaxed);
+  s.reservations = g_reservations.load(std::memory_order_relaxed);
   return s;
 }
 

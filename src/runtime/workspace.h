@@ -16,8 +16,10 @@ struct ArenaStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t releases = 0;
-  int64_t bytes_cached = 0;  // capacity currently parked in freelists
-  int64_t outstanding = 0;   // blocks handed out and not yet released
+  int64_t bytes_cached = 0;    // capacity currently parked in freelists
+  int64_t outstanding = 0;     // blocks handed out and not yet released
+  int64_t reserved_bytes = 0;  // capacity held by live plan Reservations
+  int64_t reservations = 0;    // live plan Reservations
   double hit_rate() const {
     const int64_t total = hits + misses;
     return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
@@ -54,6 +56,31 @@ void arena_reset_counters();
 /// shared overflow pool. Other threads' local caches are untouched (they
 /// are only safe to free from their owning thread).
 void arena_trim();
+
+/// Whole-plan workspace reservation: ONE 64-byte-aligned block sized at
+/// plan-compile time, into which the plan executor binds every temp slot
+/// via Tensor::wrap_external (disjoint liveness-packed offsets). Unlike
+/// arena_acquire blocks, reservations are long-lived — they live as long as
+/// the executor buffer that owns them — so they are plain aligned heap
+/// allocations tracked by ArenaStats::{reserved_bytes, reservations}
+/// instead of freelist entries that would pin a bucket forever.
+class Reservation {
+ public:
+  Reservation() = default;
+  explicit Reservation(std::size_t bytes);
+  ~Reservation();
+  Reservation(Reservation&& o) noexcept;
+  Reservation& operator=(Reservation&& o) noexcept;
+  Reservation(const Reservation&) = delete;
+  Reservation& operator=(const Reservation&) = delete;
+
+  float* floats() { return static_cast<float*>(p_); }
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  void* p_ = nullptr;
+  std::size_t bytes_ = 0;
+};
 
 /// RAII typed scratch buffer backed by the workspace arena.
 template <typename T>

@@ -38,6 +38,8 @@ struct Tensor::Storage {
   std::vector<float> heap;
   float* arena = nullptr;
   std::size_t arena_bytes = 0;
+  /// Non-owning external pointer (Tensor::wrap_external); never released.
+  float* external = nullptr;
 
   Storage() = default;
   /// Heap storage, zero-initialized (the historical Tensor contract).
@@ -53,8 +55,14 @@ struct Tensor::Storage {
     if (arena != nullptr) runtime::arena_release(arena, arena_bytes);
   }
 
-  float* ptr() { return arena != nullptr ? arena : heap.data(); }
-  const float* ptr() const { return arena != nullptr ? arena : heap.data(); }
+  float* ptr() {
+    if (external != nullptr) return external;
+    return arena != nullptr ? arena : heap.data();
+  }
+  const float* ptr() const {
+    if (external != nullptr) return external;
+    return arena != nullptr ? arena : heap.data();
+  }
 };
 
 Tensor::Tensor() = default;
@@ -88,6 +96,19 @@ Tensor Tensor::scratch(Shape shape) {
   t.shape_ = std::move(shape);
   t.storage_ = std::make_shared<Storage>(
       static_cast<std::size_t>(t.numel_), /*from_arena=*/true);
+  return t;
+}
+
+Tensor Tensor::wrap_external(float* data, Shape shape) {
+  SAUFNO_CHECK(data != nullptr, "wrap_external of a null pointer");
+  Tensor t;
+  for (int64_t d : shape) {
+    SAUFNO_CHECK(d >= 0, "negative dimension in shape " + shape_str(shape));
+  }
+  t.numel_ = numel_of(shape);
+  t.shape_ = std::move(shape);
+  t.storage_ = std::make_shared<Storage>();
+  t.storage_->external = data;
   return t;
 }
 

@@ -47,6 +47,13 @@ class Tensor {
   /// no heap allocation. Contents are UNINITIALIZED — callers must write
   /// every element (or fill_) before reading.
   static Tensor scratch(Shape shape);
+  /// Non-owning view over caller-managed memory (the plan executor's
+  /// per-plan arena reservation binds every temp slot this way, so a
+  /// compiled forward performs zero per-op allocations). The caller must
+  /// keep `data` alive and fixed for the lifetime of every Tensor sharing
+  /// this storage — including reshape views and O(1) copies. Contents are
+  /// whatever the buffer holds; `clone()` still deep-copies to the heap.
+  static Tensor wrap_external(float* data, Shape shape);
   /// Standard-normal entries drawn from `rng`.
   static Tensor randn(Shape shape, Rng& rng, float mean = 0.f,
                       float stddev = 1.f);

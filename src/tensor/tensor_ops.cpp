@@ -16,12 +16,18 @@ namespace {
 /// elements) still split across threads.
 constexpr int64_t kElemwiseGrain = 8192;
 
-/// Iterate a broadcasted binary op. Shapes are right-aligned; a dim of 1
-/// broadcasts by using stride 0, exactly as in numpy.
+/// Iterate a broadcasted binary op into a preallocated destination. Shapes
+/// are right-aligned; a dim of 1 broadcasts by using stride 0, exactly as
+/// in numpy. This is the single implementation behind both the allocating
+/// public ops and the plan executor's *_into entry points, which is what
+/// makes compiled plans bit-identical to the interpreter.
 template <typename F>
-Tensor broadcast_binary(const Tensor& a, const Tensor& b, F f) {
-  const Shape out_shape = broadcast_shape(a.shape(), b.shape());
-  Tensor out(out_shape);
+void broadcast_binary_into_t(const Tensor& a, const Tensor& b, Tensor& out,
+                             F f) {
+  SAUFNO_CHECK(out.shape() == broadcast_shape(a.shape(), b.shape()),
+               "binary op destination shape mismatch: " +
+                   shape_str(out.shape()));
+  const Shape& out_shape = out.shape();
   const int64_t rank = static_cast<int64_t>(out_shape.size());
 
   // Effective strides (0 where broadcast) for both inputs, right-aligned.
@@ -50,7 +56,7 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b, F f) {
       SAUFNO_IVDEP
       for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
     });
-    return out;
+    return;
   }
 
   // General path: odometer over the output index space.
@@ -73,12 +79,21 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b, F f) {
       ob -= sb[d] * out_shape[d];
     }
   }
+}
+
+template <typename F>
+Tensor broadcast_binary(const Tensor& a, const Tensor& b, F f) {
+  Tensor out(broadcast_shape(a.shape(), b.shape()));
+  broadcast_binary_into_t(a, b, out, f);
   return out;
 }
 
 template <typename F>
-Tensor unary(const Tensor& a, F f) {
-  Tensor out(a.shape());
+void unary_into_t(const Tensor& a, Tensor& out, F f) {
+  // Elementwise, so only the element count has to agree: the plan executor
+  // may hand us a reshape-alias destination whose dims differ from `a`'s.
+  SAUFNO_CHECK(out.numel() == a.numel(),
+               "unary op destination numel mismatch");
   const float* p = a.data();
   float* q = out.data();
   const int64_t n = a.numel();
@@ -86,6 +101,12 @@ Tensor unary(const Tensor& a, F f) {
     SAUFNO_IVDEP
     for (int64_t i = i0; i < i1; ++i) q[i] = f(p[i]);
   });
+}
+
+template <typename F>
+Tensor unary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  unary_into_t(a, out, f);
   return out;
 }
 
@@ -117,11 +138,31 @@ Tensor div(const Tensor& a, const Tensor& b) {
   return broadcast_binary(a, b, [](float x, float y) { return x / y; });
 }
 
+void add_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  broadcast_binary_into_t(a, b, out, [](float x, float y) { return x + y; });
+}
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  broadcast_binary_into_t(a, b, out, [](float x, float y) { return x - y; });
+}
+void mul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  broadcast_binary_into_t(a, b, out, [](float x, float y) { return x * y; });
+}
+void div_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  broadcast_binary_into_t(a, b, out, [](float x, float y) { return x / y; });
+}
+
 Tensor add_scalar(const Tensor& a, float s) {
   return unary(a, [s](float x) { return x + s; });
 }
 Tensor mul_scalar(const Tensor& a, float s) {
   return unary(a, [s](float x) { return x * s; });
+}
+
+void add_scalar_into(const Tensor& a, float s, Tensor& out) {
+  unary_into_t(a, out, [s](float x) { return x + s; });
+}
+void mul_scalar_into(const Tensor& a, float s, Tensor& out) {
+  unary_into_t(a, out, [s](float x) { return x * s; });
 }
 
 Tensor neg(const Tensor& a) {
@@ -156,6 +197,33 @@ Tensor gelu(const Tensor& a) {
   });
 }
 
+void exp_into(const Tensor& a, Tensor& out) {
+  unary_into_t(a, out, [](float x) { return std::exp(x); });
+}
+void log_into(const Tensor& a, Tensor& out) {
+  unary_into_t(a, out, [](float x) { return std::log(x); });
+}
+void sqrt_into(const Tensor& a, Tensor& out) {
+  unary_into_t(a, out, [](float x) { return std::sqrt(x); });
+}
+void abs_into(const Tensor& a, Tensor& out) {
+  unary_into_t(a, out, [](float x) { return std::fabs(x); });
+}
+void tanh_into(const Tensor& a, Tensor& out) {
+  unary_into_t(a, out, [](float x) { return std::tanh(x); });
+}
+void relu_into(const Tensor& a, Tensor& out) {
+  unary_into_t(a, out, [](float x) { return x > 0.f ? x : 0.f; });
+}
+void sigmoid_into(const Tensor& a, Tensor& out) {
+  unary_into_t(a, out, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+}
+void gelu_into(const Tensor& a, Tensor& out) {
+  unary_into_t(a, out, [](float x) {
+    return 0.5f * x * (1.f + std::erf(x * 0.70710678f));
+  });
+}
+
 Tensor gelu_grad(const Tensor& a) {
   // d/dx [x Phi(x)] = Phi(x) + x phi(x).
   return unary(a, [](float x) {
@@ -167,6 +235,51 @@ Tensor gelu_grad(const Tensor& a) {
 
 Tensor map(const Tensor& a, const std::function<float(float)>& f) {
   return unary(a, [&f](float x) { return f(x); });
+}
+
+float act_apply(int act, float v) {
+  // Codes match plan::Act. The expressions are copies of the unary kernels
+  // above; the fused kernels depend on that for bit-identity, so any change
+  // here must change the unary forms in lockstep (and vice versa).
+  switch (act) {
+    case 1:
+      return v > 0.f ? v : 0.f;
+    case 2:
+      return 0.5f * v * (1.f + std::erf(v * 0.70710678f));
+    case 3:
+      return std::tanh(v);
+    default:
+      return v;
+  }
+}
+
+void fused_add_act_into(const Tensor& a, const Tensor& b, const Tensor* c,
+                        int act, Tensor& out) {
+  if (c == nullptr) {
+    // Two-input form broadcasts (bias add); per element the compiler sees
+    // act(x + y) with the same add and the same activation expression the
+    // separate ops would run, in the same order.
+    broadcast_binary_into_t(a, b, out, [act](float x, float y) {
+      return act_apply(act, x + y);
+    });
+    return;
+  }
+  // Three-input form is same-shape only (the fuser enforces this): the
+  // grouping (a + b) + c mirrors the traced nesting of the two adds.
+  SAUFNO_CHECK(a.shape() == b.shape() && a.shape() == c->shape() &&
+                   out.shape() == a.shape(),
+               "fused_add_act: 3-input form requires equal shapes");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const float* pc = c->data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  runtime::parallel_for(0, n, kElemwiseGrain, [&](int64_t i0, int64_t i1) {
+    SAUFNO_IVDEP
+    for (int64_t i = i0; i < i1; ++i) {
+      po[i] = act_apply(act, (pa[i] + pb[i]) + pc[i]);
+    }
+  });
 }
 
 float sum_all(const Tensor& a) {
@@ -205,26 +318,18 @@ float mean_all(const Tensor& a) {
   return sum_all(a) / static_cast<float>(a.numel());
 }
 
-Tensor sum_dim(const Tensor& a, int64_t dim, bool keepdim) {
+void sum_dim_into(const Tensor& a, int64_t dim, bool keepdim, Tensor& out) {
   const int64_t rank = a.dim();
   if (dim < 0) dim += rank;
   SAUFNO_CHECK(dim >= 0 && dim < rank, "sum_dim: bad dim");
+  (void)keepdim;  // affects only the destination shape, fixed by the caller
   // Collapse to [outer, reduce, inner].
   int64_t outer = 1, inner = 1;
   for (int64_t i = 0; i < dim; ++i) outer *= a.shape()[i];
   for (int64_t i = dim + 1; i < rank; ++i) inner *= a.shape()[i];
   const int64_t red = a.shape()[dim];
-
-  Shape out_shape;
-  for (int64_t i = 0; i < rank; ++i) {
-    if (i == dim) {
-      if (keepdim) out_shape.push_back(1);
-    } else {
-      out_shape.push_back(a.shape()[i]);
-    }
-  }
-  if (out_shape.empty()) out_shape.push_back(1);
-  Tensor out(out_shape);
+  SAUFNO_CHECK(out.numel() == outer * inner,
+               "sum_dim destination numel mismatch");
 
   const float* p = a.data();
   float* q = out.data();
@@ -243,6 +348,23 @@ Tensor sum_dim(const Tensor& a, int64_t dim, bool keepdim) {
           q[o * inner + in] = static_cast<float>(s);
         }
       });
+}
+
+Tensor sum_dim(const Tensor& a, int64_t dim, bool keepdim) {
+  const int64_t rank = a.dim();
+  int64_t d = dim < 0 ? dim + rank : dim;
+  SAUFNO_CHECK(d >= 0 && d < rank, "sum_dim: bad dim");
+  Shape out_shape;
+  for (int64_t i = 0; i < rank; ++i) {
+    if (i == d) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.shape()[i]);
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  Tensor out(out_shape);
+  sum_dim_into(a, d, keepdim, out);
   return out;
 }
 
@@ -281,7 +403,8 @@ Tensor transpose2d(const Tensor& a) {
   return out;
 }
 
-Tensor permute(const Tensor& a, const std::vector<int64_t>& perm) {
+void permute_into(const Tensor& a, const std::vector<int64_t>& perm,
+                  Tensor& out) {
   const int64_t rank = a.dim();
   SAUFNO_CHECK(static_cast<int64_t>(perm.size()) == rank,
                "permute rank mismatch");
@@ -289,7 +412,8 @@ Tensor permute(const Tensor& a, const std::vector<int64_t>& perm) {
   for (std::size_t i = 0; i < perm.size(); ++i) {
     out_shape[i] = a.shape()[static_cast<std::size_t>(perm[i])];
   }
-  Tensor out(out_shape);
+  SAUFNO_CHECK(out.shape() == out_shape,
+               "permute destination shape mismatch");
   const auto in_strides = contiguous_strides(a.shape());
   std::vector<int64_t> strides(perm.size());
   for (std::size_t i = 0; i < perm.size(); ++i) {
@@ -320,10 +444,22 @@ Tensor permute(const Tensor& a, const std::vector<int64_t>& perm) {
       }
     }
   });
+}
+
+Tensor permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  SAUFNO_CHECK(static_cast<int64_t>(perm.size()) == a.dim(),
+               "permute rank mismatch");
+  Shape out_shape(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    out_shape[i] = a.shape()[static_cast<std::size_t>(perm[i])];
+  }
+  Tensor out(out_shape);
+  permute_into(a, perm, out);
   return out;
 }
 
-Tensor slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
+void slice_into(const Tensor& a, int64_t dim, int64_t start, int64_t length,
+                Tensor& out) {
   const int64_t rank = a.dim();
   if (dim < 0) dim += rank;
   SAUFNO_CHECK(dim >= 0 && dim < rank, "slice: bad dim");
@@ -334,10 +470,9 @@ Tensor slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
   for (int64_t i = 0; i < dim; ++i) outer *= a.shape()[i];
   for (int64_t i = dim + 1; i < rank; ++i) inner *= a.shape()[i];
   const int64_t d = a.shape()[dim];
+  SAUFNO_CHECK(out.numel() == outer * length * inner,
+               "slice destination numel mismatch");
 
-  Shape out_shape = a.shape();
-  out_shape[static_cast<std::size_t>(dim)] = length;
-  Tensor out(out_shape);
   const float* p = a.data();
   float* q = out.data();
   for (int64_t o = 0; o < outer; ++o) {
@@ -345,10 +480,20 @@ Tensor slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
     float* dst = q + o * length * inner;
     std::copy(src, src + length * inner, dst);
   }
+}
+
+Tensor slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
+  const int64_t rank = a.dim();
+  int64_t d = dim < 0 ? dim + rank : dim;
+  SAUFNO_CHECK(d >= 0 && d < rank, "slice: bad dim");
+  Shape out_shape = a.shape();
+  out_shape[static_cast<std::size_t>(d)] = length;
+  Tensor out(out_shape);
+  slice_into(a, d, start, length, out);
   return out;
 }
 
-Tensor cat(const std::vector<Tensor>& ts, int64_t dim) {
+void cat_into(const std::vector<Tensor>& ts, int64_t dim, Tensor& out) {
   SAUFNO_CHECK(!ts.empty(), "cat of zero tensors");
   const int64_t rank = ts[0].dim();
   if (dim < 0) dim += rank;
@@ -365,7 +510,7 @@ Tensor cat(const std::vector<Tensor>& ts, int64_t dim) {
   }
   Shape out_shape = ts[0].shape();
   out_shape[static_cast<std::size_t>(dim)] = cat_size;
-  Tensor out(out_shape);
+  SAUFNO_CHECK(out.shape() == out_shape, "cat destination shape mismatch");
 
   int64_t outer = 1, inner = 1;
   for (int64_t i = 0; i < dim; ++i) outer *= out_shape[i];
@@ -382,52 +527,82 @@ Tensor cat(const std::vector<Tensor>& ts, int64_t dim) {
     }
     written += d;
   }
+}
+
+Tensor cat(const std::vector<Tensor>& ts, int64_t dim) {
+  SAUFNO_CHECK(!ts.empty(), "cat of zero tensors");
+  const int64_t rank = ts[0].dim();
+  int64_t d = dim < 0 ? dim + rank : dim;
+  int64_t cat_size = 0;
+  for (const auto& t : ts) cat_size += t.shape()[d];
+  Shape out_shape = ts[0].shape();
+  out_shape[static_cast<std::size_t>(d)] = cat_size;
+  Tensor out(out_shape);
+  cat_into(ts, d, out);
   return out;
 }
 
-Tensor pad2d(const Tensor& a, int64_t top, int64_t bottom, int64_t left,
-             int64_t right) {
+void pad2d_into(const Tensor& a, int64_t top, int64_t bottom, int64_t left,
+                int64_t right, Tensor& out) {
   const int64_t rank = a.dim();
   SAUFNO_CHECK(rank >= 2, "pad2d needs at least 2 dims");
   const int64_t h = a.shape()[rank - 2], w = a.shape()[rank - 1];
   const int64_t oh = h + top + bottom, ow = w + left + right;
   int64_t batch = 1;
   for (int64_t i = 0; i < rank - 2; ++i) batch *= a.shape()[i];
-
-  Shape out_shape = a.shape();
-  out_shape[static_cast<std::size_t>(rank - 2)] = oh;
-  out_shape[static_cast<std::size_t>(rank - 1)] = ow;
-  Tensor out(out_shape);  // zero-initialized
+  SAUFNO_CHECK(out.numel() == batch * oh * ow,
+               "pad2d destination numel mismatch");
   const float* p = a.data();
   float* q = out.data();
+  // The destination may be an uninitialized arena slot: zero the border
+  // explicitly (the allocating wrapper used to rely on zero-init storage).
+  std::fill(q, q + out.numel(), 0.f);
   for (int64_t b = 0; b < batch; ++b) {
     for (int64_t i = 0; i < h; ++i) {
       std::copy(p + (b * h + i) * w, p + (b * h + i + 1) * w,
                 q + (b * oh + i + top) * ow + left);
     }
   }
+}
+
+Tensor pad2d(const Tensor& a, int64_t top, int64_t bottom, int64_t left,
+             int64_t right) {
+  const int64_t rank = a.dim();
+  SAUFNO_CHECK(rank >= 2, "pad2d needs at least 2 dims");
+  Shape out_shape = a.shape();
+  out_shape[static_cast<std::size_t>(rank - 2)] += top + bottom;
+  out_shape[static_cast<std::size_t>(rank - 1)] += left + right;
+  Tensor out(out_shape);
+  pad2d_into(a, top, bottom, left, right, out);
   return out;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   SAUFNO_CHECK(a.dim() == 2 && b.dim() == 2, "matmul requires 2-D tensors");
   const int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
   SAUFNO_CHECK(b.shape()[0] == k, "matmul inner dims mismatch: " +
                                       shape_str(a.shape()) + " x " +
                                       shape_str(b.shape()));
-  Tensor out({m, n});
+  SAUFNO_CHECK(out.numel() == m * n, "matmul destination numel mismatch");
   gemm(a.data(), b.data(), out.data(), m, n, k, /*accumulate=*/false);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  SAUFNO_CHECK(a.dim() == 2 && b.dim() == 2, "matmul requires 2-D tensors");
+  Tensor out({a.shape()[0], b.shape()[1]});
+  matmul_into(a, b, out);
   return out;
 }
 
-Tensor bmm(const Tensor& a, const Tensor& b) {
+void bmm_into(const Tensor& a, const Tensor& b, Tensor& out) {
   SAUFNO_CHECK(a.dim() == 3 && b.dim() == 3, "bmm requires 3-D tensors");
   const int64_t ba = a.shape()[0], bb = b.shape()[0];
   SAUFNO_CHECK(ba == bb || ba == 1 || bb == 1, "bmm batch mismatch");
   const int64_t batch = std::max(ba, bb);
   const int64_t m = a.shape()[1], k = a.shape()[2], n = b.shape()[2];
   SAUFNO_CHECK(b.shape()[1] == k, "bmm inner dims mismatch");
-  Tensor out({batch, m, n});
+  SAUFNO_CHECK(out.numel() == batch * m * n,
+               "bmm destination numel mismatch");
   // Parallel over the batch; the nested gemm's own parallel_for detects it
   // is inside a parallel region and runs inline (no oversubscription). With
   // batch == 1 the gemm row-block parallelism takes over instead.
@@ -438,15 +613,30 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
       gemm(pa, pb, out.data() + i * m * n, m, n, k, /*accumulate=*/false);
     }
   });
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  SAUFNO_CHECK(a.dim() == 3 && b.dim() == 3, "bmm requires 3-D tensors");
+  const int64_t batch = std::max(a.shape()[0], b.shape()[0]);
+  Tensor out({batch, a.shape()[1], b.shape()[2]});
+  bmm_into(a, b, out);
   return out;
 }
 
-Tensor softmax_lastdim(const Tensor& a) {
+namespace {
+
+/// Shared softmax core: `scale != 1` first materializes row * scale into
+/// the output row with the exact mul_scalar expression, then the standard
+/// max/exp/sum/scale sequence runs on the output row — so the fused scaled
+/// form is bit-identical to mul_scalar followed by softmax.
+void softmax_rows_into(const Tensor& a, bool scaled, float scale,
+                       Tensor& out) {
   const int64_t rank = a.dim();
   SAUFNO_CHECK(rank >= 1, "softmax of scalar");
   const int64_t n = a.shape()[rank - 1];
   const int64_t rows = a.numel() / n;
-  Tensor out(a.shape());
+  SAUFNO_CHECK(out.numel() == a.numel(),
+               "softmax destination numel mismatch");
   const float* p = a.data();
   float* q = out.data();
   const int64_t grain =
@@ -455,6 +645,11 @@ Tensor softmax_lastdim(const Tensor& a) {
   for (int64_t r = r0; r < r1; ++r) {
     const float* row = p + r * n;
     float* orow = q + r * n;
+    if (scaled) {
+      SAUFNO_IVDEP
+      for (int64_t i = 0; i < n; ++i) orow[i] = row[i] * scale;
+      row = orow;
+    }
     // Max and rescale run through the SIMD helpers (max is associative, and
     // the scale is per-element, so lane order cannot change the result).
     // The exp+sum stays scalar: libm exp keeps results identical on every
@@ -469,21 +664,45 @@ Tensor softmax_lastdim(const Tensor& a) {
     simd::scale(orow, n, static_cast<float>(1.0 / s));
   }
   });
+}
+
+}  // namespace
+
+void softmax_lastdim_into(const Tensor& a, Tensor& out) {
+  softmax_rows_into(a, /*scaled=*/false, 1.f, out);
+}
+
+void scaled_softmax_lastdim_into(const Tensor& a, float scale, Tensor& out) {
+  softmax_rows_into(a, /*scaled=*/true, scale, out);
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  Tensor out(a.shape());
+  softmax_lastdim_into(a, out);
   return out;
 }
 
-Tensor resize_bilinear(const Tensor& a, int64_t oh, int64_t ow) {
+void resize_bilinear_into(const Tensor& a, int64_t oh, int64_t ow,
+                          Tensor& out) {
   const int64_t rank = a.dim();
   SAUFNO_CHECK(rank >= 2, "resize_bilinear needs >= 2 dims");
   const int64_t ih = a.shape()[rank - 2], iw = a.shape()[rank - 1];
   int64_t batch = 1;
   for (int64_t i = 0; i < rank - 2; ++i) batch *= a.shape()[i];
+  SAUFNO_CHECK(out.numel() == batch * oh * ow,
+               "resize_bilinear destination numel mismatch");
+  bilinear_resize_kernel(a.data(), out.data(), batch, ih, iw, oh, ow,
+                         /*adjoint=*/false);
+}
+
+Tensor resize_bilinear(const Tensor& a, int64_t oh, int64_t ow) {
+  const int64_t rank = a.dim();
+  SAUFNO_CHECK(rank >= 2, "resize_bilinear needs >= 2 dims");
   Shape out_shape = a.shape();
   out_shape[static_cast<std::size_t>(rank - 2)] = oh;
   out_shape[static_cast<std::size_t>(rank - 1)] = ow;
   Tensor out(out_shape);
-  bilinear_resize_kernel(a.data(), out.data(), batch, ih, iw, oh, ow,
-                         /*adjoint=*/false);
+  resize_bilinear_into(a, oh, ow, out);
   return out;
 }
 

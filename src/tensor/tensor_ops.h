@@ -79,4 +79,59 @@ Tensor resize_bilinear(const Tensor& a, int64_t oh, int64_t ow);
 /// Adjoint of resize_bilinear (scatter of output-gradient to input grid).
 Tensor resize_bilinear_adjoint(const Tensor& grad_out, int64_t ih, int64_t iw);
 
+// ---------------------------------------------------------------------------
+// Out-parameter variants for preallocated destinations. The allocating forms
+// above are thin wrappers over these, so the plan executor (src/plan/),
+// which writes into arena-reservation slots, runs the IDENTICAL loop as the
+// interpreter — the foundation of the bit-identical plan/interpreter
+// contract. `out` must already have the exact result shape; contents may be
+// uninitialized (pad2d_into zero-fills the destination itself).
+// ---------------------------------------------------------------------------
+
+void add_into(const Tensor& a, const Tensor& b, Tensor& out);
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out);
+void mul_into(const Tensor& a, const Tensor& b, Tensor& out);
+void div_into(const Tensor& a, const Tensor& b, Tensor& out);
+void add_scalar_into(const Tensor& a, float s, Tensor& out);
+void mul_scalar_into(const Tensor& a, float s, Tensor& out);
+void relu_into(const Tensor& a, Tensor& out);
+void gelu_into(const Tensor& a, Tensor& out);
+void tanh_into(const Tensor& a, Tensor& out);
+void sigmoid_into(const Tensor& a, Tensor& out);
+void exp_into(const Tensor& a, Tensor& out);
+void log_into(const Tensor& a, Tensor& out);
+void sqrt_into(const Tensor& a, Tensor& out);
+void abs_into(const Tensor& a, Tensor& out);
+void permute_into(const Tensor& a, const std::vector<int64_t>& perm,
+                  Tensor& out);
+void slice_into(const Tensor& a, int64_t dim, int64_t start, int64_t length,
+                Tensor& out);
+void cat_into(const std::vector<Tensor>& ts, int64_t dim, Tensor& out);
+void pad2d_into(const Tensor& a, int64_t top, int64_t bottom, int64_t left,
+                int64_t right, Tensor& out);
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
+void bmm_into(const Tensor& a, const Tensor& b, Tensor& out);
+void softmax_lastdim_into(const Tensor& a, Tensor& out);
+void sum_dim_into(const Tensor& a, int64_t dim, bool keepdim, Tensor& out);
+void resize_bilinear_into(const Tensor& a, int64_t oh, int64_t ow,
+                          Tensor& out);
+
+/// Activation codes shared between the plan IR (plan::Act) and the fused
+/// kernels: 0 none, 1 relu, 2 gelu, 3 tanh. The expressions MUST stay
+/// bit-identical to the unary kernels above — the plan executor relies on
+/// fused act(x) matching a separate activation pass exactly.
+float act_apply(int act, float v);
+
+/// Fused out = act(a + b) (c == nullptr) or out = act((a + b) + c).
+/// The 2-input form broadcasts like add(); the 3-input form requires equal
+/// shapes. Per element the arithmetic matches add-then-activation exactly
+/// (same expressions, same order), so fusing never changes bits.
+void fused_add_act_into(const Tensor& a, const Tensor& b, const Tensor* c,
+                        int act, Tensor& out);
+/// Fused out = softmax_lastdim(a * scale): the scaled row is materialized
+/// into `out` first and the softmax then runs the identical max/exp/sum/
+/// scale sequence as softmax_lastdim_into — bit-identical to mul_scalar
+/// followed by softmax.
+void scaled_softmax_lastdim_into(const Tensor& a, float scale, Tensor& out);
+
 }  // namespace saufno
