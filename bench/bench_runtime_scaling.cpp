@@ -8,18 +8,39 @@
 // batched rows show the >= 2x target; on fewer cores the batching rows
 // still win by amortizing per-call overhead across coalesced requests.
 //
+// The overload scenario drives OPEN-LOOP arrivals at 2x the measured
+// closed-loop capacity against a bounded queue: the engine must shed with
+// OverloadedError + a retry-after hint instead of growing the backlog, no
+// accepted request may resolve with a value after its deadline, and
+// requests resubmitted after waiting out their hint should mostly land.
+// Shed rate, p99 of accepted requests and retry-after accuracy are merged
+// into BENCH_rollout.json under the "overload" key (run bench_rollout
+// first — it rewrites that file wholesale).
+//
 // Knobs: SAUFNO_SERVE_N (requests per cell), SAUFNO_NUM_THREADS (initial
 // pool size; the sweep resizes in-process), SAUFNO_SCALE=paper for the
-// larger model/grid.
+// larger model/grid. `--smoke` (or SAUFNO_SMOKE=1) turns the overload
+// invariants into hard failures for CI.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/env.h"
+#include "common/json_writer.h"
 #include "common/timer.h"
+#include "runtime/errors.h"
 #include "runtime/inference_engine.h"
+#include "runtime/request_queue.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
 #include "train/model_zoo.h"
@@ -80,11 +101,202 @@ double engine_rps(const std::shared_ptr<nn::Module>& model,
   return rps;
 }
 
+// ---------------------------------------------------------------------------
+// Overload scenario: open-loop arrivals at 2x saturation.
+// ---------------------------------------------------------------------------
+
+struct OverloadResult {
+  int arrivals = 0;
+  int accepted = 0;
+  int shed = 0;
+  int retries = 0;
+  int retries_accepted = 0;
+  int deadline_violations = 0;  // value delivered AFTER the deadline: bug
+  int64_t value_ok = 0;
+  int64_t expired = 0;
+  int64_t failed = 0;
+  double capacity_rps = 0.0;   // measured closed-loop throughput
+  double offered_rps = 0.0;    // open-loop arrival rate actually achieved
+  double shed_rate = 0.0;
+  double p99_accepted_ms = 0.0;
+  double mean_retry_after_ms = 0.0;
+  double retry_accept_rate = 0.0;  // retries admitted after waiting the hint
+};
+
+OverloadResult run_overload(const std::shared_ptr<nn::Module>& model,
+                            const std::vector<Tensor>& maps, int n_arrivals,
+                            int deadline_ms) {
+  using clock = std::chrono::steady_clock;
+  OverloadResult r;
+
+  // Closed-loop capacity at the overload serving config (4 lanes, batch 8).
+  // Two passes: the first warms the plan cache and arena so the capacity
+  // estimate reflects steady state, not compilation.
+  runtime::InferenceStats warm_stats;
+  engine_rps(model, maps, /*threads=*/4, /*batch=*/8, &warm_stats);
+  r.capacity_rps = engine_rps(model, maps, 4, 8, nullptr);
+
+  runtime::ThreadPool::instance().resize(4);
+  runtime::InferenceEngine::Config cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 1000;
+  cfg.queue_capacity = 32;  // the bounded buffer overload pushes against
+  runtime::InferenceEngine engine(model, cfg);
+
+  // Harvesters observe each accepted future against its ABSOLUTE deadline:
+  // wait_until(deadline) timing out and then get() yielding a value means
+  // the engine delivered late — the contract violation the smoke gate trips
+  // on. The check is exact regardless of harvester lag because the verdict
+  // is taken at the deadline, not at get() time.
+  struct Item {
+    std::future<Tensor> fut;
+    clock::time_point deadline;
+  };
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Item> inbox;
+  bool done = false;
+  std::atomic<int64_t> value_ok{0}, expired{0}, failed{0};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> harvesters;
+  for (int h = 0; h < 8; ++h) {
+    harvesters.emplace_back([&] {
+      for (;;) {
+        Item item;
+        {
+          std::unique_lock<std::mutex> lk(m);
+          cv.wait(lk, [&] { return done || !inbox.empty(); });
+          if (inbox.empty()) return;
+          item = std::move(inbox.front());
+          inbox.pop_front();
+        }
+        const bool in_time =
+            item.fut.wait_until(item.deadline) == std::future_status::ready;
+        try {
+          item.fut.get();
+          value_ok.fetch_add(1);
+          if (!in_time) violations.fetch_add(1);
+        } catch (const runtime::DeadlineExceededError&) {
+          expired.fetch_add(1);
+        } catch (const std::exception&) {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Open-loop: arrival i is DUE at t0 + i*period regardless of how the
+  // engine is doing — that is what distinguishes overload from a polite
+  // closed-loop client, and why the queue must shed rather than buffer.
+  const double period_s = 1.0 / (2.0 * r.capacity_rps);
+  struct Retry {
+    clock::time_point due;
+    std::size_t map_idx;
+  };
+  std::deque<Retry> retry_queue;
+  double retry_after_sum_ms = 0.0;
+  const auto t0 = clock::now();
+  auto submit_one = [&](std::size_t map_idx, bool is_retry) {
+    runtime::SubmitOptions opts;
+    opts.deadline = clock::now() + std::chrono::milliseconds(deadline_ms);
+    try {
+      auto fut = engine.submit(maps[map_idx % maps.size()].clone(), opts);
+      {
+        std::lock_guard<std::mutex> lk(m);
+        inbox.push_back(Item{std::move(fut), opts.deadline});
+      }
+      cv.notify_one();
+      if (is_retry) ++r.retries_accepted;
+      else ++r.accepted;
+      return true;
+    } catch (const runtime::OverloadedError& e) {
+      if (!is_retry) {
+        ++r.shed;
+        retry_after_sum_ms += e.retry_after_ms();
+        // Honor the hint: resubmit this request once, when the engine said
+        // capacity should be back.
+        retry_queue.push_back(
+            Retry{clock::now() + std::chrono::milliseconds(static_cast<int64_t>(
+                      e.retry_after_ms() + 0.5)),
+                  map_idx});
+      }
+      return false;
+    }
+  };
+  for (int i = 0; i < n_arrivals; ++i) {
+    const auto due =
+        t0 + std::chrono::duration_cast<clock::duration>(
+                 std::chrono::duration<double>(period_s * i));
+    std::this_thread::sleep_until(due);
+    while (!retry_queue.empty() && retry_queue.front().due <= clock::now()) {
+      ++r.retries;
+      submit_one(retry_queue.front().map_idx, /*is_retry=*/true);
+      retry_queue.pop_front();
+    }
+    submit_one(static_cast<std::size_t>(i), /*is_retry=*/false);
+    ++r.arrivals;
+  }
+  r.offered_rps = r.arrivals /
+                  std::chrono::duration<double>(clock::now() - t0).count();
+  // Fire any still-pending retries so the accuracy sample isn't truncated.
+  while (!retry_queue.empty()) {
+    std::this_thread::sleep_until(retry_queue.front().due);
+    ++r.retries;
+    submit_one(retry_queue.front().map_idx, true);
+    retry_queue.pop_front();
+  }
+  {
+    std::lock_guard<std::mutex> lk(m);
+    done = true;
+  }
+  cv.notify_all();
+  for (auto& h : harvesters) h.join();
+
+  const auto st = engine.stats();
+  r.value_ok = value_ok.load();
+  r.expired = expired.load();
+  r.failed = failed.load();
+  r.deadline_violations = violations.load();
+  r.shed_rate = r.arrivals > 0 ? static_cast<double>(r.shed) / r.arrivals : 0;
+  r.p99_accepted_ms = st.latency_p99_ms;
+  r.mean_retry_after_ms = r.shed > 0 ? retry_after_sum_ms / r.shed : 0.0;
+  r.retry_accept_rate =
+      r.retries > 0 ? static_cast<double>(r.retries_accepted) / r.retries : 0;
+  return r;
+}
+
+std::string overload_json(const OverloadResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("capacity_rps", r.capacity_rps, 1);
+  w.field("offered_rps", r.offered_rps, 1);
+  w.field("arrivals", r.arrivals);
+  w.field("accepted", r.accepted);
+  w.field("shed", r.shed);
+  w.field("shed_rate", r.shed_rate, 4);
+  w.field("p99_accepted_ms", r.p99_accepted_ms, 3);
+  w.field("deadline_violations", r.deadline_violations);
+  w.field("retries", r.retries);
+  w.field("retries_accepted", r.retries_accepted);
+  w.field("retry_accept_rate", r.retry_accept_rate, 4);
+  w.field("mean_retry_after_ms", r.mean_retry_after_ms, 3);
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace
 }  // namespace saufno
 
-int main() {
+int main(int argc, char** argv) {
   using namespace saufno;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const char* smoke_env = std::getenv("SAUFNO_SMOKE");
+  if (smoke_env != nullptr && smoke_env[0] != '\0' && smoke_env[0] != '0') {
+    smoke = true;
+  }
 
   const int64_t res = scaled(16, 40);
   const int n_requests = env_int("SAUFNO_SERVE_N", scaled(64, 512));
@@ -131,6 +343,38 @@ int main() {
                   st.latency_p50_ms, st.latency_p95_ms);
     }
   }
+  std::printf("\n== overload: open-loop arrivals at 2x saturation ==\n");
+  const int n_arrivals = smoke ? 200 : 1000;
+  const int deadline_ms = smoke ? 300 : 1000;
+  const auto ov = run_overload(model, maps, n_arrivals, deadline_ms);
+  std::printf("capacity %.1f req/s, offered %.1f req/s, %d arrivals\n",
+              ov.capacity_rps, ov.offered_rps, ov.arrivals);
+  std::printf("accepted %d, shed %d (%.1f%%), p99 accepted %.2f ms\n",
+              ov.accepted, ov.shed, ov.shed_rate * 100.0, ov.p99_accepted_ms);
+  std::printf("retries %d, admitted after waiting the hint %d (%.0f%%), "
+              "mean hint %.2f ms\n",
+              ov.retries, ov.retries_accepted, ov.retry_accept_rate * 100.0,
+              ov.mean_retry_after_ms);
+  std::printf("deadline violations (value after deadline): %d\n",
+              ov.deadline_violations);
+  json_merge_field("BENCH_rollout.json", "overload", overload_json(ov));
+
   runtime::ThreadPool::instance().resize(1);
+
+  if (smoke) {
+    // CI gates. A value delivered past its deadline is a contract bug at
+    // any load; 2x saturation against a 32-slot queue that never sheds
+    // means admission control is not actually bounding the backlog.
+    if (ov.deadline_violations > 0) {
+      std::printf("FAIL: %d accepted request(s) resolved with a value after "
+                  "their deadline\n", ov.deadline_violations);
+      return 1;
+    }
+    if (ov.shed == 0) {
+      std::printf("FAIL: 2x saturation never shed a request — admission "
+                  "control is not engaging\n");
+      return 1;
+    }
+  }
   return 0;
 }

@@ -22,6 +22,7 @@
 //
 // Usage: serving_demo [n_clients] [requests_per_client]
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -86,6 +87,7 @@ int main(int argc, char** argv) {
               n_clients, per_client);
 
   std::vector<std::thread> clients;
+  std::atomic<int> request_errors{0};
   for (int c = 0; c < n_clients; ++c) {
     clients.emplace_back([&, c] {
       // Two live resolutions: the shape-sharded queue batches each shape
@@ -95,18 +97,29 @@ int main(int argc, char** argv) {
       for (int r = 0; r < per_client; ++r) {
         // A power map plus the two coordinate channels the model lifts.
         Tensor request = Tensor::rand_uniform({3, res, res}, rng, 0.f, 1.f);
-        const Tensor temperature = engine->submit(std::move(request)).get();
-        if (r == 0 && c == 0) {
-          std::printf("first response: temperature field %s, range "
-                      "[%.3f, %.3f]%s\n",
-                      shape_str(temperature.shape()).c_str(),
-                      min_all(temperature), max_all(temperature),
-                      engine->has_normalizer() ? " K" : " (normalized)");
+        try {
+          const Tensor temperature = engine->submit(std::move(request)).get();
+          if (r == 0 && c == 0) {
+            std::printf("first response: temperature field %s, range "
+                        "[%.3f, %.3f]%s\n",
+                        shape_str(temperature.shape()).c_str(),
+                        min_all(temperature), max_all(temperature),
+                        engine->has_normalizer() ? " K" : " (normalized)");
+          }
+        } catch (const runtime::EngineError& e) {
+          // Per-request failures (SAUFNO_FAULT injection, shed load,
+          // deadline) are part of the serving contract: report, keep going.
+          request_errors.fetch_add(1, std::memory_order_relaxed);
+          std::printf("[client %d] request %d failed: %s\n", c, r, e.what());
         }
       }
     });
   }
   for (auto& t : clients) t.join();
+  if (const int errs = request_errors.load(); errs > 0) {
+    std::printf("\n%d request(s) resolved with a typed error (see above)\n",
+                errs);
+  }
 
   const auto s = engine->stats();
   std::printf("\n-- engine stats --\n");

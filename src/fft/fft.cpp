@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "fft/plan.h"
 #include "obs/kernel_profile.h"
@@ -135,6 +136,7 @@ void fft_1d(cfloat* x, int64_t n, bool inverse) {
 void fft_2d(cfloat* x, int64_t batch, int64_t h, int64_t w, bool inverse) {
   static obs::Histogram& prof_hist = obs::histogram("kernel.fft_2d_us");
   obs::KernelTimer prof_timer(prof_hist, "fft.fft_2d");
+  SAUFNO_FAULT_POINT("fft");
   // The batch axis is the parallel seam: each [h, w] plane is transformed
   // independently by one chunk, so results are bit-identical for any thread
   // count. The spectral layers batch all B*C channel planes into one call,
@@ -158,6 +160,7 @@ void fft_3d(cfloat* x, int64_t batch, int64_t d, int64_t h, int64_t w,
             bool inverse) {
   static obs::Histogram& prof_hist = obs::histogram("kernel.fft_3d_us");
   obs::KernelTimer prof_timer(prof_hist, "fft.fft_3d");
+  SAUFNO_FAULT_POINT("fft");
   // Planes first (h, w), then 1-D transforms along the depth axis. Each
   // volume's depth pass is independent, so volumes parallelize like planes.
   fft_2d(x, batch * d, h, w, inverse);
@@ -177,6 +180,7 @@ void rfft_2d(const float* x, cfloat* out, int64_t batch, int64_t h, int64_t w,
              int64_t wk) {
   static obs::Histogram& prof_hist = obs::histogram("kernel.rfft_2d_us");
   obs::KernelTimer prof_timer(prof_hist, "fft.rfft_2d");
+  SAUFNO_FAULT_POINT("fft");
   SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
                "rfft_2d: wk out of range for width " + std::to_string(w));
   const auto rp = get_rfft_plan(w);
@@ -199,6 +203,7 @@ void irfft_2d(cfloat* spec, float* out, int64_t batch, int64_t h, int64_t w,
               int64_t wk, float scale) {
   static obs::Histogram& prof_hist = obs::histogram("kernel.irfft_2d_us");
   obs::KernelTimer prof_timer(prof_hist, "fft.irfft_2d");
+  SAUFNO_FAULT_POINT("fft");
   SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
                "irfft_2d: wk out of range for width " + std::to_string(w));
   const auto rp = get_rfft_plan(w);
@@ -237,6 +242,7 @@ void rfft_3d(const float* x, cfloat* out, int64_t batch, int64_t d, int64_t h,
              int64_t w, int64_t wk, int64_t mh) {
   static obs::Histogram& prof_hist = obs::histogram("kernel.rfft_3d_us");
   obs::KernelTimer prof_timer(prof_hist, "fft.rfft_3d");
+  SAUFNO_FAULT_POINT("fft");
   SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
                "rfft_3d: wk out of range for width " + std::to_string(w));
   const auto rp = get_rfft_plan(w);
@@ -271,6 +277,7 @@ void irfft_3d(cfloat* spec, float* out, int64_t batch, int64_t d, int64_t h,
               int64_t w, int64_t wk, int64_t mh, float scale) {
   static obs::Histogram& prof_hist = obs::histogram("kernel.irfft_3d_us");
   obs::KernelTimer prof_timer(prof_hist, "fft.irfft_3d");
+  SAUFNO_FAULT_POINT("fft");
   SAUFNO_CHECK(wk >= 1 && wk <= rfft_cols(w),
                "irfft_3d: wk out of range for width " + std::to_string(w));
   const auto rp = get_rfft_plan(w);

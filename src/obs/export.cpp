@@ -42,6 +42,7 @@ std::string dump_json() {
       w.field("p50", s.p50, 9);
       w.field("p95", s.p95, 9);
       w.field("p99", s.p99, 9);
+      w.field("p999", s.p999, 9);
       w.end_object();
     } else {
       w.field(s.name, s.value, 6);
@@ -70,6 +71,7 @@ std::string dump_prometheus() {
         out += n + "{quantile=\"0.5\"} " + num(s.p50) + "\n";
         out += n + "{quantile=\"0.95\"} " + num(s.p95) + "\n";
         out += n + "{quantile=\"0.99\"} " + num(s.p99) + "\n";
+        out += n + "{quantile=\"0.999\"} " + num(s.p999) + "\n";
         out += n + "_sum " + num(s.sum) + "\n";
         out += n + "_count " + num(static_cast<double>(s.count)) + "\n";
         out += n + "_min " + num(s.min) + "\n";

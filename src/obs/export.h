@@ -9,8 +9,8 @@ namespace obs {
 /// Registry::snapshot(), so a scrape is safe while every writer is hot.
 
 /// JSON object mapping metric name -> value (counters/gauges/callbacks) or
-/// -> {count, sum, min, max, p50, p95, p99} (histograms). Embedded verbatim
-/// in every BENCH_*.json and printable by serving binaries.
+/// -> {count, sum, min, max, p50, p95, p99, p999} (histograms). Embedded
+/// verbatim in every BENCH_*.json and printable by serving binaries.
 std::string dump_json();
 
 /// Prometheus-style text exposition: one `# TYPE` line per metric, metric

@@ -258,6 +258,7 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
     s.p50 = h->quantile(0.50);
     s.p95 = h->quantile(0.95);
     s.p99 = h->quantile(0.99);
+    s.p999 = h->quantile(0.999);
     out.push_back(std::move(s));
   }
   for (const auto& [name, fn] : impl_->callbacks) {

@@ -125,7 +125,7 @@ struct MetricSnapshot {
   // Histogram summary:
   int64_t count = 0;
   double sum = 0.0, min = 0.0, max = 0.0;
-  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, p999 = 0.0;
 };
 
 /// Name-keyed owner of every metric in the process. Metrics are created on

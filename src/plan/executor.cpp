@@ -9,6 +9,7 @@
 #include "autograd/conv_ops.h"
 #include "autograd/spectral3d_ops.h"
 #include "autograd/spectral_ops.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "obs/kernel_profile.h"
 #include "obs/metrics.h"
@@ -230,6 +231,7 @@ void PlanExecutor::release_buffer(std::unique_ptr<BoundBuffer> b) {
 }
 
 Tensor PlanExecutor::run(const Tensor& input) {
+  SAUFNO_FAULT_POINT("plan");
   const Plan& p = *plan_;
   SAUFNO_CHECK(input.shape() == p.in_shape,
                "plan input shape mismatch: got " + shape_str(input.shape()) +

@@ -42,6 +42,11 @@ class PlanRunner {
   /// and interprets instead, so serving never breaks.
   Tensor forward(const Tensor& input);
 
+  /// Force one interpreted forward regardless of mode: the engine's output
+  /// guard retries through this when a plan-mode forward produced non-finite
+  /// values (degrade once, then fail only the affected requests).
+  Tensor forward_interpreted(const Tensor& input) { return interpret(input); }
+
   Mode mode() const { return mode_; }
   /// Number of shapes with a cached compile attempt (hit or failed).
   std::size_t cache_size() const;

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace saufno {
+namespace runtime {
+
+/// Typed error taxonomy for the serving runtime. Every failure a client can
+/// observe through a submit() call or a future resolves to one of these (all
+/// rooted in std::runtime_error, so pre-existing catch sites keep working):
+///
+///   - OverloadedError:       admission control shed the request (fail-fast
+///                            at submit; carries a retry-after hint).
+///   - DeadlineExceededError: the request's deadline passed before a result
+///                            could be delivered.
+///   - CancelledError:        the request's CancelToken fired first.
+///   - ShutdownError:         the engine was stopped/drained; the request
+///                            was refused or could not be served in time.
+///   - RequestError:          THIS request is at fault (invalid input,
+///                            isolated per-request failure, non-finite
+///                            output) — the engine and its batch-mates are
+///                            fine. Messages name the request (submit
+///                            sequence number + shape).
+class EngineError : public std::runtime_error {
+ public:
+  explicit EngineError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Thrown by submit() when admission control rejects the request (queue at
+/// capacity). `retry_after_ms` estimates when capacity should be available
+/// again: current backlog in batches times the recent per-batch serve time.
+class OverloadedError : public EngineError {
+ public:
+  OverloadedError(const std::string& msg, double retry_after_ms)
+      : EngineError(msg), retry_after_ms_(retry_after_ms) {}
+  double retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  double retry_after_ms_;
+};
+
+class DeadlineExceededError : public EngineError {
+ public:
+  using EngineError::EngineError;
+};
+
+class CancelledError : public EngineError {
+ public:
+  using EngineError::EngineError;
+};
+
+class ShutdownError : public EngineError {
+ public:
+  using EngineError::EngineError;
+};
+
+/// Per-request fault: the request itself is invalid or was isolated as the
+/// culprit of a batch failure. Batch-mates are unaffected.
+class RequestError : public EngineError {
+ public:
+  using EngineError::EngineError;
+};
+
+/// Client-side cancellation handle. The default-constructed token is INERT
+/// (never cancelled, no allocation); `CancelToken::make()` returns a live
+/// token whose flag is shared between the client and the queued request.
+/// `request_cancel()` is thread-safe and idempotent; a cancelled request is
+/// completed with CancelledError at dequeue time (it never occupies a batch
+/// slot), or at the batcher's pre-forward check if it was already popped.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  static CancelToken make() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// No-op on an inert token.
+  void request_cancel() {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True for tokens created via make() (cancellation possible at all).
+  bool valid() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace runtime
+}  // namespace saufno

@@ -28,6 +28,10 @@ RolloutSession::RolloutSession(InferenceEngine* engine,
 }
 
 void RolloutSession::submit_step(Tensor power_map) {
+  submit_step(std::move(power_map), SubmitOptions{});
+}
+
+void RolloutSession::submit_step(Tensor power_map, SubmitOptions opts) {
   SAUFNO_CHECK(!pending_.has_value(),
                "submit_step with a step already outstanding (autoregression "
                "needs step n's result before step n+1 can start)");
@@ -38,8 +42,19 @@ void RolloutSession::submit_step(Tensor power_map) {
                "step expects a [C_power, H, W] power map matching the "
                "session resolution, got " +
                    shape_str(power_map.shape()));
-  pending_ = engine_->submit(
-      data::assemble_step_input(norm_state_, power_map, *norm_));
+  try {
+    pending_ = engine_->submit(
+        data::assemble_step_input(norm_state_, power_map, *norm_),
+        std::move(opts));
+  } catch (const ShutdownError&) {
+    // Re-type with session context: the caller is driving a trajectory, not
+    // the inner engine, and must learn the session is still valid (state
+    // unchanged) but its server is gone.
+    throw ShutdownError(
+        "rollout step refused: the RolloutEngine behind this session was "
+        "stopped (session at step " +
+        std::to_string(steps_) + ")");
+  }
 }
 
 Tensor RolloutSession::await_step() {

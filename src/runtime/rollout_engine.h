@@ -32,8 +32,14 @@ class RolloutEngine;
 class RolloutSession {
  public:
   /// Submit this step's [C_power, H, W] raw power-density map. Returns
-  /// immediately; the forward happens on the engine's batcher.
+  /// immediately; the forward happens on the engine's batcher. Throws
+  /// ShutdownError (naming the session) if the RolloutEngine behind this
+  /// session was stopped; the session itself is left re-submittable.
+  /// The overload threads a per-step deadline / cancel token through to the
+  /// underlying engine (await_step then surfaces DeadlineExceededError /
+  /// CancelledError, state unchanged, so the caller can retry the step).
   void submit_step(Tensor power_map);
+  void submit_step(Tensor power_map, SubmitOptions opts);
 
   /// Wait for the submitted step, advance the internal state, and return
   /// the kelvin temperature field [C_state, H, W] after the step.

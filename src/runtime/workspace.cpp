@@ -5,6 +5,8 @@
 #include <new>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace saufno {
 namespace runtime {
 namespace {
@@ -200,6 +202,7 @@ Reservation& Reservation::operator=(Reservation&& o) noexcept {
 }
 
 void* arena_acquire(std::size_t bytes) {
+  SAUFNO_FAULT_POINT("alloc");
   const int b = bucket_of(bytes);
   ThreadArena& a = local_arena();
   a.c.outstanding.fetch_add(1, std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "common/fault.h"
 #include "obs/kernel_profile.h"
 #include "runtime/parallel_for.h"
 #include "runtime/workspace.h"
@@ -182,6 +183,7 @@ void gemm_blocked(const float* a, const float* b, float* c, int64_t m,
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
           int64_t k, bool accumulate) {
+  SAUFNO_FAULT_POINT("gemm");
   // SAUFNO_PROFILE_KERNELS: time every gemm into the registry (and the
   // trace when one is live). Off by default — a relaxed load and a branch.
   static obs::Histogram& prof_hist = obs::histogram("kernel.gemm_us");

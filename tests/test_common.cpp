@@ -8,6 +8,7 @@
 #include "common/ascii.h"
 #include "common/csv.h"
 #include "common/env.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -274,6 +275,90 @@ TEST(Logging, LevelFilters) {
   SAUFNO_INFO << "should be filtered";
   SAUFNO_ERROR << "should appear";
   set_log_level(before);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection spec parsing and deterministic firing (common/fault.h).
+// The config is process-global, so each test clears it on the way out.
+// ---------------------------------------------------------------------------
+
+TEST(Fault, ParsesMultiRuleSpec) {
+  std::string err;
+  const auto rules = fault::parse_spec(
+      "alloc:p=0.01,forward:throw:p=0.001,delay:ms=50:p=0.05", &err);
+  ASSERT_EQ(rules.size(), 3u) << err;
+  EXPECT_EQ(rules[0].site, "alloc");
+  EXPECT_EQ(rules[0].action, fault::Rule::kThrow);
+  EXPECT_DOUBLE_EQ(rules[0].p, 0.01);
+  EXPECT_EQ(rules[1].site, "forward");
+  EXPECT_EQ(rules[1].action, fault::Rule::kThrow);
+  EXPECT_DOUBLE_EQ(rules[1].p, 0.001);
+  // Action-first rule: applies to every site via the "*" wildcard.
+  EXPECT_EQ(rules[2].site, "*");
+  EXPECT_EQ(rules[2].action, fault::Rule::kDelay);
+  EXPECT_EQ(rules[2].delay_ms, 50);
+  EXPECT_DOUBLE_EQ(rules[2].p, 0.05);
+}
+
+TEST(Fault, ParsesFirstNAndBareSite) {
+  std::string err;
+  const auto rules = fault::parse_spec("forward:throw:n=3,gemm", &err);
+  ASSERT_EQ(rules.size(), 2u) << err;
+  EXPECT_EQ(rules[0].first_n, 3);
+  EXPECT_EQ(rules[1].site, "gemm");
+  EXPECT_EQ(rules[1].action, fault::Rule::kThrow);
+  EXPECT_DOUBLE_EQ(rules[1].p, 1.0);
+}
+
+TEST(Fault, RejectsMalformedSpecs) {
+  for (const char* bad : {"forward:p=2",        // probability out of range
+                          "forward:p=abc",      // not a number
+                          "forward:bogus=1",    // unknown parameter
+                          "forward:throw:ms=x", // garbage delay
+                          ",,",                 // empty tokens
+                          "forward:n=-2"}) {    // negative first_n
+    std::string err;
+    const auto rules = fault::parse_spec(bad, &err);
+    EXPECT_TRUE(rules.empty()) << "accepted: " << bad;
+    EXPECT_FALSE(err.empty()) << "no diagnostic for: " << bad;
+  }
+}
+
+TEST(Fault, FirstNFiresExactlyNTimesThenGoesQuiet) {
+  ASSERT_TRUE(fault::configure("unit_test_site:throw:n=2", 7));
+  int thrown = 0;
+  for (int i = 0; i < 10; ++i) {
+    try {
+      fault::point("unit_test_site");
+    } catch (const fault::FaultInjectedError&) {
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 2);
+  EXPECT_EQ(fault::injected_count("unit_test_site"), 2);
+  fault::clear();
+  EXPECT_NO_THROW(fault::point("unit_test_site"));
+}
+
+TEST(Fault, ProbabilisticFiringIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    EXPECT_TRUE(fault::configure("unit_test_site:throw:p=0.3", seed));
+    std::vector<int> fired;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        fault::point("unit_test_site");
+      } catch (const fault::FaultInjectedError&) {
+        fired.push_back(i);
+      }
+    }
+    fault::clear();
+    return fired;
+  };
+  const auto a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b) << "same seed produced different firing patterns";
+  EXPECT_NE(a, c) << "different seeds produced identical firing patterns";
+  EXPECT_GT(a.size(), 8u);   // p=0.3 over 64 evals: ~19 expected
+  EXPECT_LT(a.size(), 32u);
 }
 
 TEST(Timer, MeasuresElapsedTime) {

@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <limits>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "data/normalizer.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
@@ -371,6 +374,320 @@ TEST(InferenceEngine, ThroughputMeasuredOverBusyWindowNotLifetime) {
   // sleep only ever widens the gap.
   EXPECT_LT(s.wall_seconds, lifetime - 0.200);
   EXPECT_GT(s.throughput_rps, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Overload safety: admission control, deadlines, cancellation, fault
+// isolation, drain, watchdog. Fault injection (common/fault.h) is process-
+// global, so every test that arms it uses the RAII guard below.
+// ---------------------------------------------------------------------------
+
+struct FaultGuard {
+  FaultGuard(const char* spec, std::uint64_t seed) {
+    EXPECT_TRUE(fault::configure(spec, seed));
+  }
+  ~FaultGuard() { fault::clear(); }
+};
+
+TEST(InferenceEngine, SubmitAfterStopThrowsTypedShutdownError) {
+  InferenceEngine engine(smoke_model(), InferenceEngine::Config{});
+  engine.stop();
+  Rng rng(61);
+  EXPECT_THROW(engine.submit(Tensor::randn({3, 10, 10}, rng)),
+               runtime::ShutdownError);
+}
+
+TEST(InferenceEngine, AdmissionControlShedsWithRetryAfterHint) {
+  // Slow every forward down so the bounded queue actually backs up; with
+  // capacity 4 and max_batch 1, at most ~6 of 16 rapid submits can be
+  // admitted (1 in flight + 4 queued + 1 popped) and the rest must shed
+  // fast with OverloadedError instead of growing the backlog.
+  FaultGuard fg("forward:delay:ms=30:p=1", 1);
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 4;
+  InferenceEngine engine(smoke_model(), cfg);
+  const auto maps = random_maps(16, 10, 62);
+  std::vector<std::future<Tensor>> accepted;
+  int shed = 0;
+  double last_retry_ms = 0.0;
+  for (const auto& m : maps) {
+    try {
+      accepted.push_back(engine.submit(m.clone()));
+    } catch (const runtime::OverloadedError& e) {
+      ++shed;
+      last_retry_ms = e.retry_after_ms();
+      EXPECT_NE(std::string(e.what()).find("retry after"), std::string::npos);
+    }
+  }
+  ASSERT_GT(shed, 0) << "16 rapid submits against capacity 4 never shed";
+  EXPECT_GT(last_retry_ms, 0.0);
+  for (auto& f : accepted) EXPECT_NO_THROW(f.get());
+  const auto s = engine.stats();
+  EXPECT_EQ(s.rejected, shed);
+  EXPECT_EQ(s.requests, static_cast<int64_t>(accepted.size()));
+}
+
+TEST(InferenceEngine, ExpiredDeadlineFailsTypedAndNeverDeliversLate) {
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 1000;
+  InferenceEngine engine(smoke_model(), cfg);
+  Rng rng(63);
+  // Already expired at submit: must resolve with DeadlineExceededError (at
+  // dequeue), never with a value.
+  runtime::SubmitOptions past;
+  past.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);
+  auto doomed = engine.submit(Tensor::randn({3, 10, 10}, rng), past);
+  EXPECT_THROW(doomed.get(), runtime::DeadlineExceededError);
+  // A generous deadline serves normally, and the engine is unharmed.
+  runtime::SubmitOptions future_ok;
+  future_ok.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(30);
+  EXPECT_NO_THROW(engine.submit(Tensor::randn({3, 10, 10}, rng), future_ok)
+                      .get());
+  const auto s = engine.stats();
+  EXPECT_EQ(s.expired, 1);
+  EXPECT_EQ(s.requests, 1);
+}
+
+TEST(InferenceEngine, TightDeadlineBehindSlowBatchNeverResolvesWithValue) {
+  // The forward takes ~60 ms; the second request's 5 ms deadline passes
+  // while it waits behind the first. Wherever the expiry is detected
+  // (dequeue, pre-forward, delivery), the future must resolve with
+  // DeadlineExceededError — a value after the deadline is a contract bug.
+  FaultGuard fg("forward:delay:ms=60:p=1", 1);
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  InferenceEngine engine(smoke_model(), cfg);
+  Rng rng(64);
+  auto first = engine.submit(Tensor::randn({3, 10, 10}, rng));
+  runtime::SubmitOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(5);
+  auto tight = engine.submit(Tensor::randn({3, 10, 10}, rng), opts);
+  EXPECT_NO_THROW(first.get());
+  EXPECT_THROW(tight.get(), runtime::DeadlineExceededError);
+}
+
+TEST(InferenceEngine, CancelTokenResolvesQueuedRequestWithCancelledError) {
+  FaultGuard fg("forward:delay:ms=60:p=1", 1);
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  InferenceEngine engine(smoke_model(), cfg);
+  Rng rng(65);
+  auto busy = engine.submit(Tensor::randn({3, 10, 10}, rng));
+  runtime::SubmitOptions opts;
+  opts.cancel = runtime::CancelToken::make();
+  auto queued = engine.submit(Tensor::randn({3, 10, 10}, rng), opts);
+  opts.cancel.request_cancel();  // fires while the request is still queued
+  EXPECT_THROW(queued.get(), runtime::CancelledError);
+  EXPECT_NO_THROW(busy.get());
+  EXPECT_EQ(engine.stats().cancelled, 1);
+}
+
+TEST(InferenceEngine, NonFiniteInputRejectedAtSubmitNamingTheRequest) {
+  InferenceEngine engine(smoke_model(), InferenceEngine::Config{});
+  Tensor poisoned = Tensor::zeros({3, 10, 10});
+  poisoned.data()[17] = std::numeric_limits<float>::quiet_NaN();
+  try {
+    engine.submit(std::move(poisoned));
+    FAIL() << "NaN input passed validate_finite";
+  } catch (const runtime::RequestError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("non-finite"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("seq="), std::string::npos) << msg;
+  }
+  // The engine is untouched: a clean request still serves.
+  Rng rng(66);
+  EXPECT_NO_THROW(engine.submit(Tensor::randn({3, 10, 10}, rng)).get());
+}
+
+TEST(InferenceEngine, PoisonedBatchFailsOnlyTheCulpableRequest) {
+  // validate_finite off lets a NaN input reach the batch; every kernel is
+  // per-sample independent, so only the poisoned row's output is non-finite.
+  // The output guard must fail exactly that request and deliver batch-mates
+  // bit-identical to a clean engine's results.
+  auto model = smoke_model();
+  const auto maps = random_maps(3, 12, 67);
+  std::vector<Tensor> expected;
+  for (const auto& m : maps) {
+    Var out = model->forward(Var(m.reshape({1, 3, 12, 12}).clone()));
+    expected.push_back(out.value().reshape({1, 12, 12}).clone());
+  }
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 100000;  // the four submits must coalesce into one batch
+  cfg.validate_finite = false;
+  InferenceEngine engine(model, cfg);
+  Tensor poisoned = Tensor::zeros({3, 12, 12});
+  poisoned.data()[5] = std::numeric_limits<float>::infinity();
+  std::vector<std::future<Tensor>> futs;
+  futs.push_back(engine.submit(std::move(poisoned)));
+  for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+  try {
+    futs[0].get();
+    FAIL() << "poisoned request resolved with a value";
+  } catch (const runtime::RequestError& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    const Tensor got = futs[i + 1].get();
+    EXPECT_EQ(std::memcmp(got.data(), expected[i].data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(got.numel())),
+              0)
+        << "batch-mate " << i << " was perturbed by the poisoned row";
+  }
+  EXPECT_EQ(engine.stats().failed, 1);
+}
+
+TEST(InferenceEngine, TransientBatchFaultIsolatedByBisectionAllSucceed) {
+  // The fault fires on the FIRST forward attempt only (n=1): the batch-wide
+  // attempt throws, the bisected halves run clean, so every request must
+  // still succeed — bit-identical to the sequential reference.
+  auto model = smoke_model();
+  const auto maps = random_maps(4, 12, 68);
+  std::vector<Tensor> expected;
+  for (const auto& m : maps) {
+    Var out = model->forward(Var(m.reshape({1, 3, 12, 12}).clone()));
+    expected.push_back(out.value().reshape({1, 12, 12}).clone());
+  }
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 100000;
+  InferenceEngine engine(model, cfg);
+  FaultGuard fg("forward:throw:n=1", 1);
+  std::vector<std::future<Tensor>> futs;
+  for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    Tensor got;
+    ASSERT_NO_THROW(got = futs[i].get()) << "request " << i;
+    EXPECT_EQ(std::memcmp(got.data(), expected[i].data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(got.numel())),
+              0)
+        << "bisection retry changed request " << i << "'s result";
+  }
+  EXPECT_EQ(engine.stats().requests, 4);
+  EXPECT_EQ(engine.stats().failed, 0);
+}
+
+TEST(InferenceEngine, PersistentBatchFaultFailsEveryRequestByName) {
+  // n=7 throws on the whole batch (1 eval), both halves (2), and all four
+  // singles (4): 7 attempts, all failing. Every request must get a typed
+  // RequestError that NAMES it — the old behavior fanned out one anonymous
+  // batch-wide exception.
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 100000;
+  InferenceEngine engine(smoke_model(), cfg);
+  FaultGuard fg("forward:throw:n=7", 1);
+  const auto maps = random_maps(4, 12, 69);
+  std::vector<std::future<Tensor>> futs;
+  for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    try {
+      futs[i].get();
+      FAIL() << "request " << i << " resolved despite a persistent fault";
+    } catch (const runtime::RequestError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("seq="), std::string::npos) << msg;
+      EXPECT_NE(msg.find("shape=[3, 12, 12]"), std::string::npos) << msg;
+    }
+  }
+  EXPECT_EQ(engine.stats().failed, 4);
+  EXPECT_EQ(engine.stats().requests, 0);
+}
+
+TEST(InferenceEngine, DrainServesBacklogAndFailsStragglersTyped) {
+  {
+    // Generous timeout: everything already queued must be SERVED.
+    InferenceEngine::Config cfg;
+    cfg.max_batch = 2;
+    cfg.max_wait_us = 1000;
+    InferenceEngine engine(smoke_model(), cfg);
+    const auto maps = random_maps(5, 10, 70);
+    std::vector<std::future<Tensor>> futs;
+    for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+    const std::size_t failed = engine.drain(std::chrono::seconds(30));
+    EXPECT_EQ(failed, 0u);
+    for (auto& f : futs) EXPECT_NO_THROW(f.get());
+    EXPECT_THROW(engine.submit(maps[0].clone()), runtime::ShutdownError);
+  }
+  {
+    // Zero timeout with the batcher wedged on a slow forward: the queued
+    // straggler must resolve with ShutdownError instead of hanging.
+    FaultGuard fg("forward:delay:ms=80:p=1", 1);
+    InferenceEngine::Config cfg;
+    cfg.max_batch = 1;
+    cfg.max_wait_us = 0;
+    InferenceEngine engine(smoke_model(), cfg);
+    Rng rng(71);
+    auto busy = engine.submit(Tensor::randn({3, 10, 10}, rng));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto straggler = engine.submit(Tensor::randn({3, 10, 10}, rng));
+    const std::size_t failed = engine.drain(std::chrono::milliseconds(0));
+    EXPECT_EQ(failed, 1u);
+    EXPECT_NO_THROW(busy.get());  // in-flight work still completes
+    EXPECT_THROW(straggler.get(), runtime::ShutdownError);
+  }
+}
+
+TEST(InferenceEngine, WatchdogFailsFuturesWhenBatcherStopsProgressing) {
+  // The injected forward takes 900 ms but the watchdog allows 100 ms: the
+  // client's future must fail long before the forward finishes, and the
+  // engine must refuse new work afterwards instead of queueing into a
+  // wedged batcher.
+  FaultGuard fg("forward:delay:ms=900:p=1", 1);
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.watchdog_timeout_ms = 100;
+  InferenceEngine engine(smoke_model(), cfg);
+  Rng rng(72);
+  auto fut = engine.submit(Tensor::randn({3, 10, 10}, rng));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(fut.get(), runtime::EngineError);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited, 0.7) << "future waited for the wedged forward";
+  EXPECT_THROW(engine.submit(Tensor::randn({3, 10, 10}, rng)),
+               runtime::ShutdownError);
+  EXPECT_GE(engine.stats().failed, 1);
+}
+
+TEST(InferenceEngine, DestructionWithInFlightFuturesAndOutlivingClients) {
+  // Clients hold futures in their own threads and outlive the engine: the
+  // destructor must serve (or typed-fail) every promise, and the result
+  // tensors must stay valid after the engine is gone. The ASan lane runs
+  // this against the cross-thread arena hazard from PR 5.
+  const auto maps = random_maps(6, 10, 73);
+  std::vector<std::thread> clients;
+  {
+    InferenceEngine::Config cfg;
+    cfg.max_batch = 2;
+    cfg.max_wait_us = 2000;
+    auto engine = std::make_unique<InferenceEngine>(smoke_model(), cfg);
+    for (const auto& m : maps) {
+      auto fut = engine->submit(m.clone());
+      clients.emplace_back(
+          [f = std::move(fut)]() mutable {
+            Tensor result;
+            EXPECT_NO_THROW(result = f.get());
+            // Keep the tensor alive past the engine's destruction window.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            EXPECT_GT(result.numel(), 0);
+          });
+    }
+    engine.reset();  // destructor runs with all six futures in flight
+  }
+  for (auto& t : clients) t.join();
 }
 
 TEST(InferenceEngine, DeterministicAcrossThreadCounts) {

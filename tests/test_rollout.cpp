@@ -374,6 +374,50 @@ TEST(RolloutEngine, MixedResolutionSessionsCoexist) {
   EXPECT_EQ(b.shape(), (Shape{kCs, 12, 12}));
 }
 
+TEST(RolloutSession, StepAfterEngineStopThrowsTypedShutdownError) {
+  RolloutEngine engine(tiny_model(), tiny_norm(), tiny_spec());
+  auto session = engine.open_session(ambient_field(318.0));
+  EXPECT_NO_THROW(session->step(Tensor::full({kCp, kRes, kRes}, 1.f)));
+  engine.stop();
+  try {
+    session->step(Tensor::full({kCp, kRes, kRes}, 1.f));
+    FAIL() << "step on a stopped engine returned a value";
+  } catch (const runtime::ShutdownError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rollout step refused"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("step 1"), std::string::npos) << msg;
+  }
+  // The session object itself stays valid (destruction after stop is safe).
+  EXPECT_EQ(session->steps_done(), 1);
+}
+
+TEST(RolloutEngine, ShortLivedClientThreadsCanDropSessions) {
+  // Rollout flavor of the engine's short-lived-client ASan regression:
+  // client threads open a session, run a couple of steps, and exit while
+  // other clients are still mid-flight. Session teardown must not leave
+  // dangling arena blocks or touch freed engine state.
+  auto model = tiny_model();
+  const auto norm = tiny_norm();
+  RolloutEngine engine(model, norm, tiny_spec());
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&engine, &norm, c] {
+      auto session = engine.open_session(ambient_field(norm.ambient()));
+      Rng rng = testing::test_rng(static_cast<std::uint64_t>(c) + 100);
+      const int steps = 1 + c % 3;  // staggered lifetimes
+      const auto powers = random_power_seq(steps, rng);
+      for (const Tensor& p : powers) {
+        const Tensor state = session->step(p.clone());
+        EXPECT_EQ(state.shape(), (Shape{kCs, kRes, kRes}));
+      }
+      // Session (and its last result tensor) dies here, possibly while the
+      // batcher is serving another client's wave.
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_GE(engine.stats().requests, 8);
+}
+
 // --------------------------------------------------------------------------
 // Training side
 // --------------------------------------------------------------------------

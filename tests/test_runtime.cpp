@@ -123,6 +123,7 @@ void expect_bitwise_stable(Fn compute) {
 runtime::InferenceRequest make_request(const Shape& shape) {
   runtime::InferenceRequest req;
   req.input = Tensor::zeros(shape);
+  req.result = std::make_shared<runtime::ResultSlot>();
   req.enqueued_at = std::chrono::steady_clock::now();
   return req;
 }
@@ -133,8 +134,8 @@ TEST(RequestQueue, ShardsByShapeAndDrainsRoundRobin) {
   // same-shape batches, not the batch-size-1 collapse of a single FIFO.
   const Shape a{3, 10, 10}, b{3, 14, 14};
   for (int i = 0; i < 4; ++i) {
-    ASSERT_TRUE(q.push(make_request(a)));
-    ASSERT_TRUE(q.push(make_request(b)));
+    ASSERT_TRUE(q.push(make_request(a)).ok());
+    ASSERT_TRUE(q.push(make_request(b)).ok());
   }
   EXPECT_EQ(q.size(), 8u);
   EXPECT_EQ(q.shard_count(), 2u);
@@ -145,8 +146,8 @@ TEST(RequestQueue, ShardsByShapeAndDrainsRoundRobin) {
   auto second = q.pop_batch(4, 0);
   ASSERT_EQ(second.size(), 4u);
   EXPECT_EQ(second.front().input.shape(), b);
-  for (auto& r : first) r.result.set_value(Tensor::zeros({1}));
-  for (auto& r : second) r.result.set_value(Tensor::zeros({1}));
+  for (auto& r : first) r.result->try_value(Tensor::zeros({1}));
+  for (auto& r : second) r.result->try_value(Tensor::zeros({1}));
   EXPECT_EQ(q.size(), 0u);
   EXPECT_EQ(q.shard_count(), 0u);
 }
@@ -162,7 +163,7 @@ TEST(RequestQueue, RoundRobinAlternatesBetweenLiveShards) {
     auto batch = q.pop_batch(2, 0);
     ASSERT_EQ(batch.size(), 2u);
     order.push_back(batch.front().input.shape());
-    for (auto& r : batch) r.result.set_value(Tensor::zeros({1}));
+    for (auto& r : batch) r.result->try_value(Tensor::zeros({1}));
   }
   ASSERT_EQ(order.size(), 4u);
   EXPECT_NE(order[0], order[1]);
@@ -184,7 +185,92 @@ TEST(RequestQueue, BatchDeadlineAnchorsToEnqueueTime) {
           .count();
   ASSERT_EQ(batch.size(), 1u);
   EXPECT_LT(waited, 0.150) << "pop_batch re-armed the wait at pop time";
-  batch.front().result.set_value(Tensor::zeros({1}));
+  batch.front().result->try_value(Tensor::zeros({1}));
+}
+
+TEST(RequestQueue, TotalCapacityRejectsThenRecovers) {
+  runtime::RequestQueue q;
+  q.set_capacity(/*total=*/3, /*per_shard=*/0);
+  const Shape a{3, 10, 10};
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.push(make_request(a)).ok());
+  auto rejected = q.push(make_request(a));
+  EXPECT_EQ(rejected.status, runtime::RequestQueue::PushStatus::kQueueFull);
+  EXPECT_EQ(rejected.depth, 3u);
+  EXPECT_EQ(q.size(), 3u) << "rejected push leaked into the queue";
+
+  // Draining frees capacity: the same push succeeds afterwards.
+  auto batch = q.pop_batch(3, 0);
+  ASSERT_EQ(batch.size(), 3u);
+  for (auto& r : batch) r.result->try_value(Tensor::zeros({1}));
+  EXPECT_TRUE(q.push(make_request(a)).ok());
+  q.pop_batch(1, 0).front().result->try_value(Tensor::zeros({1}));
+}
+
+TEST(RequestQueue, PerShardCapacityIsolatesHotResolution) {
+  runtime::RequestQueue q;
+  q.set_capacity(/*total=*/100, /*per_shard=*/2);
+  const Shape hot{3, 10, 10}, cold{3, 14, 14};
+  ASSERT_TRUE(q.push(make_request(hot)).ok());
+  ASSERT_TRUE(q.push(make_request(hot)).ok());
+  auto full = q.push(make_request(hot));
+  EXPECT_EQ(full.status, runtime::RequestQueue::PushStatus::kShardFull);
+  // The hot shard being full must not block other resolutions.
+  EXPECT_TRUE(q.push(make_request(cold)).ok());
+  EXPECT_EQ(q.shard_count(), 2u);
+  std::size_t drained = 0;
+  while (q.size() > 0) {
+    auto batch = q.pop_batch(8, 0);
+    drained += batch.size();
+    for (auto& r : batch) r.result->try_value(Tensor::zeros({1}));
+  }
+  EXPECT_EQ(drained, 3u);
+}
+
+TEST(RequestQueue, ReapsExpiredAndCancelledHeadsAtDequeue) {
+  runtime::RequestQueue q;
+  const Shape a{3, 10, 10};
+  auto expired = make_request(a);
+  expired.opts.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto expired_slot = expired.result;
+  auto cancelled = make_request(a);
+  auto token = runtime::CancelToken::make();
+  cancelled.opts.cancel = token;
+  auto cancelled_slot = cancelled.result;
+  auto live = make_request(a);
+  auto live_slot = live.result;
+  ASSERT_TRUE(q.push(std::move(expired)).ok());
+  ASSERT_TRUE(q.push(std::move(cancelled)).ok());
+  ASSERT_TRUE(q.push(std::move(live)).ok());
+  token.request_cancel();
+
+  auto batch = q.pop_batch(8, 0);
+  ASSERT_EQ(batch.size(), 1u) << "dead heads were handed to the batcher";
+  EXPECT_THROW(expired_slot->get_future().get(),
+               runtime::DeadlineExceededError);
+  EXPECT_THROW(cancelled_slot->get_future().get(), runtime::CancelledError);
+  EXPECT_EQ(q.expired_count(), 1);
+  EXPECT_EQ(q.cancelled_count(), 1);
+  batch.front().result->try_value(Tensor::zeros({1}));
+  EXPECT_NO_THROW(live_slot->get_future().get());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, FailPendingResolvesEveryWaiterWithTheGivenError) {
+  runtime::RequestQueue q;
+  std::vector<std::shared_ptr<runtime::ResultSlot>> slots;
+  for (int i = 0; i < 5; ++i) {
+    auto req = make_request(i % 2 == 0 ? Shape{3, 10, 10} : Shape{3, 14, 14});
+    slots.push_back(req.result);
+    ASSERT_TRUE(q.push(std::move(req)).ok());
+  }
+  const std::size_t failed = q.fail_pending(std::make_exception_ptr(
+      runtime::ShutdownError("engine drained: request not served")));
+  EXPECT_EQ(failed, 5u);
+  EXPECT_EQ(q.size(), 0u);
+  for (auto& s : slots) {
+    EXPECT_THROW(s->get_future().get(), runtime::ShutdownError);
+  }
 }
 
 TEST(RuntimeDeterminism, Gemm) {
