@@ -20,11 +20,26 @@
 //   SAUFNO_OBS_SCRAPE    "prom" emits a Prometheus-style text scrape
 //                        instead of the default JSON metrics dump
 //
+// With `--tcp` the same engine is published over a TCP socket instead of
+// being driven by in-process clients: length-prefixed binary frames (see
+// src/serve/wire.h), multi-tenant quotas, graceful drain on SIGTERM/SIGINT.
+// Knobs in that mode:
+//
+//   SAUFNO_PORT          listen port          (default 7470; 0 = ephemeral)
+//   SAUFNO_MAX_CONNS     concurrent connections            (default 64)
+//   SAUFNO_TENANT_QUOTA  in-flight quota spec, e.g. "alice=8,*=64"
+//
 // Usage: serving_demo [n_clients] [requests_per_client]
+//        serving_demo --tcp
+
+#include <csignal>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,17 +48,34 @@
 #include "data/normalizer.h"
 #include "nn/serialize.h"
 #include "obs/export.h"
+#include "serve/fleet.h"
+#include "serve/server.h"
 #include "train/model_zoo.h"
 #include "runtime/inference_engine.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 
+namespace {
+
+// SIGTERM/SIGINT -> graceful drain. request_drain() only stores an atomic
+// flag (async-signal-safe); the server's accept loop runs the actual drain.
+saufno::serve::Server* g_server = nullptr;
+void on_shutdown_signal(int) {
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace saufno;
 
-  const int n_clients = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int per_client = argc > 2 ? std::atoi(argv[2]) : 8;
+  bool tcp = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tcp") == 0) tcp = true;
+  }
+  const int n_clients = (argc > 1 && !tcp) ? std::atoi(argv[1]) : 4;
+  const int per_client = (argc > 2 && !tcp) ? std::atoi(argv[2]) : 8;
 
   runtime::InferenceEngine::Config cfg;
   cfg.max_batch = env_int_in_range("SAUFNO_MAX_BATCH", 8, 1, 1024);
@@ -82,6 +114,52 @@ int main(int argc, char** argv) {
                   ? "raw W-per-pixel power maps in -> kelvin fields out"
                   : "normalized tensors in -> raw model outputs out "
                     "(weights-only checkpoint)");
+
+  if (tcp) {
+    // Network mode: hand the engine to a single-model fleet and serve the
+    // wire protocol until a shutdown signal drains us.
+    serve::Fleet::Config fc;
+    fc.engine = cfg;
+    auto fleet = std::make_shared<serve::Fleet>(fc);
+    fleet->add_engine("sau-fno",
+                      std::shared_ptr<runtime::InferenceEngine>(
+                          std::move(engine)));
+    serve::Server::Config scfg;
+    scfg.port = static_cast<std::uint16_t>(
+        env_int_in_range("SAUFNO_PORT", 7470, 0, 65535));
+    scfg.max_conns = env_int_in_range("SAUFNO_MAX_CONNS", 64, 1, 4096);
+    if (const char* q = std::getenv("SAUFNO_TENANT_QUOTA"); q != nullptr) {
+      scfg.quota_spec = q;
+    }
+    scfg.default_model = "sau-fno";
+    serve::Server server(fleet, scfg);
+    server.start();
+    g_server = &server;
+    std::signal(SIGTERM, on_shutdown_signal);
+    std::signal(SIGINT, on_shutdown_signal);
+    std::printf("listening on 127.0.0.1:%u (max_conns=%d, quota=\"%s\") — "
+                "SIGTERM/SIGINT drains gracefully\n",
+                server.port(), scfg.max_conns, scfg.quota_spec.c_str());
+    while (!server.draining()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.stop();
+    g_server = nullptr;
+    const auto ss = server.stats();
+    std::printf("\n-- server stats --\n");
+    std::printf("connections     %lld accepted, %lld rejected\n",
+                static_cast<long long>(ss.conns_accepted),
+                static_cast<long long>(ss.conns_rejected));
+    std::printf("requests        %lld (%lld responses)\n",
+                static_cast<long long>(ss.requests),
+                static_cast<long long>(ss.responses));
+    std::printf("quota rejected  %lld\n",
+                static_cast<long long>(ss.quota_rejected));
+    std::printf("protocol errors %lld\n",
+                static_cast<long long>(ss.protocol_errors));
+    return 0;
+  }
+
   std::printf("%d clients x %d requests, 16x16 and 20x20 power maps "
               "interleaved\n\n",
               n_clients, per_client);

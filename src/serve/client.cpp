@@ -1,0 +1,148 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace saufno {
+namespace serve {
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_id_(other.next_id_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("client: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("client: bad address '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("client: connect to " + host + ":" +
+                             std::to_string(port) +
+                             " failed: " + std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_bytes(const std::vector<std::uint8_t>& frame) {
+  if (fd_ < 0) throw std::runtime_error("client: not connected");
+  if (!write_frame(fd_, frame)) {
+    throw ConnectionClosedError("client: peer closed while sending");
+  }
+}
+
+std::uint64_t Client::send_infer(Tensor power_map, const std::string& model,
+                                 const std::string& tenant,
+                                 std::uint32_t deadline_ms,
+                                 std::uint8_t priority) {
+  InferRequest req;
+  req.id = next_id_++;
+  req.tenant = tenant;
+  req.model = model;
+  req.priority = priority;
+  req.deadline_ms = deadline_ms;
+  req.input = std::move(power_map);
+  const std::uint64_t id = req.id;
+  send_bytes(encode_infer(req));
+  return id;
+}
+
+void Client::send_cancel(std::uint64_t id) { send_bytes(encode_cancel(id)); }
+
+std::uint64_t Client::send_ping() {
+  const std::uint64_t id = next_id_++;
+  send_bytes(encode_ping(id));
+  return id;
+}
+
+Response Client::recv_response() {
+  if (fd_ < 0) throw std::runtime_error("client: not connected");
+  std::vector<std::uint8_t> body;
+  if (!read_frame(fd_, body, kDefaultMaxFrameBytes)) {
+    throw ConnectionClosedError("client: server closed the connection");
+  }
+  AnyFrame frame = decode_frame(body.data(), body.size());
+  if (frame.kind != FrameKind::kResponse) {
+    throw ProtocolError("client: expected a response frame, got kind " +
+                        std::to_string(static_cast<int>(frame.kind)));
+  }
+  return std::move(frame.response);
+}
+
+Tensor Client::infer(Tensor power_map, const std::string& model,
+                     const std::string& tenant, std::uint32_t deadline_ms,
+                     std::uint8_t priority) {
+  send_infer(std::move(power_map), model, tenant, deadline_ms, priority);
+  Response r = recv_response();
+  throw_wire_error(r);  // no-op on kOk
+  if (!r.has_tensor) {
+    throw ProtocolError("client: ok response without a tensor payload");
+  }
+  return std::move(r.tensor);
+}
+
+std::string Client::ping() {
+  send_ping();
+  Response r = recv_response();
+  throw_wire_error(r);
+  return r.message;
+}
+
+void Client::load_model(const std::string& name,
+                        const std::string& checkpoint_path) {
+  send_bytes(encode_load_model(next_id_++, name, checkpoint_path));
+  Response r = recv_response();
+  throw_wire_error(r);
+}
+
+void Client::evict_model(const std::string& name) {
+  send_bytes(encode_evict_model(next_id_++, name));
+  Response r = recv_response();
+  throw_wire_error(r);
+}
+
+}  // namespace serve
+}  // namespace saufno

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+#include "tensor/tensor.h"
+
+namespace saufno {
+namespace serve {
+
+/// Blocking TCP client for the serving frontend. One connection, framed
+/// per serve/wire.h. NOT thread-safe — one thread drives a Client (open
+/// several for concurrency, which is also how requests coalesce into
+/// batches server-side).
+///
+/// Responses on a connection arrive in request order (the server completes
+/// FIFO per connection), so the pipelined API is just send_* / recv_response
+/// pairs: send N requests, then read N responses in the same order.
+///
+/// Error mapping: a non-kOk response is rethrown as the SAME typed
+/// exception an in-process InferenceEngine::submit would have produced
+/// (runtime::OverloadedError with retry_after_ms, DeadlineExceededError,
+/// CancelledError, ShutdownError, RequestError, EngineError) — plus
+/// ProtocolError / ConnectionClosedError for wire-level trouble.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to host:port (dotted-quad host). Throws std::runtime_error on
+  /// failure. TCP_NODELAY is set — small frames must not wait for Nagle.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- one-call blocking API ------------------------------------------------
+  /// Send one inference request and wait for its response. Returns the
+  /// kelvin map; throws the mapped typed error otherwise.
+  Tensor infer(Tensor power_map, const std::string& model = "",
+               const std::string& tenant = "default",
+               std::uint32_t deadline_ms = 0, std::uint8_t priority = 0);
+
+  /// Round-trip a ping. Returns the server's state string ("serving" /
+  /// "draining").
+  std::string ping();
+
+  /// Hot-load (or reload) `name` from `checkpoint_path` on the server.
+  void load_model(const std::string& name, const std::string& checkpoint_path);
+  /// Drain + unload `name` on the server. Throws on typed failure.
+  void evict_model(const std::string& name);
+
+  // --- pipelined API --------------------------------------------------------
+  /// Send without waiting; returns the request id. Pair with
+  /// recv_response() — responses come back in send order.
+  std::uint64_t send_infer(Tensor power_map, const std::string& model = "",
+                           const std::string& tenant = "default",
+                           std::uint32_t deadline_ms = 0,
+                           std::uint8_t priority = 0);
+  /// Fire-and-forget cancellation of an in-flight request id.
+  void send_cancel(std::uint64_t id);
+  std::uint64_t send_ping();
+
+  /// Block for the next response frame. Throws ConnectionClosedError on a
+  /// clean server close, ProtocolError on a garbled stream. Does NOT throw
+  /// on typed error responses — inspect `code` or call throw_if_error.
+  Response recv_response();
+
+  /// Rethrow a non-kOk response as its typed exception.
+  static void throw_if_error(const Response& r) { throw_wire_error(r); }
+
+ private:
+  void send_bytes(const std::vector<std::uint8_t>& frame);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace serve
+}  // namespace saufno

@@ -1,0 +1,537 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace saufno {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// TenantQuotas
+// ---------------------------------------------------------------------------
+
+TenantQuotas::TenantQuotas(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string rule = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (rule.empty()) continue;
+    const std::size_t eq = rule.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= rule.size()) {
+      throw std::invalid_argument("tenant quota rule '" + rule +
+                                  "' is not name=limit");
+    }
+    const std::string name = rule.substr(0, eq);
+    char* end = nullptr;
+    const long lim = std::strtol(rule.c_str() + eq + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || lim < 0 || lim > 1 << 20) {
+      throw std::invalid_argument("tenant quota limit in '" + rule +
+                                  "' must be an integer in [0, 1048576]");
+    }
+    if (name == "*") {
+      default_limit_ = static_cast<int>(lim);
+    } else {
+      limits_[name] = static_cast<int>(lim);
+    }
+  }
+}
+
+int TenantQuotas::limit_for(const std::string& tenant) const {
+  auto it = limits_.find(tenant);
+  return it != limits_.end() ? it->second : default_limit_;
+}
+
+bool TenantQuotas::try_admit(const std::string& tenant, int* inflight_out,
+                             int* limit_out) {
+  const int limit = limit_for(tenant);
+  std::lock_guard<std::mutex> lk(m_);
+  int& count = inflight_[tenant];
+  if (limit_out != nullptr) *limit_out = limit;
+  if (inflight_out != nullptr) *inflight_out = count;
+  if (limit >= 0 && count >= limit) return false;
+  ++count;
+  return true;
+}
+
+void TenantQuotas::release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = inflight_.find(tenant);
+  if (it == inflight_.end()) return;
+  if (--it->second <= 0) inflight_.erase(it);
+}
+
+int TenantQuotas::inflight(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = inflight_.find(tenant);
+  return it != inflight_.end() ? it->second : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Connection state
+// ---------------------------------------------------------------------------
+
+/// One accepted connection. The reader thread decodes frames and enqueues
+/// Pending items; the completer thread resolves them FIFO and writes the
+/// response frames. Only the completer ever writes to the socket.
+struct Server::Conn {
+  int fd = -1;
+  std::thread reader;
+  std::thread completer;
+  std::atomic<bool> finished{false};  // both threads done; reapable
+
+  std::mutex m;
+  std::condition_variable cv;
+  struct Pending {
+    bool ready = false;  // `response` is final; no future to wait on
+    Response response;
+    std::future<Tensor> fut;       // when !ready
+    std::uint64_t id = 0;          // request id for the future's response
+    std::string tenant;            // quota slot to release ("" = none held)
+  };
+  std::deque<Pending> pending;
+  bool reader_done = false;
+  /// Live cancel tokens by request id, for kCancel frames.
+  std::map<std::uint64_t, runtime::CancelToken> cancellable;
+};
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Server::Server(std::shared_ptr<Fleet> fleet, Config cfg)
+    : fleet_(std::move(fleet)), cfg_(cfg), quotas_(cfg.quota_spec) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_.exchange(true)) {
+    throw std::runtime_error("Server::start called twice");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bad bind address '" + cfg_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind(" + cfg_.bind_address + ":" +
+                             std::to_string(cfg_.port) + ") failed: " + err);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen() failed: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+  SAUFNO_INFO << "serve: listening on " << cfg_.bind_address << ":" << port_
+              << " (max_conns=" << cfg_.max_conns << ")";
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    if (stopped_.load()) break;
+    if (drain_requested_.exchange(false)) drain(cfg_.drain_timeout);
+    if (draining_.load()) break;  // drained: no more accepts
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;  // listen socket closed (stop/drain)
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    reap_conns(false);
+    std::lock_guard<std::mutex> lk(conns_m_);
+    if (static_cast<int>(conns_.size()) >= cfg_.max_conns) {
+      // Full house: one typed connection-level rejection, then close. The
+      // retry-after hint is a coarse "try again shortly" — connection slots
+      // recycle on client cadence, which the server cannot estimate.
+      conns_rejected_.fetch_add(1);
+      static obs::Counter& c = obs::counter("serve.conns_rejected");
+      c.add();
+      Response r;
+      r.id = 0;
+      r.code = WireCode::kOverloaded;
+      r.retry_after_ms = 10.0;
+      r.message = "connection limit reached (" +
+                  std::to_string(cfg_.max_conns) + " active)";
+      write_frame(fd, encode_response(r));
+      ::close(fd);
+      continue;
+    }
+    conns_accepted_.fetch_add(1);
+    static obs::Counter& c = obs::counter("serve.conns_accepted");
+    c.add();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    conn->reader = std::thread([this, raw] { reader_loop(raw); });
+    conn->completer = std::thread([this, raw] { completer_loop(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::reader_loop(Conn* conn) {
+  std::vector<std::uint8_t> body;
+  for (;;) {
+    bool got = false;
+    try {
+      got = read_frame(conn->fd, body, cfg_.max_frame_bytes);
+    } catch (const ProtocolError& e) {
+      // Garbled stream: best-effort typed rejection, then hang up. The
+      // response goes through the completer queue like everything else so
+      // in-flight responses are not interleaved mid-frame.
+      protocol_errors_.fetch_add(1);
+      static obs::Counter& c = obs::counter("serve.protocol_errors");
+      c.add();
+      Conn::Pending p;
+      p.ready = true;
+      p.response.id = 0;
+      p.response.code = WireCode::kProtocol;
+      p.response.message = e.what();
+      std::lock_guard<std::mutex> lk(conn->m);
+      conn->pending.push_back(std::move(p));
+      break;
+    }
+    if (!got) break;  // clean close
+    AnyFrame frame;
+    try {
+      frame = decode_frame(body.data(), body.size());
+    } catch (const ProtocolError& e) {
+      protocol_errors_.fetch_add(1);
+      static obs::Counter& c = obs::counter("serve.protocol_errors");
+      c.add();
+      Conn::Pending p;
+      p.ready = true;
+      p.response.id = 0;
+      p.response.code = WireCode::kProtocol;
+      p.response.message = e.what();
+      std::lock_guard<std::mutex> lk(conn->m);
+      conn->pending.push_back(std::move(p));
+      break;
+    }
+    // Flow control: cap queued-but-unanswered work per connection. The
+    // reader simply stops reading; TCP backpressure does the rest.
+    {
+      std::unique_lock<std::mutex> lk(conn->m);
+      conn->cv.wait(lk, [&] {
+        return conn->pending.size() < cfg_.max_pipelined || stopped_.load();
+      });
+      if (stopped_.load()) break;
+    }
+    if (!handle_frame(conn, std::move(frame))) break;
+  }
+  {
+    std::lock_guard<std::mutex> lk(conn->m);
+    conn->reader_done = true;
+  }
+  conn->cv.notify_all();
+}
+
+bool Server::handle_frame(Conn* conn, AnyFrame frame) {
+  switch (frame.kind) {
+    case FrameKind::kInfer:
+      requests_.fetch_add(1);
+      {
+        static obs::Counter& c = obs::counter("serve.requests");
+        c.add();
+      }
+      handle_infer(conn, std::move(frame.infer));
+      return true;
+    case FrameKind::kCancel: {
+      cancels_.fetch_add(1);
+      std::lock_guard<std::mutex> lk(conn->m);
+      auto it = conn->cancellable.find(frame.id);
+      if (it != conn->cancellable.end()) it->second.request_cancel();
+      // A cancel frame carries no response of its own: the cancelled
+      // request's own response reports kCancelled (or whatever beat it).
+      return true;
+    }
+    case FrameKind::kPing: {
+      Conn::Pending p;
+      p.ready = true;
+      p.response.id = frame.id;
+      p.response.code = WireCode::kOk;
+      p.response.message = draining_.load() ? "draining" : "serving";
+      std::lock_guard<std::mutex> lk(conn->m);
+      conn->pending.push_back(std::move(p));
+      conn->cv.notify_all();
+      return true;
+    }
+    case FrameKind::kLoadModel:
+    case FrameKind::kEvictModel: {
+      Conn::Pending p;
+      p.ready = true;
+      p.response.id = frame.id;
+      try {
+        if (draining_.load()) {
+          throw runtime::ShutdownError("server is draining");
+        }
+        if (frame.kind == FrameKind::kLoadModel) {
+          fleet_->register_checkpoint(frame.name, frame.path);
+          if (fleet_->is_loaded(frame.name)) {
+            fleet_->reload(frame.name);
+          } else {
+            fleet_->acquire(frame.name);  // load now; surfacing load errors
+          }
+          p.response.message = "loaded " + frame.name;
+        } else {
+          const bool was = fleet_->evict(frame.name);
+          p.response.message =
+              was ? "evicted " + frame.name : frame.name + " was not resident";
+        }
+        p.response.code = WireCode::kOk;
+      } catch (...) {
+        double retry = 0.0;
+        p.response.code = code_for_exception(std::current_exception(), &retry,
+                                             &p.response.message);
+        p.response.retry_after_ms = retry;
+      }
+      std::lock_guard<std::mutex> lk(conn->m);
+      conn->pending.push_back(std::move(p));
+      conn->cv.notify_all();
+      return true;
+    }
+    case FrameKind::kResponse: {
+      // Clients must not send response frames: protocol error, close after.
+      protocol_errors_.fetch_add(1);
+      Conn::Pending p;
+      p.ready = true;
+      p.response.id = frame.response.id;
+      p.response.code = WireCode::kProtocol;
+      p.response.message = "unexpected response frame from client";
+      std::lock_guard<std::mutex> lk(conn->m);
+      conn->pending.push_back(std::move(p));
+      conn->cv.notify_all();
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::handle_infer(Conn* conn, InferRequest req) {
+  Conn::Pending p;
+  p.id = req.id;
+  const std::string tenant = req.tenant.empty() ? "default" : req.tenant;
+  bool quota_held = false;
+  try {
+    if (draining_.load() || stopped_.load()) {
+      throw runtime::ShutdownError("server is draining; request " +
+                                   std::to_string(req.id) + " refused");
+    }
+    const std::string model_name =
+        req.model.empty() ? cfg_.default_model : req.model;
+    auto engine = fleet_->acquire(model_name);
+
+    int inflight = 0, limit = 0;
+    if (!quotas_.try_admit(tenant, &inflight, &limit)) {
+      quota_rejected_.fetch_add(1);
+      static obs::Counter& c = obs::counter("serve.quota_rejected");
+      c.add();
+      // Same contract as engine admission control: OverloadedError with a
+      // retry-after hint (how soon the engine expects to clear backlog — a
+      // tenant at quota is usually waiting on its own queued work).
+      throw runtime::OverloadedError(
+          "tenant '" + tenant + "' at quota (" + std::to_string(inflight) +
+              "/" + std::to_string(limit) + " in flight)",
+          std::max(engine->estimated_retry_after_ms(), 1.0));
+    }
+    quota_held = true;
+
+    runtime::SubmitOptions opts;
+    if (req.deadline_ms > 0) {
+      opts.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(req.deadline_ms);
+    }
+    opts.cancel = runtime::CancelToken::make();
+    p.fut = engine->submit(std::move(req.input), opts);
+    p.tenant = tenant;
+    std::lock_guard<std::mutex> lk(conn->m);
+    conn->cancellable.emplace(req.id, opts.cancel);
+    conn->pending.push_back(std::move(p));
+    conn->cv.notify_all();
+    return;
+  } catch (...) {
+    if (quota_held) quotas_.release(tenant);
+    p.ready = true;
+    p.response.id = req.id;
+    double retry = 0.0;
+    p.response.code = code_for_exception(std::current_exception(), &retry,
+                                         &p.response.message);
+    p.response.retry_after_ms = retry;
+  }
+  std::lock_guard<std::mutex> lk(conn->m);
+  conn->pending.push_back(std::move(p));
+  conn->cv.notify_all();
+}
+
+void Server::completer_loop(Conn* conn) {
+  for (;;) {
+    Conn::Pending item;
+    {
+      std::unique_lock<std::mutex> lk(conn->m);
+      conn->cv.wait(lk, [&] {
+        return !conn->pending.empty() || conn->reader_done;
+      });
+      if (conn->pending.empty()) break;  // reader done + queue flushed
+      item = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+    conn->cv.notify_all();  // wake a flow-controlled reader
+
+    Response r;
+    if (item.ready) {
+      r = std::move(item.response);
+    } else {
+      r.id = item.id;
+      try {
+        // Engine futures always resolve (watchdog + drain guarantee), so
+        // this get() cannot hang past the engine's own timeouts.
+        r.tensor = item.fut.get();
+        r.has_tensor = true;
+        r.code = WireCode::kOk;
+      } catch (...) {
+        double retry = 0.0;
+        r.code =
+            code_for_exception(std::current_exception(), &retry, &r.message);
+        r.retry_after_ms = retry;
+      }
+      if (!item.tenant.empty()) quotas_.release(item.tenant);
+      std::lock_guard<std::mutex> lk(conn->m);
+      conn->cancellable.erase(r.id);
+    }
+    const bool wrote = write_frame(conn->fd, encode_response(r));
+    responses_.fetch_add(1);
+    static obs::Counter& c = obs::counter("serve.responses");
+    c.add();
+    if (!wrote) {
+      // Peer is gone: keep DRAINING the queue (futures must be consumed
+      // and quota slots released) but stop writing.
+      std::lock_guard<std::mutex> lk(conn->m);
+      if (conn->reader_done && conn->pending.empty()) break;
+    }
+  }
+  // Half-close the write side so a still-reading peer sees EOF. The reader
+  // always finishes before this point (the loop above only exits once
+  // reader_done), so both threads are now reapable.
+  ::shutdown(conn->fd, SHUT_WR);
+  conn->finished.store(true);
+}
+
+void Server::drain(std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lk(drain_m_);
+  if (drained_.load()) return;
+  draining_.store(true);
+  SAUFNO_INFO << "serve: draining (timeout " << timeout.count() << " ms)";
+  // Stop accepting: closing the listen socket kicks the acceptor's poll.
+  // (When drain() runs ON the acceptor via request_drain, the loop exits on
+  // the draining_ flag right after.)
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  // Resolve everything in flight: every engine future completes (value or
+  // ShutdownError), which flushes every completer.
+  fleet_->drain_all(timeout);
+  drained_.store(true);
+  SAUFNO_INFO << "serve: drained";
+}
+
+void Server::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  drain(cfg_.drain_timeout);
+  // Unblock flow-controlled readers and kick every connection.
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (auto& c : conns_) {
+      ::shutdown(c->fd, SHUT_RDWR);
+      c->cv.notify_all();
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  reap_conns(true);
+}
+
+void Server::reap_conns(bool all) {
+  std::vector<std::unique_ptr<Conn>> dead;
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+      if (all || (*it)->finished.load()) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : dead) {
+    if (c->reader.joinable()) c->reader.join();
+    if (c->completer.joinable()) c->completer.join();
+    if (c->fd >= 0) {
+      ::close(c->fd);
+      c->fd = -1;
+    }
+  }
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.conns_accepted = conns_accepted_.load();
+  s.conns_rejected = conns_rejected_.load();
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    s.conns_active = static_cast<int64_t>(conns_.size());
+  }
+  s.requests = requests_.load();
+  s.responses = responses_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.quota_rejected = quota_rejected_.load();
+  s.cancels = cancels_.load();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace saufno

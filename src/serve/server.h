@@ -1,0 +1,178 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/errors.h"
+#include "serve/fleet.h"
+#include "serve/wire.h"
+
+namespace saufno {
+namespace serve {
+
+/// Per-tenant admission quotas: a cap on IN-FLIGHT requests (admitted but
+/// not yet answered) per tenant id. Spec grammar, via SAUFNO_TENANT_QUOTA
+/// or Config::quota_spec:
+///
+///   "alice=8,bench=256,*=64"
+///
+/// `*` is the default for tenants not named; with no `*` rule unnamed
+/// tenants are unlimited. An over-quota request is rejected with the SAME
+/// OverloadedError + retry-after contract as engine admission control —
+/// remote clients cannot tell (and should not care) which layer shed them.
+class TenantQuotas {
+ public:
+  /// Throws std::invalid_argument on a malformed spec. "" = unlimited.
+  explicit TenantQuotas(const std::string& spec);
+
+  /// Try to take one in-flight slot. Returns false when the tenant is at
+  /// its cap (`limit_out`/`inflight_out` report the decision's numbers).
+  bool try_admit(const std::string& tenant, int* inflight_out,
+                 int* limit_out);
+  void release(const std::string& tenant);
+  int limit_for(const std::string& tenant) const;
+  int inflight(const std::string& tenant) const;
+
+ private:
+  std::map<std::string, int> limits_;  // tenant -> cap
+  int default_limit_ = -1;             // -1 = unlimited
+  mutable std::mutex m_;
+  std::map<std::string, int> inflight_;
+};
+
+/// TCP serving frontend: length-prefixed binary frames (serve/wire.h) over
+/// a listening socket, feeding the shape-sharded RequestQueue of whichever
+/// fleet engine each request names.
+///
+/// Connection model: one reader + one completer thread per connection
+/// (bounded by `max_conns`; excess accepts get one kOverloaded response and
+/// a close). The reader decodes frames, admits requests (tenant quota ->
+/// fleet acquire -> engine submit) and queues the resulting futures; the
+/// completer resolves them IN SUBMISSION ORDER and writes responses back —
+/// so responses on one connection always arrive in request order, while
+/// requests from many connections still coalesce into batches inside the
+/// engines. A reader with `max_pipelined` answers outstanding stops reading
+/// (TCP backpressure) instead of buffering without bound.
+///
+/// Error contract: every accepted frame gets exactly one response frame
+/// whose code mirrors the typed error an in-process submit would have
+/// thrown (see wire.h). A malformed frame gets a best-effort kProtocol
+/// response and the connection is closed. A connection is never left
+/// holding silently-dropped requests: server drain resolves them with
+/// kShutdown, engine faults with their typed code.
+///
+/// Drain: `request_drain()` only sets an atomic flag (async-signal-safe —
+/// wire it to SIGTERM) and the accept loop runs the actual drain: stop
+/// accepting, reject new requests with kShutdown, drain every fleet engine
+/// so in-flight futures resolve, flush completers. `stop()` tears down
+/// sockets and joins every thread (the destructor calls it).
+class Server {
+ public:
+  struct Config {
+    std::string bind_address = "127.0.0.1";
+    /// 0 = ephemeral (read the bound port back via port()).
+    /// SAUFNO_PORT overrides when left at the default in serving_demo.
+    std::uint16_t port = 0;
+    /// Max concurrent connections (SAUFNO_MAX_CONNS). Each costs 2 threads.
+    int max_conns = 64;
+    /// Per-connection cap on queued-but-unanswered requests before the
+    /// reader stops reading (flow control, not an error).
+    std::size_t max_pipelined = 1024;
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Model served when a request's model field is "".
+    std::string default_model;
+    /// Tenant quota spec (see TenantQuotas). "" = unlimited.
+    std::string quota_spec;
+    /// Budget for the engine drains during server drain / teardown.
+    std::chrono::milliseconds drain_timeout{5000};
+  };
+
+  struct Stats {
+    int64_t conns_accepted = 0;
+    int64_t conns_rejected = 0;   // over max_conns
+    int64_t conns_active = 0;
+    int64_t requests = 0;         // infer frames decoded
+    int64_t responses = 0;        // response frames written
+    int64_t protocol_errors = 0;  // malformed frames / streams
+    int64_t quota_rejected = 0;   // over-quota kOverloaded responses
+    int64_t cancels = 0;
+  };
+
+  Server(std::shared_ptr<Fleet> fleet, Config cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept loop. Throws std::runtime_error on
+  /// bind/listen failure (port in use, no such address).
+  void start();
+
+  /// The port actually bound (resolves ephemeral port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Async-signal-safe drain trigger: sets a flag the accept loop acts on.
+  void request_drain() noexcept { drain_requested_.store(true); }
+
+  /// Graceful drain (idempotent): stop accepting, reject new work with
+  /// kShutdown, drain fleet engines so every in-flight future resolves.
+  /// Existing connections stay open (clients see typed responses).
+  void drain(std::chrono::milliseconds timeout);
+
+  /// Hard stop: drain if not already drained, then shut every socket and
+  /// join every thread. Idempotent; the destructor calls it.
+  void stop();
+
+  bool draining() const { return draining_.load(); }
+  Stats stats() const;
+  Fleet& fleet() { return *fleet_; }
+
+ private:
+  struct Conn;
+
+  void accept_loop();
+  void reader_loop(Conn* conn);
+  void completer_loop(Conn* conn);
+  /// Handle one decoded frame on `conn`, queuing at most one response.
+  /// Returns false when the connection must close (protocol violation).
+  bool handle_frame(Conn* conn, AnyFrame frame);
+  void handle_infer(Conn* conn, InferRequest req);
+  /// Join + destroy finished connections; with `all`, every connection.
+  void reap_conns(bool all);
+
+  std::shared_ptr<Fleet> fleet_;
+  Config cfg_;
+  TenantQuotas quotas_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::mutex drain_m_;  // serializes drain() bodies
+
+  mutable std::mutex conns_m_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::atomic<int64_t> conns_accepted_{0};
+  std::atomic<int64_t> conns_rejected_{0};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> responses_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+  std::atomic<int64_t> quota_rejected_{0};
+  std::atomic<int64_t> cancels_{0};
+};
+
+}  // namespace serve
+}  // namespace saufno

@@ -1,0 +1,419 @@
+#include "serve/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace saufno {
+namespace serve {
+
+const char* wire_code_name(WireCode c) {
+  switch (c) {
+    case WireCode::kOk: return "ok";
+    case WireCode::kOverloaded: return "overloaded";
+    case WireCode::kDeadlineExceeded: return "deadline_exceeded";
+    case WireCode::kCancelled: return "cancelled";
+    case WireCode::kShutdown: return "shutdown";
+    case WireCode::kRequest: return "request_error";
+    case WireCode::kEngine: return "engine_error";
+    case WireCode::kProtocol: return "protocol_error";
+    case WireCode::kInternal: return "internal_error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// --- little-endian append helpers ------------------------------------------
+// memcpy of the native representation: this codebase targets little-endian
+// x86-64 (same assumption as the checkpoint reader/writer). A big-endian
+// port swaps here and in the Cursor readers — nowhere else.
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable<T>::value, "POD only");
+  const std::size_t n = out.size();
+  out.resize(n + sizeof(T));
+  std::memcpy(out.data() + n, &v, sizeof(T));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  if (s.size() > kMaxString) {
+    throw ProtocolError("string field too long to encode (" +
+                        std::to_string(s.size()) + " > " +
+                        std::to_string(kMaxString) + ")");
+  }
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_tensor(std::vector<std::uint8_t>& out, const Tensor& t) {
+  const Shape& shape = t.shape();
+  if (shape.size() > static_cast<std::size_t>(kMaxRank)) {
+    throw ProtocolError("tensor rank " + std::to_string(shape.size()) +
+                        " exceeds wire maximum " + std::to_string(kMaxRank));
+  }
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(shape.size()));
+  for (int64_t d : shape) put<std::int64_t>(out, d);
+  const std::size_t bytes = static_cast<std::size_t>(t.numel()) * sizeof(float);
+  const std::size_t n = out.size();
+  out.resize(n + bytes);
+  if (bytes > 0) std::memcpy(out.data() + n, t.data(), bytes);
+}
+
+/// Bounds-checked sequential reader over a frame body. Every decode goes
+/// through `need`, so a truncated or lying frame throws ProtocolError
+/// instead of reading out of bounds — this is the surface the fuzz tests
+/// hammer.
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t left;
+
+  void need(std::size_t n, const char* what) {
+    if (left < n) {
+      throw ProtocolError(std::string("truncated frame: need ") +
+                          std::to_string(n) + " bytes for " + what +
+                          ", have " + std::to_string(left));
+    }
+  }
+
+  template <typename T>
+  T take(const char* what) {
+    need(sizeof(T), what);
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return v;
+  }
+
+  std::string take_str(const char* what) {
+    const std::uint16_t n = take<std::uint16_t>(what);
+    if (n > kMaxString) {
+      throw ProtocolError(std::string(what) + " length " + std::to_string(n) +
+                          " exceeds wire maximum");
+    }
+    need(n, what);
+    std::string s(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return s;
+  }
+
+  Tensor take_tensor(const char* what) {
+    const std::uint8_t rank = take<std::uint8_t>(what);
+    if (rank > kMaxRank) {
+      throw ProtocolError(std::string(what) + " rank " + std::to_string(rank) +
+                          " exceeds wire maximum " + std::to_string(kMaxRank));
+    }
+    Shape shape;
+    shape.reserve(rank);
+    std::int64_t numel = 1;
+    for (int i = 0; i < rank; ++i) {
+      const std::int64_t d = take<std::int64_t>("tensor dim");
+      if (d < 0 || d > kMaxDim) {
+        throw ProtocolError(std::string(what) + " dim " + std::to_string(d) +
+                            " out of range [0, " + std::to_string(kMaxDim) +
+                            "]");
+      }
+      shape.push_back(d);
+      numel *= d;
+      // The per-dim cap bounds the product at (2^20)^8 which overflows, so
+      // re-check against the frame budget as we go: a tensor can never hold
+      // more elements than the remaining bytes admit.
+      if (numel > static_cast<std::int64_t>(left / sizeof(float)) + 1) {
+        throw ProtocolError(std::string(what) +
+                            " claims more elements than the frame carries");
+      }
+    }
+    const std::size_t bytes = static_cast<std::size_t>(numel) * sizeof(float);
+    need(bytes, what);
+    Tensor t{shape};
+    if (bytes > 0) std::memcpy(t.data(), p, bytes);
+    p += bytes;
+    left -= bytes;
+    return t;
+  }
+
+  void finish(const char* what) {
+    if (left != 0) {
+      throw ProtocolError(std::string(what) + ": " + std::to_string(left) +
+                          " trailing bytes after the last field");
+    }
+  }
+};
+
+/// Stamp the header once the body size is known.
+std::vector<std::uint8_t> seal(std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + body.size());
+  put<std::uint32_t>(out, kWireMagic);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_infer(const InferRequest& req) {
+  std::vector<std::uint8_t> b;
+  b.reserve(64 + static_cast<std::size_t>(req.input.numel()) * sizeof(float));
+  put<std::uint8_t>(b, static_cast<std::uint8_t>(FrameKind::kInfer));
+  put<std::uint64_t>(b, req.id);
+  put_str(b, req.tenant);
+  put_str(b, req.model);
+  put<std::uint8_t>(b, req.priority);
+  put<std::uint32_t>(b, req.deadline_ms);
+  put_tensor(b, req.input);
+  return seal(std::move(b));
+}
+
+std::vector<std::uint8_t> encode_cancel(std::uint64_t id) {
+  std::vector<std::uint8_t> b;
+  put<std::uint8_t>(b, static_cast<std::uint8_t>(FrameKind::kCancel));
+  put<std::uint64_t>(b, id);
+  return seal(std::move(b));
+}
+
+std::vector<std::uint8_t> encode_ping(std::uint64_t id) {
+  std::vector<std::uint8_t> b;
+  put<std::uint8_t>(b, static_cast<std::uint8_t>(FrameKind::kPing));
+  put<std::uint64_t>(b, id);
+  return seal(std::move(b));
+}
+
+std::vector<std::uint8_t> encode_load_model(std::uint64_t id,
+                                            const std::string& name,
+                                            const std::string& path) {
+  std::vector<std::uint8_t> b;
+  put<std::uint8_t>(b, static_cast<std::uint8_t>(FrameKind::kLoadModel));
+  put<std::uint64_t>(b, id);
+  put_str(b, name);
+  put_str(b, path);
+  return seal(std::move(b));
+}
+
+std::vector<std::uint8_t> encode_evict_model(std::uint64_t id,
+                                             const std::string& name) {
+  std::vector<std::uint8_t> b;
+  put<std::uint8_t>(b, static_cast<std::uint8_t>(FrameKind::kEvictModel));
+  put<std::uint64_t>(b, id);
+  put_str(b, name);
+  return seal(std::move(b));
+}
+
+std::vector<std::uint8_t> encode_response(const Response& r) {
+  std::vector<std::uint8_t> b;
+  b.reserve(64 + (r.has_tensor
+                      ? static_cast<std::size_t>(r.tensor.numel()) * 4
+                      : 0));
+  put<std::uint8_t>(b, static_cast<std::uint8_t>(FrameKind::kResponse));
+  put<std::uint64_t>(b, r.id);
+  put<std::uint8_t>(b, static_cast<std::uint8_t>(r.code));
+  put<double>(b, r.retry_after_ms);
+  put_str(b, r.message);
+  put<std::uint8_t>(b, r.has_tensor ? 1 : 0);
+  if (r.has_tensor) put_tensor(b, r.tensor);
+  return seal(std::move(b));
+}
+
+AnyFrame decode_frame(const std::uint8_t* body, std::size_t len) {
+  Cursor c{body, len};
+  AnyFrame f;
+  const std::uint8_t kind = c.take<std::uint8_t>("frame kind");
+  if (kind > static_cast<std::uint8_t>(FrameKind::kResponse)) {
+    throw ProtocolError("unknown frame kind " + std::to_string(kind));
+  }
+  f.kind = static_cast<FrameKind>(kind);
+  switch (f.kind) {
+    case FrameKind::kInfer: {
+      f.infer.id = c.take<std::uint64_t>("request id");
+      f.infer.tenant = c.take_str("tenant");
+      f.infer.model = c.take_str("model");
+      f.infer.priority = c.take<std::uint8_t>("priority");
+      f.infer.deadline_ms = c.take<std::uint32_t>("deadline_ms");
+      f.infer.input = c.take_tensor("input tensor");
+      c.finish("infer frame");
+      break;
+    }
+    case FrameKind::kCancel:
+    case FrameKind::kPing: {
+      f.id = c.take<std::uint64_t>("request id");
+      c.finish("cancel/ping frame");
+      break;
+    }
+    case FrameKind::kLoadModel: {
+      f.id = c.take<std::uint64_t>("request id");
+      f.name = c.take_str("model name");
+      f.path = c.take_str("checkpoint path");
+      c.finish("load_model frame");
+      break;
+    }
+    case FrameKind::kEvictModel: {
+      f.id = c.take<std::uint64_t>("request id");
+      f.name = c.take_str("model name");
+      c.finish("evict_model frame");
+      break;
+    }
+    case FrameKind::kResponse: {
+      f.response.id = c.take<std::uint64_t>("response id");
+      const std::uint8_t code = c.take<std::uint8_t>("status code");
+      if (code > static_cast<std::uint8_t>(WireCode::kInternal)) {
+        throw ProtocolError("unknown status code " + std::to_string(code));
+      }
+      f.response.code = static_cast<WireCode>(code);
+      f.response.retry_after_ms = c.take<double>("retry_after_ms");
+      f.response.message = c.take_str("message");
+      f.response.has_tensor = c.take<std::uint8_t>("has_tensor flag") != 0;
+      if (f.response.has_tensor) {
+        f.response.tensor = c.take_tensor("response tensor");
+      }
+      c.finish("response frame");
+      break;
+    }
+  }
+  return f;
+}
+
+std::size_t decode_header(const std::uint8_t header[kFrameHeaderBytes],
+                          std::size_t max_frame_bytes) {
+  std::uint32_t magic = 0, body_len = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&body_len, header + 4, 4);
+  if (magic != kWireMagic) {
+    throw ProtocolError("bad frame magic 0x" + [](std::uint32_t m) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x", m);
+      return std::string(buf);
+    }(magic));
+  }
+  if (body_len > max_frame_bytes) {
+    throw ProtocolError("frame body " + std::to_string(body_len) +
+                        " bytes exceeds limit " +
+                        std::to_string(max_frame_bytes));
+  }
+  return body_len;
+}
+
+namespace {
+
+/// Read exactly n bytes. Returns bytes read (== n on success); 0 means EOF
+/// before the first byte; anything in between is a mid-stream EOF the
+/// caller turns into a ProtocolError. EINTR is retried.
+std::size_t read_exact(int fd, std::uint8_t* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, dst + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return got;  // EOF
+    if (errno == EINTR) continue;
+    return got;  // hard error: surface as truncated
+  }
+  return got;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::vector<std::uint8_t>& body,
+                std::size_t max_frame_bytes) {
+  std::uint8_t header[kFrameHeaderBytes];
+  const std::size_t h = read_exact(fd, header, kFrameHeaderBytes);
+  if (h == 0) return false;  // clean close at a frame boundary
+  if (h < kFrameHeaderBytes) {
+    throw ProtocolError("connection closed mid-header (" + std::to_string(h) +
+                        "/8 bytes)");
+  }
+  const std::size_t body_len = decode_header(header, max_frame_bytes);
+  body.resize(body_len);
+  if (body_len > 0 && read_exact(fd, body.data(), body_len) < body_len) {
+    throw ProtocolError("connection closed mid-frame (wanted " +
+                        std::to_string(body_len) + " body bytes)");
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+WireCode code_for_exception(std::exception_ptr e, double* retry_after_ms,
+                            std::string* message) {
+  if (retry_after_ms != nullptr) *retry_after_ms = 0.0;
+  try {
+    std::rethrow_exception(e);
+  } catch (const runtime::OverloadedError& err) {
+    if (retry_after_ms != nullptr) *retry_after_ms = err.retry_after_ms();
+    if (message != nullptr) *message = err.what();
+    return WireCode::kOverloaded;
+  } catch (const runtime::DeadlineExceededError& err) {
+    if (message != nullptr) *message = err.what();
+    return WireCode::kDeadlineExceeded;
+  } catch (const runtime::CancelledError& err) {
+    if (message != nullptr) *message = err.what();
+    return WireCode::kCancelled;
+  } catch (const runtime::ShutdownError& err) {
+    if (message != nullptr) *message = err.what();
+    return WireCode::kShutdown;
+  } catch (const runtime::RequestError& err) {
+    if (message != nullptr) *message = err.what();
+    return WireCode::kRequest;
+  } catch (const runtime::EngineError& err) {
+    if (message != nullptr) *message = err.what();
+    return WireCode::kEngine;
+  } catch (const ProtocolError& err) {
+    if (message != nullptr) *message = err.what();
+    return WireCode::kProtocol;
+  } catch (const std::exception& err) {
+    if (message != nullptr) *message = err.what();
+    return WireCode::kInternal;
+  } catch (...) {
+    if (message != nullptr) *message = "unknown exception";
+    return WireCode::kInternal;
+  }
+}
+
+void throw_wire_error(const Response& r) {
+  switch (r.code) {
+    case WireCode::kOk:
+      return;
+    case WireCode::kOverloaded:
+      throw runtime::OverloadedError(r.message, r.retry_after_ms);
+    case WireCode::kDeadlineExceeded:
+      throw runtime::DeadlineExceededError(r.message);
+    case WireCode::kCancelled:
+      throw runtime::CancelledError(r.message);
+    case WireCode::kShutdown:
+      throw runtime::ShutdownError(r.message);
+    case WireCode::kRequest:
+      throw runtime::RequestError(r.message);
+    case WireCode::kEngine:
+      throw runtime::EngineError(r.message);
+    case WireCode::kProtocol:
+      throw ProtocolError(r.message);
+    case WireCode::kInternal:
+      // Deliberately NOT an EngineError: kInternal marks a non-taxonomy
+      // server-side exception, and reconstructing it as one would break the
+      // code_for_exception/throw_wire_error fixed point the conformance
+      // test pins down.
+      throw std::runtime_error("server internal error: " + r.message);
+  }
+  throw ProtocolError("unknown response code");
+}
+
+}  // namespace serve
+}  // namespace saufno

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/errors.h"
+#include "tensor/tensor.h"
+
+namespace saufno {
+namespace serve {
+
+/// Length-prefixed binary framing for the network serving frontend.
+///
+/// Every frame is an 8-byte header followed by `body_len` body bytes:
+///
+///   u32  magic     "SFW1" (0x31574653 little-endian)
+///   u32  body_len  bytes that follow (bounded by the peer's max_frame)
+///
+/// All multi-byte integers and the f32 payload are LITTLE-ENDIAN, matching
+/// the checkpoint format (this reproduction targets x86-64; a big-endian
+/// port would byte-swap in read_/write_ helpers below, nowhere else).
+///
+/// Body layouts by leading `u8 kind`:
+///
+///   kInfer      u64 id, str tenant, str model, u8 priority,
+///               u32 deadline_ms (0 = none, relative to server receipt),
+///               u8 rank, i64 dims[rank], f32 data[numel]
+///   kCancel     u64 id of the in-flight request to cancel
+///   kPing       u64 id (echoed in a kOk response; also reports drain state)
+///   kLoadModel  u64 id, str name, str checkpoint_path (hot-load/reload)
+///   kEvictModel u64 id, str name (drain + unload; stays registered)
+///   kResponse   u64 id, u8 code, f64 retry_after_ms, str message,
+///               u8 has_tensor, [u8 rank, i64 dims[rank], f32 data[numel]]
+///
+/// `str` is u16 length + raw bytes (no terminator), capped at kMaxString.
+///
+/// The response `code` mirrors the typed error taxonomy of
+/// src/runtime/errors.h one-for-one, so an error observed through a socket
+/// reconstructs to the SAME exception type an in-process submit() would
+/// have thrown (throw_wire_error is that mapping; tests/test_serve.cpp
+/// proves the round trip differentially against in-process submits).
+constexpr std::uint32_t kWireMagic = 0x31574653u;  // "SFW1" on the wire
+constexpr std::size_t kFrameHeaderBytes = 8;
+/// Default per-frame cap. A 64 MB body admits a [16, 1024, 1024] f32 map
+/// with headroom; anything larger is a protocol error, not an allocation.
+constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{64} << 20;
+constexpr std::size_t kMaxString = 4096;
+constexpr int kMaxRank = 8;
+constexpr std::int64_t kMaxDim = 1 << 20;
+
+enum class FrameKind : std::uint8_t {
+  kInfer = 0,
+  kCancel = 1,
+  kPing = 2,
+  kLoadModel = 3,
+  kEvictModel = 4,
+  kResponse = 5,
+};
+
+/// Response status codes. 1..5 map one-for-one onto the typed errors in
+/// runtime/errors.h; 6 is the EngineError base (a typed failure that is
+/// none of the five leaves), 7/8 are wire-layer conditions with no
+/// in-process equivalent (a malformed frame, an unexpected server-side
+/// exception).
+enum class WireCode : std::uint8_t {
+  kOk = 0,
+  kOverloaded = 1,        // runtime::OverloadedError (+ retry_after_ms)
+  kDeadlineExceeded = 2,  // runtime::DeadlineExceededError
+  kCancelled = 3,         // runtime::CancelledError
+  kShutdown = 4,          // runtime::ShutdownError
+  kRequest = 5,           // runtime::RequestError
+  kEngine = 6,            // runtime::EngineError (base / unclassified)
+  kProtocol = 7,          // malformed frame; the connection is closed after
+  kInternal = 8,          // non-EngineError server exception
+};
+
+const char* wire_code_name(WireCode c);
+
+/// Malformed frame / stream: bad magic, oversized body, truncated field,
+/// out-of-range rank/dim, trailing garbage. The server answers with a
+/// kProtocol response (when it still can) and closes the connection — the
+/// framing state is unrecoverable.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Orderly close (EOF at a frame boundary) observed where a frame was
+/// required — distinct from ProtocolError so chaos tests can tell "clean
+/// close" from "garbled stream".
+class ConnectionClosedError : public ProtocolError {
+ public:
+  explicit ConnectionClosedError(const std::string& msg)
+      : ProtocolError(msg) {}
+};
+
+struct InferRequest {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string model;  // "" = the server's default model
+  std::uint8_t priority = 0;
+  std::uint32_t deadline_ms = 0;  // 0 = no deadline
+  Tensor input;                   // [C, H, W] raw power map
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  WireCode code = WireCode::kOk;
+  double retry_after_ms = 0.0;  // meaningful for kOverloaded
+  std::string message;
+  bool has_tensor = false;
+  Tensor tensor;
+  bool ok() const { return code == WireCode::kOk; }
+};
+
+/// A decoded frame: `kind` selects which of the members is meaningful.
+struct AnyFrame {
+  FrameKind kind = FrameKind::kPing;
+  InferRequest infer;          // kInfer
+  Response response;           // kResponse
+  std::uint64_t id = 0;        // kCancel / kPing / kLoadModel / kEvictModel
+  std::string name;            // kLoadModel / kEvictModel
+  std::string path;            // kLoadModel
+};
+
+// --- encoding (always a complete frame: header + body) ----------------------
+std::vector<std::uint8_t> encode_infer(const InferRequest& req);
+std::vector<std::uint8_t> encode_cancel(std::uint64_t id);
+std::vector<std::uint8_t> encode_ping(std::uint64_t id);
+std::vector<std::uint8_t> encode_load_model(std::uint64_t id,
+                                            const std::string& name,
+                                            const std::string& path);
+std::vector<std::uint8_t> encode_evict_model(std::uint64_t id,
+                                             const std::string& name);
+std::vector<std::uint8_t> encode_response(const Response& r);
+
+/// Decode one frame BODY (the bytes after a validated header). Throws
+/// ProtocolError on any malformation; never reads past `len`.
+AnyFrame decode_frame(const std::uint8_t* body, std::size_t len);
+
+/// Validate a frame header. Returns the body length; throws ProtocolError
+/// on bad magic or a body over `max_frame_bytes` (checked BEFORE any
+/// allocation, so an adversarial length cannot OOM the server).
+std::size_t decode_header(const std::uint8_t header[kFrameHeaderBytes],
+                          std::size_t max_frame_bytes);
+
+// --- blocking socket IO -----------------------------------------------------
+/// Read exactly one frame body into `body`. Returns false on a clean EOF at
+/// a frame boundary (peer closed between frames); throws ProtocolError on a
+/// bad header or mid-frame EOF.
+bool read_frame(int fd, std::vector<std::uint8_t>& body,
+                std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Write all of `data` (handles short writes; MSG_NOSIGNAL so a dead peer
+/// yields false, never SIGPIPE). Returns false on any write error.
+bool write_frame(int fd, const std::vector<std::uint8_t>& data);
+
+// --- error taxonomy mapping -------------------------------------------------
+/// Classify a caught exception into a wire code (+ retry-after for
+/// OverloadedError). Call inside a catch block with std::current_exception().
+WireCode code_for_exception(std::exception_ptr e, double* retry_after_ms,
+                            std::string* message);
+
+/// The inverse mapping: rebuild and throw the typed runtime error a
+/// response carries (no-op for kOk). This is what makes a remote client
+/// observe the SAME exception types as an in-process one.
+void throw_wire_error(const Response& r);
+
+}  // namespace serve
+}  // namespace saufno

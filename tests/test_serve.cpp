@@ -1,0 +1,944 @@
+#include "serve/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "data/normalizer.h"
+#include "runtime/errors.h"
+#include "runtime/inference_engine.h"
+#include "serve/client.h"
+#include "serve/fleet.h"
+#include "serve/server.h"
+#include "tensor/tensor.h"
+#include "train/model_zoo.h"
+
+namespace saufno {
+namespace {
+
+using runtime::InferenceEngine;
+using serve::AnyFrame;
+using serve::Client;
+using serve::Fleet;
+using serve::FrameKind;
+using serve::InferRequest;
+using serve::ProtocolError;
+using serve::Response;
+using serve::Server;
+using serve::TenantQuotas;
+using serve::WireCode;
+
+/// RAII fault-injection spec (mirrors test_chaos.cpp): a failing assertion
+/// must not leak a fault config into later tests.
+struct FaultGuard {
+  FaultGuard(const char* spec, std::uint64_t seed) {
+    EXPECT_TRUE(fault::configure(spec, seed)) << "bad fault spec: " << spec;
+  }
+  ~FaultGuard() { fault::clear(); }
+};
+
+std::shared_ptr<nn::Module> smoke_model() {
+  return train::make_model("SAU-FNO", /*in_channels=*/3, /*out_channels=*/1,
+                           /*seed=*/42, /*size_hint=*/0);
+}
+
+Tensor random_map(int64_t res, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn({3, res, res}, rng);
+}
+
+/// Strip the 8-byte header off a full encoded frame -> (body ptr, body len),
+/// validating the header on the way (every encode_* output must decode).
+std::pair<const std::uint8_t*, std::size_t> body_of(
+    const std::vector<std::uint8_t>& frame) {
+  EXPECT_GE(frame.size(), serve::kFrameHeaderBytes);
+  const std::size_t body_len =
+      serve::decode_header(frame.data(), serve::kDefaultMaxFrameBytes);
+  EXPECT_EQ(body_len, frame.size() - serve::kFrameHeaderBytes);
+  return {frame.data() + serve::kFrameHeaderBytes, body_len};
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec round-trips
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, InferRoundTripAllFields) {
+  InferRequest req;
+  req.id = 0xDEADBEEFCAFEF00Dull;
+  req.tenant = "alice";
+  req.model = "sau-fno-v2";
+  req.priority = 7;
+  req.deadline_ms = 1500;
+  req.input = random_map(6, 11);
+
+  const auto frame = serve::encode_infer(req);
+  auto [body, len] = body_of(frame);
+  const AnyFrame got = serve::decode_frame(body, len);
+  ASSERT_EQ(got.kind, FrameKind::kInfer);
+  EXPECT_EQ(got.infer.id, req.id);
+  EXPECT_EQ(got.infer.tenant, "alice");
+  EXPECT_EQ(got.infer.model, "sau-fno-v2");
+  EXPECT_EQ(got.infer.priority, 7);
+  EXPECT_EQ(got.infer.deadline_ms, 1500u);
+  ASSERT_EQ(got.infer.input.shape(), req.input.shape());
+  EXPECT_EQ(std::memcmp(got.infer.input.data(), req.input.data(),
+                        sizeof(float) *
+                            static_cast<std::size_t>(req.input.numel())),
+            0)
+      << "f32 payload must survive the wire bit-exactly";
+}
+
+TEST(WireCodec, InferRoundTripDefaultsAndEmptyStrings) {
+  // "" tenant/model and deadline 0 are the common fast path — they must
+  // round-trip as-is (the server, not the codec, applies defaults).
+  InferRequest req;
+  req.id = 1;
+  req.input = random_map(4, 12);
+  const auto frame = serve::encode_infer(req);
+  auto [body, len] = body_of(frame);
+  const AnyFrame got = serve::decode_frame(body, len);
+  ASSERT_EQ(got.kind, FrameKind::kInfer);
+  EXPECT_EQ(got.infer.tenant, "");
+  EXPECT_EQ(got.infer.model, "");
+  EXPECT_EQ(got.infer.priority, 0);
+  EXPECT_EQ(got.infer.deadline_ms, 0u);
+}
+
+TEST(WireCodec, ControlFramesRoundTrip) {
+  {
+    const auto f = serve::encode_cancel(99);
+    auto [body, len] = body_of(f);
+    const AnyFrame got = serve::decode_frame(body, len);
+    EXPECT_EQ(got.kind, FrameKind::kCancel);
+    EXPECT_EQ(got.id, 99u);
+  }
+  {
+    const auto f = serve::encode_ping(7);
+    auto [body, len] = body_of(f);
+    const AnyFrame got = serve::decode_frame(body, len);
+    EXPECT_EQ(got.kind, FrameKind::kPing);
+    EXPECT_EQ(got.id, 7u);
+  }
+  {
+    const auto f = serve::encode_load_model(3, "hotspot", "/tmp/m.ckpt");
+    auto [body, len] = body_of(f);
+    const AnyFrame got = serve::decode_frame(body, len);
+    EXPECT_EQ(got.kind, FrameKind::kLoadModel);
+    EXPECT_EQ(got.id, 3u);
+    EXPECT_EQ(got.name, "hotspot");
+    EXPECT_EQ(got.path, "/tmp/m.ckpt");
+  }
+  {
+    const auto f = serve::encode_evict_model(4, "hotspot");
+    auto [body, len] = body_of(f);
+    const AnyFrame got = serve::decode_frame(body, len);
+    EXPECT_EQ(got.kind, FrameKind::kEvictModel);
+    EXPECT_EQ(got.id, 4u);
+    EXPECT_EQ(got.name, "hotspot");
+  }
+}
+
+TEST(WireCodec, ResponseRoundTripEveryCodeWithAndWithoutTensor) {
+  for (int code = 0; code <= 8; ++code) {
+    Response r;
+    r.id = 1000 + static_cast<std::uint64_t>(code);
+    r.code = static_cast<WireCode>(code);
+    r.retry_after_ms = code == 1 ? 12.5 : 0.0;
+    r.message = "code " + std::to_string(code);
+    if (code == 0) {
+      r.has_tensor = true;
+      r.tensor = random_map(5, 20 + static_cast<std::uint64_t>(code));
+    }
+    const auto frame = serve::encode_response(r);
+    auto [body, len] = body_of(frame);
+    const AnyFrame got = serve::decode_frame(body, len);
+    ASSERT_EQ(got.kind, FrameKind::kResponse);
+    EXPECT_EQ(got.response.id, r.id);
+    EXPECT_EQ(got.response.code, r.code);
+    EXPECT_DOUBLE_EQ(got.response.retry_after_ms, r.retry_after_ms);
+    EXPECT_EQ(got.response.message, r.message);
+    EXPECT_EQ(got.response.has_tensor, r.has_tensor);
+    if (r.has_tensor) {
+      ASSERT_EQ(got.response.tensor.shape(), r.tensor.shape());
+      EXPECT_EQ(std::memcmp(got.response.tensor.data(), r.tensor.data(),
+                            sizeof(float) *
+                                static_cast<std::size_t>(r.tensor.numel())),
+                0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed frame rejection (the fuzz-safety surface)
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, HeaderRejectsBadMagicAndOversizedBody) {
+  std::uint8_t hdr[serve::kFrameHeaderBytes];
+  const auto put_u32 = [&](std::size_t off, std::uint32_t v) {
+    std::memcpy(hdr + off, &v, 4);
+  };
+  put_u32(0, serve::kWireMagic);
+  put_u32(4, 16);
+  EXPECT_EQ(serve::decode_header(hdr, 1024), 16u);  // sane header passes
+  put_u32(0, 0x44414544u);  // wrong magic
+  EXPECT_THROW(serve::decode_header(hdr, 1024), ProtocolError);
+  put_u32(0, serve::kWireMagic);
+  put_u32(4, 0xFFFFFFFFu);  // 4 GB body claim: reject BEFORE allocating
+  EXPECT_THROW(serve::decode_header(hdr, 1024), ProtocolError);
+  put_u32(4, 1025);  // one past the cap
+  EXPECT_THROW(serve::decode_header(hdr, 1024), ProtocolError);
+  put_u32(4, 1024);  // exactly the cap is fine
+  EXPECT_EQ(serve::decode_header(hdr, 1024), 1024u);
+}
+
+TEST(WireCodec, EveryTruncationOfAValidBodyIsRejected) {
+  // Chop a valid infer body at EVERY length: each prefix must throw
+  // ProtocolError (never crash, never return a half-parsed request).
+  InferRequest req;
+  req.id = 2;
+  req.tenant = "t";
+  req.model = "m";
+  req.deadline_ms = 5;
+  req.input = random_map(4, 13);
+  const auto frame = serve::encode_infer(req);
+  auto [body, len] = body_of(frame);
+  for (std::size_t cut = 0; cut < len; ++cut) {
+    EXPECT_THROW(serve::decode_frame(body, cut), ProtocolError)
+        << "prefix of " << cut << "/" << len << " bytes parsed successfully";
+  }
+  // The full body plus trailing garbage must ALSO fail: a frame that does
+  // not consume exactly its declared body is malformed.
+  std::vector<std::uint8_t> padded(body, body + len);
+  padded.push_back(0xAB);
+  EXPECT_THROW(serve::decode_frame(padded.data(), padded.size()),
+               ProtocolError);
+}
+
+TEST(WireCodec, RejectsHostileTensorGeometry) {
+  // Hand-build infer bodies with adversarial rank/dims. Layout per wire.h:
+  // kind u8, id u64, str tenant, str model, prio u8, deadline u32, rank u8,
+  // dims i64[rank], f32 data.
+  const auto build = [](std::uint8_t rank,
+                        const std::vector<std::int64_t>& dims,
+                        std::size_t data_bytes) {
+    std::vector<std::uint8_t> b;
+    const auto raw = [&](const void* p, std::size_t n) {
+      const auto* u = static_cast<const std::uint8_t*>(p);
+      b.insert(b.end(), u, u + n);
+    };
+    const std::uint8_t kind = 0;  // kInfer
+    const std::uint64_t id = 1;
+    const std::uint16_t zero16 = 0;
+    const std::uint8_t prio = 0;
+    const std::uint32_t deadline = 0;
+    raw(&kind, 1);
+    raw(&id, 8);
+    raw(&zero16, 2);  // tenant ""
+    raw(&zero16, 2);  // model ""
+    raw(&prio, 1);
+    raw(&deadline, 4);
+    raw(&rank, 1);
+    for (std::int64_t d : dims) raw(&d, 8);
+    b.insert(b.end(), data_bytes, 0);
+    return b;
+  };
+
+  {  // rank over kMaxRank
+    auto b = build(9, std::vector<std::int64_t>(9, 1), 4);
+    EXPECT_THROW(serve::decode_frame(b.data(), b.size()), ProtocolError);
+  }
+  {  // negative dim
+    auto b = build(2, {4, -1}, 16);
+    EXPECT_THROW(serve::decode_frame(b.data(), b.size()), ProtocolError);
+  }
+  {  // dim over kMaxDim
+    auto b = build(1, {serve::kMaxDim + 1}, 16);
+    EXPECT_THROW(serve::decode_frame(b.data(), b.size()), ProtocolError);
+  }
+  {  // numel claims far more f32s than the body carries (alloc bomb)
+    auto b = build(3, {1024, 1024, 1024}, 64);
+    EXPECT_THROW(serve::decode_frame(b.data(), b.size()), ProtocolError);
+  }
+  {  // honest geometry still parses
+    auto b = build(3, {1, 2, 2}, 16);
+    const AnyFrame got = serve::decode_frame(b.data(), b.size());
+    EXPECT_EQ(got.kind, FrameKind::kInfer);
+    EXPECT_EQ(got.infer.input.numel(), 4);
+  }
+}
+
+TEST(WireCodec, FuzzedBodiesNeverCrash) {
+  // Deterministic fuzz: random bodies and bit-flipped valid bodies. The
+  // only acceptable outcomes are a parsed frame or ProtocolError — the
+  // ASan/TSan CI lanes turn any over-read into a hard failure here.
+  Rng fuzz(0xF022u);
+  std::size_t parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t len = static_cast<std::size_t>(fuzz.next_u64() % 256);
+    std::vector<std::uint8_t> body(len);
+    for (auto& byte : body) {
+      byte = static_cast<std::uint8_t>(fuzz.next_u64() & 0xFF);
+    }
+    try {
+      (void)serve::decode_frame(body.data(), body.size());
+      ++parsed;
+    } catch (const ProtocolError&) {
+      ++rejected;
+    }
+  }
+
+  InferRequest req;
+  req.id = 3;
+  req.tenant = "fz";
+  req.input = random_map(4, 14);
+  const auto frame = serve::encode_infer(req);
+  auto [vbody, vlen] = body_of(frame);
+  std::vector<std::uint8_t> mut(vbody, vbody + vlen);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t pos = static_cast<std::size_t>(fuzz.next_u64() % vlen);
+    const std::uint8_t old = mut[pos];
+    mut[pos] = static_cast<std::uint8_t>(fuzz.next_u64() & 0xFF);
+    try {
+      (void)serve::decode_frame(mut.data(), mut.size());
+      ++parsed;
+    } catch (const ProtocolError&) {
+      ++rejected;
+    }
+    mut[pos] = old;
+  }
+  EXPECT_GT(rejected, 0u);  // the fuzzer actually exercised rejection paths
+}
+
+TEST(WireIo, ReadFrameReportsCleanEofDistinctFromMidFrameEof) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  // Clean close with nothing sent: read_frame returns false, no throw.
+  ::close(sv[1]);
+  std::vector<std::uint8_t> body;
+  EXPECT_FALSE(serve::read_frame(sv[0], body));
+  ::close(sv[0]);
+
+  // Close MID-frame: a valid header promising bytes that never arrive must
+  // throw (the peer lied), not report a clean close.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const auto frame = serve::encode_ping(1);
+  const std::vector<std::uint8_t> half(frame.begin(),
+                                       frame.begin() + frame.size() - 3);
+  ASSERT_EQ(::send(sv[1], half.data(), half.size(), 0),
+            static_cast<ssize_t>(half.size()));
+  ::close(sv[1]);
+  EXPECT_THROW(serve::read_frame(sv[0], body), ProtocolError);
+  ::close(sv[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy: every typed error in runtime/errors.h crosses the wire
+// ---------------------------------------------------------------------------
+
+template <typename E, typename... Args>
+std::exception_ptr as_ptr(Args&&... args) {
+  return std::make_exception_ptr(E(std::forward<Args>(args)...));
+}
+
+TEST(WireErrors, EveryTypedErrorMapsToItsCodeAndBack) {
+  struct Case {
+    std::exception_ptr thrown;
+    WireCode want;
+    double want_retry;
+  };
+  const std::vector<Case> cases = {
+      {as_ptr<runtime::OverloadedError>("shed", 42.5), WireCode::kOverloaded,
+       42.5},
+      {as_ptr<runtime::DeadlineExceededError>("late"),
+       WireCode::kDeadlineExceeded, 0.0},
+      {as_ptr<runtime::CancelledError>("cancelled"), WireCode::kCancelled,
+       0.0},
+      {as_ptr<runtime::ShutdownError>("draining"), WireCode::kShutdown, 0.0},
+      {as_ptr<runtime::RequestError>("bad input"), WireCode::kRequest, 0.0},
+      {as_ptr<runtime::EngineError>("unclassified"), WireCode::kEngine, 0.0},
+      {as_ptr<ProtocolError>("garbled"), WireCode::kProtocol, 0.0},
+      {as_ptr<std::runtime_error>("surprise"), WireCode::kInternal, 0.0},
+  };
+  for (const auto& c : cases) {
+    double retry = -1.0;
+    std::string msg;
+    const WireCode code = serve::code_for_exception(c.thrown, &retry, &msg);
+    EXPECT_EQ(code, c.want) << serve::wire_code_name(c.want);
+    EXPECT_DOUBLE_EQ(retry, c.want_retry);
+    EXPECT_FALSE(msg.empty());
+
+    // Encode the classified error into a response frame, decode it, and
+    // rethrow: the reconstructed exception must classify IDENTICALLY —
+    // code_for_exception(throw_wire_error(x)) is a fixed point.
+    Response r;
+    r.id = 1;
+    r.code = code;
+    r.retry_after_ms = retry;
+    r.message = msg;
+    const auto frame = serve::encode_response(r);
+    auto [body, len] = body_of(frame);
+    const AnyFrame wire = serve::decode_frame(body, len);
+    std::exception_ptr reconstructed;
+    try {
+      serve::throw_wire_error(wire.response);
+      FAIL() << "throw_wire_error must throw for non-ok codes";
+    } catch (...) {
+      reconstructed = std::current_exception();
+    }
+    double retry2 = -1.0;
+    std::string msg2;
+    EXPECT_EQ(serve::code_for_exception(reconstructed, &retry2, &msg2), code);
+    EXPECT_DOUBLE_EQ(retry2, retry);
+  }
+
+  // kOk never throws.
+  Response ok;
+  ok.code = WireCode::kOk;
+  EXPECT_NO_THROW(serve::throw_wire_error(ok));
+}
+
+TEST(WireErrors, OverloadedRetryAfterSurvivesTheWire) {
+  std::exception_ptr e = as_ptr<runtime::OverloadedError>("q full", 17.25);
+  double retry = 0.0;
+  std::string msg;
+  Response r;
+  r.code = serve::code_for_exception(e, &retry, &msg);
+  r.retry_after_ms = retry;
+  r.message = msg;
+  try {
+    serve::throw_wire_error(r);
+    FAIL();
+  } catch (const runtime::OverloadedError& oe) {
+    EXPECT_DOUBLE_EQ(oe.retry_after_ms(), 17.25);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tenant quotas
+// ---------------------------------------------------------------------------
+
+TEST(TenantQuotasTest, ParsesSpecAndEnforcesCaps) {
+  TenantQuotas q("alice=2,bob=0,*=3");
+  EXPECT_EQ(q.limit_for("alice"), 2);
+  EXPECT_EQ(q.limit_for("bob"), 0);
+  EXPECT_EQ(q.limit_for("mallory"), 3);
+
+  EXPECT_TRUE(q.try_admit("alice", nullptr, nullptr));
+  EXPECT_TRUE(q.try_admit("alice", nullptr, nullptr));
+  int inflight = -1, limit = -1;
+  EXPECT_FALSE(q.try_admit("alice", &inflight, &limit));
+  EXPECT_EQ(inflight, 2);
+  EXPECT_EQ(limit, 2);
+  q.release("alice");
+  EXPECT_TRUE(q.try_admit("alice", nullptr, nullptr));
+
+  EXPECT_FALSE(q.try_admit("bob", nullptr, nullptr)) << "0 = banned";
+  EXPECT_EQ(q.inflight("alice"), 2);
+}
+
+TEST(TenantQuotasTest, NoDefaultRuleMeansUnlimitedAndEmptySpecIsLegal) {
+  TenantQuotas named_only("vip=1");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(named_only.try_admit("anyone", nullptr, nullptr));
+  }
+  TenantQuotas unlimited("");
+  EXPECT_EQ(unlimited.limit_for("x"), -1);
+  EXPECT_TRUE(unlimited.try_admit("x", nullptr, nullptr));
+}
+
+TEST(TenantQuotasTest, MalformedSpecsThrow) {
+  EXPECT_THROW(TenantQuotas("alice"), std::invalid_argument);
+  EXPECT_THROW(TenantQuotas("=3"), std::invalid_argument);
+  EXPECT_THROW(TenantQuotas("alice="), std::invalid_argument);
+  EXPECT_THROW(TenantQuotas("alice=-1"), std::invalid_argument);
+  EXPECT_THROW(TenantQuotas("alice=notanum"), std::invalid_argument);
+  EXPECT_THROW(TenantQuotas("alice=99999999999"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------------
+
+std::string write_smoke_checkpoint(const std::string& tag,
+                                   std::uint64_t seed) {
+  auto model = train::make_model("SAU-FNO", 3, 1, seed, 0);
+  const auto norm =
+      data::Normalizer::from_stats(298.15, 2.0, 10.0, /*n_power=*/1);
+  const std::string path =
+      ::testing::TempDir() + "/saufno_fleet_" + tag + ".ckpt";
+  train::save_deployable(*model, "SAU-FNO", 3, 1, norm, path);
+  return path;
+}
+
+InferenceEngine::Config fast_engine_cfg() {
+  InferenceEngine::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 500;
+  return cfg;
+}
+
+TEST(FleetTest, AcquireUnknownModelIsARequestError) {
+  Fleet::Config fc;
+  fc.engine = fast_engine_cfg();
+  Fleet fleet(fc);
+  EXPECT_THROW(fleet.acquire("nope"), runtime::RequestError);
+}
+
+TEST(FleetTest, PinnedEngineServesAndSurvivesEvictionPressure) {
+  Fleet::Config fc;
+  fc.max_loaded = 1;
+  fc.engine = fast_engine_cfg();
+  Fleet fleet(fc);
+  fleet.add_engine("mem", std::make_shared<InferenceEngine>(
+                              smoke_model(), fast_engine_cfg()));
+  auto e1 = fleet.acquire("mem");
+  auto e2 = fleet.acquire("mem");
+  EXPECT_EQ(e1.get(), e2.get()) << "same resident engine, shared handle";
+
+  // A checkpoint load pushing residency to 2 with cap 1 must evict the
+  // CHECKPOINT model, never the pinned in-memory one (here "disk" is the
+  // only unpinned entry, so it is evicted right after its own load).
+  const std::string path = write_smoke_checkpoint("pin", 7);
+  fleet.register_checkpoint("disk", path);
+  auto e3 = fleet.acquire("disk");
+  EXPECT_TRUE(fleet.is_loaded("mem"));
+  EXPECT_FALSE(fleet.is_loaded("disk"));
+  // The stale handle fails TYPED (the eviction drained the engine), never
+  // crashes: shared ownership keeps the object alive for every holder.
+  EXPECT_THROW(e3->submit(random_map(8, 31)), runtime::ShutdownError);
+  // The pinned engine is untouched by the eviction pressure.
+  Tensor out = fleet.acquire("mem")->submit(random_map(8, 31)).get();
+  EXPECT_EQ(out.shape(), (Shape{1, 8, 8}));
+  std::remove(path.c_str());
+}
+
+TEST(FleetTest, LruEvictionBoundsResidencyAndReloadsOnDemand) {
+  Fleet::Config fc;
+  fc.max_loaded = 2;
+  fc.engine = fast_engine_cfg();
+  Fleet fleet(fc);
+  const std::string p1 = write_smoke_checkpoint("m1", 1);
+  const std::string p2 = write_smoke_checkpoint("m2", 2);
+  const std::string p3 = write_smoke_checkpoint("m3", 3);
+  fleet.register_checkpoint("m1", p1);
+  fleet.register_checkpoint("m2", p2);
+  fleet.register_checkpoint("m3", p3);
+
+  (void)fleet.acquire("m1");
+  (void)fleet.acquire("m2");
+  EXPECT_EQ(fleet.loaded_count(), 2u);
+  (void)fleet.acquire("m2");  // bump m2; m1 becomes the LRU
+  (void)fleet.acquire("m3");  // over cap: m1 must go
+  EXPECT_FALSE(fleet.is_loaded("m1"));
+  EXPECT_TRUE(fleet.is_loaded("m2"));
+  EXPECT_TRUE(fleet.is_loaded("m3"));
+  EXPECT_EQ(fleet.loads(), 3);
+  EXPECT_EQ(fleet.evictions(), 1);
+
+  // m1 is still registered: the next acquire hot-reloads it from disk.
+  auto e1 = fleet.acquire("m1");
+  EXPECT_EQ(fleet.loads(), 4);
+  Tensor out = e1->submit(random_map(8, 32)).get();
+  EXPECT_EQ(out.shape(), (Shape{1, 8, 8}));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+  std::remove(p3.c_str());
+}
+
+TEST(FleetTest, ConcurrentFirstAcquiresLoadExactlyOnce) {
+  Fleet::Config fc;
+  fc.engine = fast_engine_cfg();
+  Fleet fleet(fc);
+  const std::string path = write_smoke_checkpoint("race", 9);
+  fleet.register_checkpoint("race", path);
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<InferenceEngine>> handles(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] { handles[static_cast<std::size_t>(i)] =
+                                      fleet.acquire("race"); });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& h : handles) EXPECT_EQ(h.get(), handles[0].get());
+  EXPECT_EQ(fleet.loads(), 1) << "the loading latch must dedupe the load";
+  std::remove(path.c_str());
+}
+
+TEST(FleetTest, DrainAllClosesAdmissions) {
+  Fleet::Config fc;
+  fc.engine = fast_engine_cfg();
+  Fleet fleet(fc);
+  fleet.add_engine("m", std::make_shared<InferenceEngine>(
+                            smoke_model(), fast_engine_cfg()));
+  fleet.drain_all(std::chrono::milliseconds(2000));
+  EXPECT_THROW(fleet.acquire("m"), runtime::ShutdownError);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end over real TCP loopback
+// ---------------------------------------------------------------------------
+
+struct ServerFixture {
+  std::shared_ptr<Fleet> fleet;
+  std::unique_ptr<Server> server;
+  std::shared_ptr<InferenceEngine> engine;
+
+  explicit ServerFixture(Server::Config scfg = {},
+                         InferenceEngine::Config ecfg = fast_engine_cfg()) {
+    Fleet::Config fc;
+    fc.engine = ecfg;
+    fleet = std::make_shared<Fleet>(fc);
+    engine = std::make_shared<InferenceEngine>(smoke_model(), ecfg);
+    fleet->add_engine("sau-fno", engine);
+    if (scfg.default_model.empty()) scfg.default_model = "sau-fno";
+    server = std::make_unique<Server>(fleet, scfg);
+    server->start();
+  }
+
+  Client client() const {
+    Client c;
+    c.connect("127.0.0.1", server->port());
+    return c;
+  }
+};
+
+TEST(ServerTest, InferOverTcpIsBitIdenticalToInProcessSubmit) {
+  ServerFixture fx;
+  const int64_t res = 10;
+  const Tensor input = random_map(res, 40);
+  const Tensor expected = fx.engine->submit(input.clone()).get();
+
+  Client c = fx.client();
+  const Tensor got = c.infer(input.clone());
+  ASSERT_EQ(got.shape(), expected.shape());
+  EXPECT_EQ(std::memcmp(got.data(), expected.data(),
+                        sizeof(float) *
+                            static_cast<std::size_t>(got.numel())),
+            0)
+      << "the wire path must not perturb results";
+}
+
+TEST(ServerTest, PipelinedRequestsComeBackInOrder) {
+  ServerFixture fx;
+  Client c = fx.client();
+  const int kN = 12;
+  std::vector<Tensor> inputs;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < kN; ++i) {
+    inputs.push_back(random_map(8, 50 + static_cast<std::uint64_t>(i)));
+    ids.push_back(c.send_infer(inputs.back().clone()));
+  }
+  for (int i = 0; i < kN; ++i) {
+    const Response r = c.recv_response();
+    EXPECT_EQ(r.id, ids[static_cast<std::size_t>(i)])
+        << "responses must preserve per-connection request order";
+    ASSERT_EQ(r.code, WireCode::kOk) << r.message;
+    const Tensor expected =
+        fx.engine->submit(inputs[static_cast<std::size_t>(i)].clone()).get();
+    EXPECT_EQ(std::memcmp(r.tensor.data(), expected.data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(expected.numel())),
+              0);
+  }
+}
+
+/// Classify what one operation threw, using the SAME mapping the server
+/// uses — so "in-process submit" and "wire client" failures are directly
+/// comparable as WireCodes.
+template <typename Fn>
+WireCode classify(Fn&& fn) {
+  try {
+    fn();
+    return WireCode::kOk;
+  } catch (...) {
+    double retry = 0.0;
+    std::string msg;
+    return serve::code_for_exception(std::current_exception(), &retry, &msg);
+  }
+}
+
+TEST(ServerTest, TypedErrorDifferentialConformance) {
+  // For each failure scenario, trigger it (a) against the in-process engine
+  // and (b) through the TCP client, and require the SAME typed outcome.
+  // This is the load-bearing guarantee of the wire protocol: a remote
+  // client's catch blocks behave exactly like a local caller's.
+  InferenceEngine::Config ecfg = fast_engine_cfg();
+  ecfg.expected_in_channels = 3;
+  ServerFixture fx({}, ecfg);
+  Client c = fx.client();
+  const int64_t res = 8;
+
+  {  // RequestError: non-finite input (validate_finite).
+    Tensor nan_map = random_map(res, 60);
+    nan_map.data()[3] = std::numeric_limits<float>::quiet_NaN();
+    const WireCode local = classify(
+        [&] { fx.engine->submit(nan_map.clone()).get(); });
+    const WireCode wire = classify([&] { c.infer(nan_map.clone()); });
+    EXPECT_EQ(local, WireCode::kRequest);
+    EXPECT_EQ(wire, local);
+    EXPECT_THROW(c.infer(nan_map.clone()), runtime::RequestError);
+  }
+  {  // RequestError: wrong channel count.
+    Rng rng(61);
+    Tensor two_ch = Tensor::randn({2, res, res}, rng);
+    const WireCode local = classify(
+        [&] { fx.engine->submit(two_ch.clone()).get(); });
+    const WireCode wire = classify([&] { c.infer(two_ch.clone()); });
+    EXPECT_EQ(local, WireCode::kRequest);
+    EXPECT_EQ(wire, local);
+  }
+  {  // RequestError: unknown model (fleet-level; locally = unknown engine).
+    EXPECT_THROW(c.infer(random_map(res, 62), "no-such-model"),
+                 runtime::RequestError);
+  }
+  {  // DeadlineExceededError: 1 ms deadline vs a 150 ms injected forward
+     // delay — the future must resolve typed, and so must the wire client.
+    FaultGuard fg("forward:delay:ms=150:p=1", 7);
+    runtime::SubmitOptions opts;
+    opts.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(1);
+    const WireCode local = classify(
+        [&] { fx.engine->submit(random_map(res, 63), opts).get(); });
+    const WireCode wire = classify(
+        [&] { c.infer(random_map(res, 64), "", "default", /*deadline_ms=*/1); });
+    EXPECT_EQ(local, WireCode::kDeadlineExceeded);
+    EXPECT_EQ(wire, local);
+  }
+  {  // ShutdownError: drained server refuses; drained engine refuses.
+    fx.server->drain(std::chrono::milliseconds(2000));
+    const WireCode local = classify(
+        [&] { fx.engine->submit(random_map(res, 65)).get(); });
+    const WireCode wire = classify([&] { c.infer(random_map(res, 66)); });
+    EXPECT_EQ(local, WireCode::kShutdown);
+    EXPECT_EQ(wire, local);
+    EXPECT_THROW(c.infer(random_map(res, 67)), runtime::ShutdownError);
+  }
+}
+
+TEST(ServerTest, CancelFrameResolvesRequestAsCancelled) {
+  // Wedge the batcher on request A (200 ms forward delay, batch size 1), so
+  // request B sits in the queue; cancelling B over the wire must resolve it
+  // with kCancelled — exactly what an in-process CancelToken produces.
+  InferenceEngine::Config ecfg = fast_engine_cfg();
+  ecfg.max_batch = 1;
+  ServerFixture fx({}, ecfg);
+  FaultGuard fg("forward:delay:ms=200:p=1:n=1", 11);
+  Client c = fx.client();
+  const std::uint64_t id_a = c.send_infer(random_map(8, 70));
+  const std::uint64_t id_b = c.send_infer(random_map(8, 71));
+  c.send_cancel(id_b);
+  const Response ra = c.recv_response();
+  EXPECT_EQ(ra.id, id_a);
+  EXPECT_EQ(ra.code, WireCode::kOk) << ra.message;
+  const Response rb = c.recv_response();
+  EXPECT_EQ(rb.id, id_b);
+  EXPECT_EQ(rb.code, WireCode::kCancelled) << rb.message;
+}
+
+TEST(ServerTest, TenantQuotaShedsWithOverloadedAndRetryAfter) {
+  // Quota 1 for tenant "capped": while its first request is wedged in a
+  // 200 ms forward, the next three MUST shed with kOverloaded + a positive
+  // retry-after — same contract as engine admission control. A "roomy"
+  // tenant is unaffected by capped's backlog.
+  Server::Config scfg;
+  scfg.quota_spec = "capped=1,*=64";
+  InferenceEngine::Config ecfg = fast_engine_cfg();
+  ecfg.max_batch = 1;
+  ServerFixture fx(scfg, ecfg);
+  FaultGuard fg("forward:delay:ms=200:p=1:n=1", 13);
+  Client c = fx.client();
+  for (int i = 0; i < 4; ++i) {
+    c.send_infer(random_map(8, 80 + static_cast<std::uint64_t>(i)), "",
+                 "capped");
+  }
+  int ok = 0, shed = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Response r = c.recv_response();
+    if (r.code == WireCode::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.code, WireCode::kOverloaded) << r.message;
+      EXPECT_GT(r.retry_after_ms, 0.0);
+      ++shed;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(shed, 1) << "quota must have shed at least one request";
+  EXPECT_EQ(ok + shed, 4) << "every request gets exactly one response";
+
+  Client other = fx.client();
+  EXPECT_NO_THROW(other.infer(random_map(8, 90), "", "roomy"));
+  EXPECT_GE(fx.server->stats().quota_rejected, 1);
+}
+
+TEST(ServerTest, ConcurrentClientsAllServedCorrectly) {
+  ServerFixture fx;
+  const int kClients = 6, kPerClient = 4;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client c = fx.client();
+      for (int i = 0; i < kPerClient; ++i) {
+        const Tensor input =
+            random_map(8, 100 + static_cast<std::uint64_t>(t * 31 + i));
+        const Tensor got = c.infer(input.clone());
+        const Tensor expected = fx.engine->submit(input.clone()).get();
+        if (got.shape() == expected.shape() &&
+            std::memcmp(got.data(), expected.data(),
+                        sizeof(float) *
+                            static_cast<std::size_t>(got.numel())) == 0) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  EXPECT_GE(fx.server->stats().conns_accepted, kClients);
+}
+
+TEST(ServerTest, ConnectionLimitRejectsWithOverloadedThenCloses) {
+  Server::Config scfg;
+  scfg.max_conns = 1;
+  ServerFixture fx(scfg);
+  Client first = fx.client();
+  EXPECT_NO_THROW(first.ping());  // occupy the only slot
+
+  Client second;
+  second.connect("127.0.0.1", fx.server->port());
+  const Response r = second.recv_response();
+  EXPECT_EQ(r.code, WireCode::kOverloaded);
+  EXPECT_GT(r.retry_after_ms, 0.0);
+  EXPECT_THROW(second.recv_response(), serve::ConnectionClosedError);
+  EXPECT_GE(fx.server->stats().conns_rejected, 1);
+}
+
+TEST(ServerTest, MalformedStreamGetsProtocolResponseThenClose) {
+  ServerFixture fx;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fx.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";  // not our magic
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+
+  std::vector<std::uint8_t> body;
+  ASSERT_TRUE(serve::read_frame(fd, body));
+  const AnyFrame frame = serve::decode_frame(body.data(), body.size());
+  ASSERT_EQ(frame.kind, FrameKind::kResponse);
+  EXPECT_EQ(frame.response.code, WireCode::kProtocol);
+  EXPECT_FALSE(serve::read_frame(fd, body)) << "server must close after";
+  ::close(fd);
+  EXPECT_GE(fx.server->stats().protocol_errors, 1);
+}
+
+TEST(ServerTest, HotLoadInferEvictAndReloadOverTheWire) {
+  Server::Config scfg;
+  InferenceEngine::Config ecfg = fast_engine_cfg();
+  Fleet::Config fc;
+  fc.engine = ecfg;
+  auto fleet = std::make_shared<Fleet>(fc);
+  Server server(fleet, scfg);
+  server.start();
+  const std::string path = write_smoke_checkpoint("wire", 17);
+
+  Client c;
+  c.connect("127.0.0.1", server.port());
+  // Nothing is loaded yet: naming the model before load_model is kRequest.
+  EXPECT_THROW(c.infer(random_map(8, 120), "hot"), runtime::RequestError);
+
+  c.load_model("hot", path);
+  EXPECT_TRUE(fleet->is_loaded("hot"));
+  const Tensor first = c.infer(random_map(8, 121), "hot");
+  EXPECT_EQ(first.shape(), (Shape{1, 8, 8}));
+  // Kelvin sanity: the v2 checkpoint carries a normalizer, so outputs land
+  // in absolute temperature, not normalized units.
+  EXPECT_GT(first.at(0), 100.f);
+
+  c.evict_model("hot");
+  EXPECT_FALSE(fleet->is_loaded("hot"));
+  // Still registered: the next request hot-reloads from disk transparently.
+  const Tensor second = c.infer(random_map(8, 121), "hot");
+  EXPECT_TRUE(fleet->is_loaded("hot"));
+  EXPECT_EQ(std::memcmp(first.data(), second.data(),
+                        sizeof(float) *
+                            static_cast<std::size_t>(first.numel())),
+            0)
+      << "reloaded weights must serve identical results";
+
+  // load_model on a RESIDENT name is a hot reload (fresh engine, same file).
+  c.load_model("hot", path);
+  EXPECT_TRUE(fleet->is_loaded("hot"));
+  server.stop();
+  std::remove(path.c_str());
+}
+
+TEST(ServerTest, DrainWhileServingResolvesEveryInFlightRequest) {
+  InferenceEngine::Config ecfg = fast_engine_cfg();
+  ecfg.max_batch = 2;
+  ServerFixture fx({}, ecfg);
+  FaultGuard fg("forward:delay:ms=50:p=1", 19);
+  Client c = fx.client();
+  EXPECT_EQ(c.ping(), "serving");  // before pipelining: FIFO would queue it
+  const int kN = 6;
+  for (int i = 0; i < kN; ++i) {
+    c.send_infer(random_map(8, 130 + static_cast<std::uint64_t>(i)));
+  }
+  // request_drain is the SIGTERM path: only sets a flag; the accept loop
+  // runs the drain. Every already-submitted request must still resolve —
+  // value or kShutdown, never silence.
+  fx.server->request_drain();
+  int resolved = 0;
+  for (int i = 0; i < kN; ++i) {
+    const Response r = c.recv_response();
+    EXPECT_TRUE(r.code == WireCode::kOk || r.code == WireCode::kShutdown)
+        << "unexpected code " << serve::wire_code_name(r.code) << ": "
+        << r.message;
+    ++resolved;
+  }
+  EXPECT_EQ(resolved, kN);
+  // The existing connection survives the drain and reports its state.
+  EXPECT_EQ(c.ping(), "draining");
+  // New connections are no longer accepted once drained.
+  for (int tries = 0; tries < 50 && !fx.server->draining(); ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(fx.server->draining());
+}
+
+TEST(ServerTest, DefaultModelFallbackAndPing) {
+  ServerFixture fx;
+  Client c = fx.client();
+  EXPECT_EQ(c.ping(), "serving");
+  // model "" routes to cfg.default_model — same engine, same bits.
+  const Tensor input = random_map(8, 140);
+  const Tensor via_default = c.infer(input.clone(), "");
+  const Tensor via_name = c.infer(input.clone(), "sau-fno");
+  EXPECT_EQ(std::memcmp(via_default.data(), via_name.data(),
+                        sizeof(float) *
+                            static_cast<std::size_t>(via_name.numel())),
+            0);
+}
+
+}  // namespace
+}  // namespace saufno
