@@ -30,6 +30,7 @@
 #include "obs/export.h"
 #include "plan/executor.h"
 #include "plan/runner.h"
+#include "runtime/thread_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/simd.h"
 #include "tensor/tensor.h"
@@ -143,6 +144,12 @@ struct PlanBench {
   int64_t instr_count = 0;
   int64_t fused_kernels = 0;
   int64_t folded_ops = 0;
+  // Per-phase split of the compile from PlanRunner::last_compile_breakdown:
+  // trace (the recorded forward — the dominant term), lower (graph
+  // extraction), passes (fusion/liveness/arena/leveling).
+  double compile_trace_ms = 0.0;
+  double compile_lower_ms = 0.0;
+  double compile_passes_ms = 0.0;
 };
 
 /// Compiled plan vs interpreter on the same model/input. The outputs are
@@ -180,6 +187,10 @@ PlanBench bench_plan(bool smoke) {
     r.fused_kernels = exec->plan().fused_ops;
     r.folded_ops = exec->plan().folded_ops;
   }
+  const auto bd = planned.last_compile_breakdown();
+  r.compile_trace_ms = bd.trace_ms;
+  r.compile_lower_ms = bd.lower_ms;
+  r.compile_passes_ms = bd.passes_ms;
   std::printf("\nplan vs interpreter (B=%lld, %lldx%lld): %.2f ms -> %.2f ms  "
               "%.2fx  (compile %.1f ms, %lld instrs, %lld fused, %lld "
               "folded)\n",
@@ -188,6 +199,9 @@ PlanBench bench_plan(bool smoke) {
               r.speedup, r.compile_ms, static_cast<long long>(r.instr_count),
               static_cast<long long>(r.fused_kernels),
               static_cast<long long>(r.folded_ops));
+  std::printf("plan compile breakdown: trace %.1f ms (the recorded forward), "
+              "lower %.1f ms, passes %.1f ms\n",
+              r.compile_trace_ms, r.compile_lower_ms, r.compile_passes_ms);
   return r;
 }
 
@@ -199,10 +213,14 @@ void write_json(const char* path, bool smoke, double ref_speedup,
   w.field("bench", "bench_kernels");
   w.field("mode", smoke ? "smoke" : "full");
   w.field("simd_level", simd::level_name());
+  w.field("threads", runtime::ThreadPool::instance().num_threads());
   w.field("gemm_speedup_reference_shape", ref_speedup, 4);
   w.field("end_to_end_forward_speedup", e2e_speedup, 4);
   w.field("end_to_end_forward_per_sec", fwd_per_sec, 4);
   w.field("plan_compile_ms", plan.compile_ms, 4);
+  w.field("plan_compile_trace_ms", plan.compile_trace_ms, 4);
+  w.field("plan_compile_lower_ms", plan.compile_lower_ms, 4);
+  w.field("plan_compile_passes_ms", plan.compile_passes_ms, 4);
   w.field("plan_vs_interp_speedup", plan.speedup, 4);
   w.field("plan_instr_count", plan.instr_count);
   w.field("plan_fused_kernels", plan.fused_kernels);
@@ -212,6 +230,7 @@ void write_json(const char* path, bool smoke, double ref_speedup,
   for (const auto& e : g_entries) {
     w.begin_object();
     w.field("name", e.name);
+    w.field("threads", runtime::ThreadPool::instance().num_threads());
     w.field("m", e.m);
     w.field("n", e.n);
     w.field("k", e.k);

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.h"
@@ -33,6 +34,7 @@ namespace saufno {
 namespace {
 
 struct Entry {
+  int threads = 0;
   int sessions = 0;
   int steps = 0;
   double seconds = 0.0;
@@ -42,6 +44,14 @@ struct Entry {
 };
 
 std::vector<Entry> g_entries;
+
+/// The pool size SAUFNO_NUM_THREADS would produce — the matrix sweep
+/// resizes the pool per row and restores this before the telemetry probe.
+int env_default_threads() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  return env_int_in_range("SAUFNO_NUM_THREADS", hw, 1, 1024);
+}
 
 Entry run_config(const std::shared_ptr<nn::Module>& model,
                  const data::Normalizer& norm, const data::RolloutSpec& spec,
@@ -72,6 +82,7 @@ Entry run_config(const std::shared_ptr<nn::Module>& model,
   Timer t;
   const auto trajectories = engine.run(raw, powers);
   Entry e;
+  e.threads = runtime::ThreadPool::instance().num_threads();
   e.sessions = n_sessions;
   e.steps = steps;
   e.seconds = t.seconds();
@@ -128,6 +139,7 @@ void write_json(const char* path, bool smoke, int64_t res,
   w.begin_array();
   for (const auto& e : g_entries) {
     w.begin_object();
+    w.field("threads", e.threads);
     w.field("sessions", e.sessions);
     w.field("steps", e.steps);
     w.field("seconds", e.seconds, 6);
@@ -159,6 +171,8 @@ int main(int argc, char** argv) {
   const int steps = smoke ? 6 : 32;
   const std::vector<int> session_counts =
       smoke ? std::vector<int>{1, 4, 8} : std::vector<int>{1, 2, 4, 8, 16};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 8} : std::vector<int>{1, 2, 4, 8};
 
   data::RolloutSpec spec;
   spec.dt = 0.01;
@@ -173,20 +187,27 @@ int main(int argc, char** argv) {
       data::Normalizer::from_stats(318.0, 3e4, 9.0, spec.power_channels);
 
   std::printf("== bench_rollout (%s mode) ==\n", smoke ? "smoke" : "full");
-  std::printf("res %lldx%lld, %d steps/session, %d kernel lanes\n\n",
-              static_cast<long long>(res), static_cast<long long>(res), steps,
-              runtime::ThreadPool::instance().num_threads());
-  std::printf("%10s %8s %12s %16s %16s %12s\n", "sessions", "steps",
-              "seconds", "steps/sec", "ms/step-wave", "avg batch");
-  for (const int n : session_counts) {
-    const auto e = run_config(model, norm, spec, n, steps, res);
-    g_entries.push_back(e);
-    std::printf("%10d %8d %12.4f %16.1f %16.3f %12.2f\n", e.sessions, e.steps,
-                e.seconds, e.steps_per_sec, e.per_step_latency_ms,
-                e.avg_batch_size);
+  std::printf("res %lldx%lld, %d steps/session, threads x sessions matrix\n\n",
+              static_cast<long long>(res), static_cast<long long>(res), steps);
+  std::printf("%8s %10s %8s %12s %16s %16s %12s\n", "threads", "sessions",
+              "steps", "seconds", "steps/sec", "ms/step-wave", "avg batch");
+  // threads x sessions matrix: the pool is resized between configs (each
+  // engine is constructed and joined inside run_config, so no submissions
+  // race the resize).
+  for (const int threads : thread_counts) {
+    runtime::ThreadPool::instance().resize(threads);
+    for (const int n : session_counts) {
+      const auto e = run_config(model, norm, spec, n, steps, res);
+      g_entries.push_back(e);
+      std::printf("%8d %10d %8d %12.4f %16.1f %16.3f %12.2f\n", e.threads,
+                  e.sessions, e.steps, e.seconds, e.steps_per_sec,
+                  e.per_step_latency_ms, e.avg_batch_size);
+    }
   }
   // Telemetry overhead probe at the widest smoke config (8 sessions keeps
-  // the batcher busy, so idle-queue time doesn't mask per-event cost).
+  // the batcher busy, so idle-queue time doesn't mask per-event cost), back
+  // at the environment-default pool size.
+  runtime::ThreadPool::instance().resize(env_default_threads());
   double on_steps_per_sec = 0.0;
   const double overhead_pct = measure_telemetry_overhead(
       model, norm, spec, smoke ? 8 : 16, steps, res, &on_steps_per_sec);
@@ -208,6 +229,28 @@ int main(int argc, char** argv) {
     std::printf("FAIL: telemetry overhead %.2f%% exceeds the 2%% budget\n",
                 overhead_pct);
     return 1;
+  }
+  // Smoke-mode CI gate: multicore scaling. On a machine with >= 4 real
+  // cores, the widest session count at 8 threads must be measurably above
+  // the same config at 1 thread — a modest 1.15x bar so a scheduler hiccup
+  // doesn't flake CI, but a regression to serialized nesting (1.0x) fails.
+  // Skipped on smaller runners, where an 8-lane pool timeshares cores and
+  // the comparison measures nothing.
+  if (smoke && std::thread::hardware_concurrency() >= 4) {
+    const int widest = session_counts.back();
+    double at1 = 0.0, at8 = 0.0;
+    for (const auto& e : g_entries) {
+      if (e.sessions != widest) continue;
+      if (e.threads == 1) at1 = e.steps_per_sec;
+      if (e.threads == 8) at8 = e.steps_per_sec;
+    }
+    if (at1 > 0.0 && at8 > 0.0 && at8 < 1.15 * at1) {
+      std::printf("FAIL: %d-session rollout at 8 threads (%.1f steps/s) is "
+                  "not measurably above 1 thread (%.1f steps/s): multicore "
+                  "scaling regressed\n",
+                  widest, at8, at1);
+      return 1;
+    }
   }
   return 0;
 }

@@ -106,6 +106,7 @@ double engine_rps(const std::shared_ptr<nn::Module>& model,
 // ---------------------------------------------------------------------------
 
 struct OverloadResult {
+  int threads = 0;  // pool size during the overload phase
   int arrivals = 0;
   int accepted = 0;
   int shed = 0;
@@ -253,6 +254,7 @@ OverloadResult run_overload(const std::shared_ptr<nn::Module>& model,
   for (auto& h : harvesters) h.join();
 
   const auto st = engine.stats();
+  r.threads = runtime::ThreadPool::instance().num_threads();
   r.value_ok = value_ok.load();
   r.expired = expired.load();
   r.failed = failed.load();
@@ -268,6 +270,7 @@ OverloadResult run_overload(const std::shared_ptr<nn::Module>& model,
 std::string overload_json(const OverloadResult& r) {
   JsonWriter w;
   w.begin_object();
+  w.field("threads", r.threads);
   w.field("capacity_rps", r.capacity_rps, 1);
   w.field("offered_rps", r.offered_rps, 1);
   w.field("arrivals", r.arrivals);

@@ -70,6 +70,8 @@ double env_double(const char* name, double fallback) {
 
 struct PhaseResult {
   std::string name;
+  int threads = 0;  // pool size while the phase ran (the pool is resized
+                    // to 1 before JSON writing, so record it here)
   int64_t requests = 0;
   int64_t ok = 0;
   int64_t shed = 0;     // kOverloaded (quota or queue)
@@ -232,6 +234,7 @@ PhaseResult run_open_loop_phase(const std::string& name, std::uint16_t port,
 
   PhaseResult r;
   r.name = name;
+  r.threads = runtime::ThreadPool::instance().num_threads();
   std::vector<double> all;
   for (int t = 0; t < conns; ++t) {
     const std::size_t ti = static_cast<std::size_t>(t);
@@ -283,6 +286,7 @@ double run_saturation(std::uint16_t port, const Workload& w, int conns,
 void phase_json(JsonWriter* jw, const PhaseResult& r) {
   jw->key(r.name);
   jw->begin_object();
+  jw->field("threads", r.threads);
   jw->field("requests", r.requests);
   jw->field("ok", r.ok);
   jw->field("shed", r.shed);
@@ -395,6 +399,7 @@ int main(int argc, char** argv) {
   print_phase(rollout);
 
   const auto stats = server.stats();
+  const int serve_threads = runtime::ThreadPool::instance().num_threads();
   server.stop();
   runtime::ThreadPool::instance().resize(1);
 
@@ -402,6 +407,7 @@ int main(int argc, char** argv) {
   jw.begin_object();
   jw.field("scale", scale_name(bench_scale()));
   jw.field("model", model_name);
+  jw.field("threads", serve_threads);
   jw.field("connections", conns);
   jw.field("tenant_hot_share", hot_share, 2);
   jw.field("utilization_target", util, 2);

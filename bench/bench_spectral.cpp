@@ -23,6 +23,7 @@
 #include "fft/fft.h"
 #include "fft/plan.h"
 #include "obs/export.h"
+#include "runtime/thread_pool.h"
 #include "runtime/workspace.h"
 #include "tensor/tensor.h"
 
@@ -286,6 +287,7 @@ void write_json(const char* path, bool smoke, double speedup2d,
   for (const auto& e : g_entries) {
     w.begin_object();
     w.field("name", e.name);
+    w.field("threads", runtime::ThreadPool::instance().num_threads());
     w.field("seconds_per_call", e.seconds, 9);
     w.field("speedup", e.speedup, 4);
     w.end_object();

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "plan/trace.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace saufno {
@@ -173,7 +174,9 @@ Var sigmoid(const Var& a) {
       [](const Tensor& x) { return saufno::sigmoid(x); },
       [](const Tensor& x) {
         return saufno::map(x, [](float v) {
-          const float s = 1.f / (1.f + std::exp(-v));
+          // Same simd::exp1 as the forward kernel, so s here is bitwise the
+          // forward activation and the gradient is consistent with it.
+          const float s = 1.f / (1.f + simd::exp1(-v));
           return s * (1.f - s);
         });
       });

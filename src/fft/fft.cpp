@@ -137,21 +137,32 @@ void fft_2d(cfloat* x, int64_t batch, int64_t h, int64_t w, bool inverse) {
   static obs::Histogram& prof_hist = obs::histogram("kernel.fft_2d_us");
   obs::KernelTimer prof_timer(prof_hist, "fft.fft_2d");
   SAUFNO_FAULT_POINT("fft");
-  // The batch axis is the parallel seam: each [h, w] plane is transformed
-  // independently by one chunk, so results are bit-identical for any thread
-  // count. The spectral layers batch all B*C channel planes into one call,
-  // which is what makes this pay off. Plans are fetched once, outside the
-  // per-line loop, so the cache mutex is off the hot path.
+  // Two parallel seams: batch (outer) and rows/column-tiles within a plane
+  // (nested, decomposes onto the pool when lanes are free — see
+  // parallel_for.h). Every line/tile is transformed independently and the
+  // nested grains depend only on the shape, so results stay bit-identical
+  // for any thread count. With many small planes the outer grain batches
+  // them and the inner loops collapse to single inline chunks; a lone big
+  // plane splits across its rows instead. Plans are fetched once, outside
+  // the per-line loops, so the cache mutex is off the hot path.
   const auto pw = get_plan(w);
   const auto ph = get_plan(h);
   runtime::parallel_for(0, batch, plane_grain(h * w), [&](int64_t b0, int64_t b1) {
-    runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
     for (int64_t b = b0; b < b1; ++b) {
       cfloat* plane = x + b * h * w;
       if (w > 1) {
-        for (int64_t i = 0; i < h; ++i) run_plan(plane + i * w, *pw, inverse);
+        runtime::parallel_for(0, h, plane_grain(w), [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) run_plan(plane + i * w, *pw, inverse);
+        });
       }
-      fft_cols(plane, h, w, 0, w, *ph, inverse, tile.data());
+      if (h > 1) {
+        // Grain == kColTile keeps chunk edges on tile edges, so the gather/
+        // scatter tiling is the same as one sequential full-width call.
+        runtime::parallel_for(0, w, kColTile, [&](int64_t c0, int64_t c1) {
+          runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
+          fft_cols(plane, h, w, c0, c1, *ph, inverse, tile.data());
+        });
+      }
     }
   });
 }
@@ -168,10 +179,12 @@ void fft_3d(cfloat* x, int64_t batch, int64_t d, int64_t h, int64_t w,
   const auto pd = get_plan(d);
   const int64_t plane = h * w;
   runtime::parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
-    runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * d));
     for (int64_t b = b0; b < b1; ++b) {
-      fft_cols(x + b * d * plane, d, plane, 0, plane, *pd, inverse,
-               tile.data());
+      cfloat* vol = x + b * d * plane;
+      runtime::parallel_for(0, plane, kColTile, [&](int64_t c0, int64_t c1) {
+        runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * d));
+        fft_cols(vol, d, plane, c0, c1, *pd, inverse, tile.data());
+      });
     }
   });
 }
@@ -186,15 +199,21 @@ void rfft_2d(const float* x, cfloat* out, int64_t batch, int64_t h, int64_t w,
   const auto rp = get_rfft_plan(w);
   const auto ph = get_plan(h);
   runtime::parallel_for(0, batch, plane_grain(h * w), [&](int64_t b0, int64_t b1) {
-    runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
-    runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
     for (int64_t b = b0; b < b1; ++b) {
       const float* in = x + b * h * w;
       cfloat* plane = out + b * h * wk;
-      for (int64_t i = 0; i < h; ++i) {
-        rfft_row(in + i * w, plane + i * wk, *rp, wk, row.data());
+      runtime::parallel_for(0, h, plane_grain(w), [&](int64_t i0, int64_t i1) {
+        runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
+        for (int64_t i = i0; i < i1; ++i) {
+          rfft_row(in + i * w, plane + i * wk, *rp, wk, row.data());
+        }
+      });
+      if (h > 1) {
+        runtime::parallel_for(0, wk, kColTile, [&](int64_t c0, int64_t c1) {
+          runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
+          fft_cols(plane, h, wk, c0, c1, *ph, /*inverse=*/false, tile.data());
+        });
       }
-      fft_cols(plane, h, wk, 0, wk, *ph, /*inverse=*/false, tile.data());
     }
   });
 }
@@ -209,31 +228,37 @@ void irfft_2d(cfloat* spec, float* out, int64_t batch, int64_t h, int64_t w,
   const auto rp = get_rfft_plan(w);
   const auto ph = get_plan(h);
   runtime::parallel_for(0, batch, plane_grain(h * w), [&](int64_t b0, int64_t b1) {
-    runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
-    runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
     for (int64_t b = b0; b < b1; ++b) {
       cfloat* plane = spec + b * h * wk;
       float* dst = out + b * h * w;
-      fft_cols(plane, h, wk, 0, wk, *ph, /*inverse=*/true, tile.data());
-      for (int64_t i = 0; i < h; ++i) {
-        irfft_row(plane + i * wk, dst + i * w, *rp, wk, scale, row.data());
+      if (h > 1) {
+        runtime::parallel_for(0, wk, kColTile, [&](int64_t c0, int64_t c1) {
+          runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
+          fft_cols(plane, h, wk, c0, c1, *ph, /*inverse=*/true, tile.data());
+        });
       }
+      runtime::parallel_for(0, h, plane_grain(w), [&](int64_t i0, int64_t i1) {
+        runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
+        for (int64_t i = i0; i < i1; ++i) {
+          irfft_row(plane + i * wk, dst + i * w, *rp, wk, scale, row.data());
+        }
+      });
     }
   });
 }
 
 namespace {
 
-/// Visit the pruned kh row set [0, mh) ∪ [h-mh, h) — or every row when the
-/// two halves meet.
-template <typename Fn>
-void for_each_kept_row(int64_t h, int64_t mh, Fn fn) {
-  if (2 * mh >= h) {
-    for (int64_t i = 0; i < h; ++i) fn(i);
-    return;
-  }
-  for (int64_t i = 0; i < mh; ++i) fn(i);
-  for (int64_t i = h - mh; i < h; ++i) fn(i);
+/// The pruned kh row set is [0, mh) ∪ [h-mh, h) — or every row when the two
+/// halves meet. Expressed as a count + index map so the rows can be walked
+/// by a parallel_for (shape-only chunking over [0, kept_row_count)).
+int64_t kept_row_count(int64_t h, int64_t mh) {
+  return 2 * mh >= h ? h : 2 * mh;
+}
+
+int64_t kept_row(int64_t h, int64_t mh, int64_t i) {
+  if (2 * mh >= h) return i;
+  return i < mh ? i : h - 2 * mh + i;
 }
 
 }  // namespace
@@ -249,24 +274,37 @@ void rfft_3d(const float* x, cfloat* out, int64_t batch, int64_t d, int64_t h,
   const auto ph = get_plan(h);
   const auto pd = get_plan(d);
   const int64_t cvol = d * h * wk;  // compact volume
+  // Outer seam: volumes. Nested seams (decompose when lanes are free): the
+  // d*h real rows, then per-slice h-column passes, then the pruned depth
+  // rows. All grains depend only on the shape, so bit-identity holds at
+  // every thread count.
   runtime::parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
-    runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
-    runtime::Scratch<cfloat> tile(
-        static_cast<std::size_t>(kColTile * std::max(d, h)));
     for (int64_t b = b0; b < b1; ++b) {
       const float* in = x + b * d * h * w;
       cfloat* vol = out + b * cvol;
-      for (int64_t l = 0; l < d * h; ++l) {
-        rfft_row(in + l * w, vol + l * wk, *rp, wk, row.data());
-      }
-      for (int64_t id = 0; id < d; ++id) {
-        fft_cols(vol + id * h * wk, h, wk, 0, wk, *ph, /*inverse=*/false,
-                 tile.data());
+      runtime::parallel_for(0, d * h, plane_grain(w), [&](int64_t l0, int64_t l1) {
+        runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
+        for (int64_t l = l0; l < l1; ++l) {
+          rfft_row(in + l * w, vol + l * wk, *rp, wk, row.data());
+        }
+      });
+      if (h > 1) {
+        runtime::parallel_for(0, d, 1, [&](int64_t d0, int64_t d1) {
+          runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
+          for (int64_t id = d0; id < d1; ++id) {
+            fft_cols(vol + id * h * wk, h, wk, 0, wk, *ph, /*inverse=*/false,
+                     tile.data());
+          }
+        });
       }
       if (d > 1) {
-        for_each_kept_row(h, mh, [&](int64_t kh) {
-          fft_cols(vol + kh * wk, d, h * wk, 0, wk, *pd, /*inverse=*/false,
-                   tile.data());
+        const int64_t kept = kept_row_count(h, mh);
+        runtime::parallel_for(0, kept, 1, [&](int64_t k0, int64_t k1) {
+          runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * d));
+          for (int64_t i = k0; i < k1; ++i) {
+            fft_cols(vol + kept_row(h, mh, i) * wk, d, h * wk, 0, wk, *pd,
+                     /*inverse=*/false, tile.data());
+          }
         });
       }
     }
@@ -284,26 +322,37 @@ void irfft_3d(cfloat* spec, float* out, int64_t batch, int64_t d, int64_t h,
   const auto ph = get_plan(h);
   const auto pd = get_plan(d);
   const int64_t cvol = d * h * wk;
+  // Mirror of rfft_3d: pruned depth rows, per-slice h-columns, then the
+  // d*h real rows, each a nested shape-only-chunked parallel_for.
   runtime::parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
-    runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
-    runtime::Scratch<cfloat> tile(
-        static_cast<std::size_t>(kColTile * std::max(d, h)));
     for (int64_t b = b0; b < b1; ++b) {
       cfloat* vol = spec + b * cvol;
       float* dst = out + b * d * h * w;
       if (d > 1) {
-        for_each_kept_row(h, mh, [&](int64_t kh) {
-          fft_cols(vol + kh * wk, d, h * wk, 0, wk, *pd, /*inverse=*/true,
-                   tile.data());
+        const int64_t kept = kept_row_count(h, mh);
+        runtime::parallel_for(0, kept, 1, [&](int64_t k0, int64_t k1) {
+          runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * d));
+          for (int64_t i = k0; i < k1; ++i) {
+            fft_cols(vol + kept_row(h, mh, i) * wk, d, h * wk, 0, wk, *pd,
+                     /*inverse=*/true, tile.data());
+          }
         });
       }
-      for (int64_t id = 0; id < d; ++id) {
-        fft_cols(vol + id * h * wk, h, wk, 0, wk, *ph, /*inverse=*/true,
-                 tile.data());
+      if (h > 1) {
+        runtime::parallel_for(0, d, 1, [&](int64_t d0, int64_t d1) {
+          runtime::Scratch<cfloat> tile(static_cast<std::size_t>(kColTile * h));
+          for (int64_t id = d0; id < d1; ++id) {
+            fft_cols(vol + id * h * wk, h, wk, 0, wk, *ph, /*inverse=*/true,
+                     tile.data());
+          }
+        });
       }
-      for (int64_t l = 0; l < d * h; ++l) {
-        irfft_row(vol + l * wk, dst + l * w, *rp, wk, scale, row.data());
-      }
+      runtime::parallel_for(0, d * h, plane_grain(w), [&](int64_t l0, int64_t l1) {
+        runtime::Scratch<cfloat> row(static_cast<std::size_t>(w));
+        for (int64_t l = l0; l < l1; ++l) {
+          irfft_row(vol + l * wk, dst + l * w, *rp, wk, scale, row.data());
+        }
+      });
     }
   });
 }

@@ -14,6 +14,7 @@
 #include "obs/kernel_profile.h"
 #include "obs/metrics.h"
 #include "runtime/parallel_for.h"
+#include "runtime/task_group.h"
 #include "tensor/tensor_ops.h"
 
 namespace saufno {
@@ -252,17 +253,27 @@ Tensor PlanExecutor::run(const Tensor& input) {
     } else {
       // Instructions inside one level are independent by construction and
       // their temp slots occupy disjoint arena bytes (liveness intervals
-      // both contain this level), so they can run concurrently. Kernels
-      // that parallelize internally degrade to sequential inside a worker
-      // (nested parallel_for), which keeps results bit-identical.
-      std::vector<std::function<void()>> fns;
-      fns.reserve(level.size());
-      for (int32_t idx : level) {
-        std::vector<Tensor>* slots = &b->slots;
-        const Plan* plan = plan_.get();
-        fns.push_back([plan, slots, idx] { exec_instr(*plan, *slots, idx); });
+      // both contain this level), so they can run concurrently. Each
+      // instruction is one TaskGroup task; a kernel that parallelizes
+      // internally decomposes its own parallel_for onto the pool too
+      // (intra-op x inter-op), so a level with one heavy op and several
+      // light ones doesn't serialize the heavy op on a single lane. Every
+      // kernel is individually bit-deterministic and writes disjoint slots,
+      // so scheduling order cannot change the output.
+      runtime::TaskGroup g;
+      std::vector<Tensor>* slots = &b->slots;
+      const Plan* plan = plan_.get();
+      for (std::size_t i = 1; i < level.size(); ++i) {
+        const int32_t idx = level[i];
+        g.run([plan, slots, idx] { exec_instr(*plan, *slots, idx); });
       }
-      runtime::parallel_invoke(std::move(fns));
+      // First instruction runs on the calling thread; wait() then helps
+      // with whatever is still queued.
+      {
+        const int32_t idx = level[0];
+        exec_instr(*plan, *slots, idx);
+      }
+      g.wait();
     }
   }
 

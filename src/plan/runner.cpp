@@ -22,6 +22,10 @@ struct RunnerMetrics {
   obs::Counter& fallbacks = obs::counter("plan.fallbacks");
   obs::Gauge& size = obs::gauge("plan.cache.size");
   obs::Histogram& compile_ms = obs::histogram("plan.compile_ms");
+  obs::Histogram& compile_trace_ms = obs::histogram("plan.compile.trace_ms");
+  obs::Histogram& compile_lower_ms = obs::histogram("plan.compile.lower_ms");
+  obs::Histogram& compile_passes_ms =
+      obs::histogram("plan.compile.passes_ms");
 };
 
 RunnerMetrics& runner_metrics() {
@@ -61,6 +65,10 @@ Tensor PlanRunner::interpret(const Tensor& input) {
 
 std::shared_ptr<PlanExecutor> PlanRunner::compile_shape(const Shape& shape) {
   SAUFNO_TRACE_SPAN("plan.compile");
+  const auto ms_since = [](std::chrono::steady_clock::time_point a,
+                           std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
   const auto t0 = std::chrono::steady_clock::now();
   try {
     NoGradGuard no_grad;
@@ -69,21 +77,42 @@ std::shared_ptr<PlanExecutor> PlanRunner::compile_shape(const Shape& shape) {
     Var in{Tensor(shape)};
     TraceSession sess(model_->named_parameters(), in);
     Var out = model_->forward(in);
+    const auto t_traced = std::chrono::steady_clock::now();
     if (!sess.ok()) {
       SAUFNO_WARN << "plan: falling back to interpreter for shape "
                   << shape_str(shape) << ": " << sess.error();
       return nullptr;
     }
-    Plan compiled = compile(sess.take_plan(out));
+    Plan lowered = sess.take_plan(out);
+    const auto t_lowered = std::chrono::steady_clock::now();
+    Plan compiled = compile(std::move(lowered));
     const auto t1 = std::chrono::steady_clock::now();
-    runner_metrics().compile_ms.record(
-        std::chrono::duration<double, std::milli>(t1 - t0).count());
+
+    CompileBreakdown bd;
+    bd.trace_ms = ms_since(t0, t_traced);
+    bd.lower_ms = ms_since(t_traced, t_lowered);
+    bd.passes_ms = ms_since(t_lowered, t1);
+    bd.total_ms = ms_since(t0, t1);
+    RunnerMetrics& rm = runner_metrics();
+    rm.compile_ms.record(bd.total_ms);
+    rm.compile_trace_ms.record(bd.trace_ms);
+    rm.compile_lower_ms.record(bd.lower_ms);
+    rm.compile_passes_ms.record(bd.passes_ms);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last_breakdown_ = bd;
+    }
     return std::make_shared<PlanExecutor>(std::move(compiled));
   } catch (const std::exception& e) {
     SAUFNO_WARN << "plan: compile failed for shape " << shape_str(shape)
                 << " (interpreting instead): " << e.what();
     return nullptr;
   }
+}
+
+PlanRunner::CompileBreakdown PlanRunner::last_compile_breakdown() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_breakdown_;
 }
 
 std::shared_ptr<PlanExecutor> PlanRunner::get_or_compile(const Shape& shape) {

@@ -53,6 +53,23 @@ class PlanRunner {
   /// The compiled plan for `shape`, or nullptr (uncompiled / failed).
   std::shared_ptr<PlanExecutor> executor_for(const Shape& shape) const;
 
+  /// Wall-clock phases of one plan compile. `trace_ms` is the recorded
+  /// forward through the model (runs every kernel once on a zero probe —
+  /// this, not the compiler, is where a multi-second compile goes);
+  /// `lower_ms` is TraceSession graph extraction; `passes_ms` is the
+  /// compiler pass pipeline (fusion, liveness, arena layout, leveling).
+  struct CompileBreakdown {
+    double trace_ms = 0.0;
+    double lower_ms = 0.0;
+    double passes_ms = 0.0;
+    double total_ms = 0.0;
+  };
+
+  /// Breakdown of the most recent successful compile_shape (any shape);
+  /// all-zero until one completes. Also recorded per-compile into the
+  /// plan.compile.{trace,lower,passes}_ms obs histograms.
+  CompileBreakdown last_compile_breakdown() const;
+
  private:
   /// Cached compile result; `exec == nullptr` is a negative entry (the
   /// shape traced to an unsupported op) so failures are not re-attempted.
@@ -65,6 +82,7 @@ class PlanRunner {
   Mode mode_;
   mutable std::mutex mu_;
   std::map<Shape, std::shared_ptr<PlanExecutor>> cache_;
+  CompileBreakdown last_breakdown_;  // guarded by mu_
 };
 
 }  // namespace plan

@@ -10,6 +10,8 @@
 #include "nn/serialize.h"
 #include "obs/trace.h"
 #include "runtime/pipeline.h"
+#include "runtime/task_group.h"
+#include "runtime/thread_pool.h"
 #include "runtime/workspace.h"
 #include "tensor/tensor_ops.h"
 #include "train/model_zoo.h"
@@ -447,6 +449,32 @@ void InferenceEngine::execute_range(std::vector<InferenceRequest>& batch,
   execute_range(batch, mid, hi, depth + 1);
 }
 
+namespace {
+
+/// Number of row partitions for one batched forward. Explicit config wins;
+/// 0 defers to SAUFNO_BATCH_PARTITIONS, else to an auto heuristic: the
+/// largest divisor of the batch that fits the pool lanes with at least 2
+/// rows per partition. Whatever the source, the count is rounded down to a
+/// divisor of the batch so every partition runs the SAME plan shape (one
+/// extra compile, ever) and tiny batches never shatter into per-row
+/// forwards.
+int64_t resolve_batch_partitions(int64_t configured, int64_t padded) {
+  int64_t p = configured;
+  if (p == 0) {
+    static const int env_p =
+        env_int_in_range("SAUFNO_BATCH_PARTITIONS", 0, 0, 1024);
+    p = env_p;
+  }
+  if (p == 0) {
+    p = std::min<int64_t>(ThreadPool::instance().num_threads(), padded / 2);
+  }
+  p = std::max<int64_t>(1, std::min<int64_t>(p, padded));
+  while (padded % p != 0) --p;
+  return p;
+}
+
+}  // namespace
+
 void InferenceEngine::forward_and_deliver(std::vector<InferenceRequest>& batch,
                                           std::size_t lo, std::size_t hi) {
   const int64_t bsz = static_cast<int64_t>(hi - lo);
@@ -493,10 +521,53 @@ void InferenceEngine::forward_and_deliver(std::vector<InferenceRequest>& batch,
   // stream, zero per-op allocation) or define-by-run interpreter under
   // its own NoGradGuard. Either way the result is bit-identical and no
   // autograd tape survives the forward.
+  //
+  // With batch partitioning the batch is split into contiguous row ranges
+  // and each range runs as its OWN forward on a TaskGroup task (ops inside
+  // a partition still decompose — intra-op x inter-batch). Every kernel is
+  // per-sample independent (pinned by the padded-vs-unpadded and
+  // partitioned-vs-not bitwise tests), so forwarding rows [r0, r1) alone
+  // and concatenating in row order is bit-identical to one whole-batch
+  // forward.
+  const int64_t parts = resolve_batch_partitions(cfg_.batch_partitions, padded);
   Tensor fwd_out = [&] {
     SAUFNO_TRACE_SPAN("engine.forward");
     const auto t0 = std::chrono::steady_clock::now();
-    Tensor v = plan_->forward(stacked);
+    Tensor v;
+    if (parts <= 1) {
+      v = plan_->forward(stacked);
+    } else {
+      const int64_t rows = padded / parts;  // parts divides padded (resolver)
+      std::vector<Tensor> outs(static_cast<std::size_t>(parts));
+      {
+        TaskGroup g;
+        for (int64_t pi = 1; pi < parts; ++pi) {
+          g.run([&, pi] {
+            Tensor part = Tensor::wrap_external(
+                stacked.data() + pi * rows * sample,
+                {rows, in_shape[0], in_shape[1], in_shape[2]});
+            outs[static_cast<std::size_t>(pi)] = plan_->forward(part);
+          });
+        }
+        Tensor part0 = Tensor::wrap_external(
+            stacked.data(), {rows, in_shape[0], in_shape[1], in_shape[2]});
+        outs[0] = plan_->forward(part0);
+        g.wait();
+      }
+      const Shape& ps = outs[0].shape();  // [rows, C_out, H, W]
+      SAUFNO_CHECK(ps.size() == 4 && ps[0] == rows,
+                   "partitioned forward returned unexpected shape " +
+                       shape_str(ps));
+      const int64_t part_numel = numel_of(ps);
+      v = Tensor({padded, ps[1], ps[2], ps[3]});
+      for (int64_t pi = 0; pi < parts; ++pi) {
+        const Tensor& o = outs[static_cast<std::size_t>(pi)];
+        SAUFNO_CHECK(o.shape() == ps,
+                     "partitioned forward shape mismatch across partitions");
+        std::memcpy(v.data() + pi * part_numel, o.data(),
+                    sizeof(float) * static_cast<std::size_t>(part_numel));
+      }
+    }
     engine_metrics().forward_ms.record(
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)

@@ -1,0 +1,87 @@
+#include "runtime/task_group.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "runtime/task_depth.h"
+#include "runtime/thread_pool.h"
+
+namespace saufno {
+namespace runtime {
+namespace detail {
+
+/// Held by shared_ptr from the group AND every in-flight task wrapper, so a
+/// task finishing after the group object is destroyed still has valid state.
+struct TaskGroupState {
+  std::atomic<int64_t> outstanding{0};
+  std::atomic<bool> has_error{false};
+  std::exception_ptr eptr;
+  std::mutex m;
+  std::condition_variable cv;
+};
+
+}  // namespace detail
+
+TaskGroup::TaskGroup() : st_(std::make_shared<detail::TaskGroupState>()) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor swallows task errors; call wait() to observe them.
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  // Depth is captured HERE, on the spawning thread, and replayed inside the
+  // wrapper: the task executes at spawner+1 wherever it lands, so nesting
+  // decisions inside it match the single-threaded inline schedule.
+  const int depth = detail::task_depth_ref() + 1;
+  st_->outstanding.fetch_add(1, std::memory_order_acq_rel);
+  auto st = st_;
+  ThreadPool::instance().submit([st, depth, fn = std::move(fn)] {
+    {
+      detail::DepthScope scope(depth);
+      try {
+        fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(st->m);
+        if (!st->has_error.exchange(true)) {
+          st->eptr = std::current_exception();
+        }
+      }
+    }
+    if (st->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(st->m);
+      st->cv.notify_all();
+    }
+  });
+}
+
+void TaskGroup::wait() {
+  ThreadPool& pool = ThreadPool::instance();
+  if (detail::help_depth_ref() < 4) {
+    ++detail::help_depth_ref();
+    while (st_->outstanding.load(std::memory_order_acquire) > 0) {
+      if (!pool.try_help_one()) break;
+    }
+    --detail::help_depth_ref();
+  }
+  std::unique_lock<std::mutex> lk(st_->m);
+  st_->cv.wait(lk, [&] {
+    return st_->outstanding.load(std::memory_order_acquire) == 0;
+  });
+  if (st_->has_error.load(std::memory_order_acquire)) {
+    std::exception_ptr e = st_->eptr;
+    st_->eptr = nullptr;
+    st_->has_error.store(false, std::memory_order_release);
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace runtime
+}  // namespace saufno

@@ -2,6 +2,11 @@
 
 #include <chrono>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/env.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -32,6 +37,7 @@ struct PoolMetrics {
   obs::Counter& submitted = obs::counter("pool.tasks_submitted");
   obs::Counter& inline_runs = obs::counter("pool.tasks_inline");
   obs::Counter& steals = obs::counter("pool.tasks_stolen");
+  obs::Counter& helped = obs::counter("pool.tasks_helped");
   obs::Counter& idle_us = obs::counter("pool.worker_idle_us");
   obs::Counter& busy_us = obs::counter("pool.worker_busy_us");
 };
@@ -77,6 +83,25 @@ void ThreadPool::start(int n) {
     threads_.emplace_back(
         [this, i] { worker_loop(static_cast<std::size_t>(i)); });
   }
+#if defined(__linux__)
+  // Optional affinity: SAUFNO_PIN_THREADS=1 pins worker i to core (i+1) mod
+  // hw (core 0 is left to the submitting thread). Best-effort — failures
+  // (cgroup CPU masks, fewer cores than lanes) are ignored, and the setting
+  // never affects results, only placement.
+  if (env_int_in_range("SAUFNO_PIN_THREADS", 0, 0, 1) == 1) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) {
+      for (int i = 0; i < n_workers; ++i) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET((static_cast<unsigned>(i) + 1) % hw, &set);
+        pthread_setaffinity_np(threads_[static_cast<std::size_t>(i)]
+                                   .native_handle(),
+                               sizeof(set), &set);
+      }
+    }
+  }
+#endif
 }
 
 void ThreadPool::stop_and_join() {
@@ -124,6 +149,30 @@ void ThreadPool::submit(std::function<void()> task) {
     task_count_.fetch_add(1, std::memory_order_release);
   }
   wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_help_one() {
+  if (workers_.empty() ||
+      task_count_.load(std::memory_order_acquire) <= 0) {
+    return false;
+  }
+  std::function<void()> task;
+  const std::size_t n = workers_.size();
+  const std::size_t start = static_cast<std::size_t>(
+      next_help_.fetch_add(1, std::memory_order_relaxed));
+  for (std::size_t k = 0; k < n && !task; ++k) {
+    Worker& w = *workers_[(start + k) % n];
+    std::lock_guard<std::mutex> lk(w.m);
+    if (!w.q.empty()) {
+      task = std::move(w.q.front());
+      w.q.pop_front();
+    }
+  }
+  if (!task) return false;
+  task_count_.fetch_sub(1, std::memory_order_acq_rel);
+  pool_metrics().helped.add();
+  task();
+  return true;
 }
 
 bool ThreadPool::run_one(std::size_t id) {

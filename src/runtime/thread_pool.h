@@ -50,6 +50,14 @@ class ThreadPool {
   /// 1) the task runs inline on the calling thread.
   void submit(std::function<void()> task);
 
+  /// Run one queued task on the CALLING thread, if any is available; true
+  /// if a task ran. This is the "help" hook for threads blocked in a
+  /// structured wait (parallel_for / TaskGroup): instead of idling while
+  /// their own chunks are in flight elsewhere, they drain unrelated pool
+  /// work. Scans the worker deques FIFO from a rotating start index, so
+  /// concurrent helpers spread across queues instead of contending on one.
+  bool try_help_one();
+
   /// Tasks currently queued (submitted, not yet started). Scrape-side
   /// accessor for the `pool.queue_depth` callback gauge.
   int64_t queued_tasks() const {
@@ -73,6 +81,7 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   int n_threads_ = 1;
   std::atomic<std::uint64_t> next_queue_{0};
+  std::atomic<std::uint64_t> next_help_{0};
   std::atomic<std::int64_t> task_count_{0};
   std::atomic<bool> stop_{false};
   std::mutex wake_m_;

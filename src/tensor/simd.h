@@ -15,6 +15,10 @@
 // differently than the portable path: results are bit-identical across
 // runs/thread counts on the same machine+build, not across SIMD levels.
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
 #include "common/env.h"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
@@ -113,6 +117,148 @@ inline void scale(float* p, int64_t n, float s) {
 #endif
   SAUFNO_IVDEP
   for (int64_t i = 0; i < n; ++i) p[i] *= s;
+}
+
+// ---------------------------------------------------------------------------
+// Polynomial expf (Cephes expf scheme, as in every SIMD math library):
+// clamp, split x = n*ln2 + r with Cody-Waite two-constant ln2, degree-5
+// minimax polynomial on r, scale by 2^n via exponent-bit assembly. Max
+// relative error ~2e-7 — inside the golden 1e-6 gates that pin every model
+// output.
+//
+// Bit-consistency is the load-bearing property here, not just speed. Fused
+// kernels evaluate activations one element at a time while bulk sweeps go
+// through vexp(), so on the AVX2 level the single-element form
+// (exp_poly_fma_scalar) replays the EXACT per-lane operation sequence of
+// the 8-wide body with 1-lane SSE intrinsics — same FMA contractions, same
+// rounding at every step. The portable form uses plain mul/add only (no
+// contraction possible on base x86-64), so portable scalar == portable
+// "vector" trivially. As with the rest of this header: identical across
+// runs/threads on one machine+build, not across SIMD levels.
+// ---------------------------------------------------------------------------
+
+constexpr float kExpHi = 88.02f;           // just under overflow to inf
+constexpr float kExpLo = -87.33654f;       // just above underflow to 0
+constexpr float kExpLog2e = 1.44269504088896341f;
+constexpr float kExpC1 = 0.693359375f;     // ln2 high (Cody-Waite)
+constexpr float kExpC2 = -2.12194440e-4f;  // ln2 low
+constexpr float kExpP0 = 1.9875691500e-4f;
+constexpr float kExpP1 = 1.3981999507e-3f;
+constexpr float kExpP2 = 8.3334519073e-3f;
+constexpr float kExpP3 = 4.1665795894e-2f;
+constexpr float kExpP4 = 1.6666665459e-1f;
+constexpr float kExpP5 = 5.0000001201e-1f;
+
+/// Portable expf. The clamp keeps n in [-126, 127], so the bit-assembled
+/// 2^n below is always a normal float — no inf/denormal edge cases.
+inline float exp_poly_portable(float x) {
+  x = x > kExpHi ? kExpHi : x;
+  x = x < kExpLo ? kExpLo : x;
+  const float n = std::nearbyintf(x * kExpLog2e);
+  // Two-step reduction keeps r exact to ~2^-45 of ln2 without needing FMA.
+  float r = x - n * kExpC1;
+  r = r - n * kExpC2;
+  const float z = r * r;
+  float y = kExpP0;
+  y = y * r + kExpP1;
+  y = y * r + kExpP2;
+  y = y * r + kExpP3;
+  y = y * r + kExpP4;
+  y = y * r + kExpP5;
+  y = y * z + r + 1.0f;
+  const std::int32_t e = (static_cast<std::int32_t>(n) + 127) << 23;
+  float two_n;
+  std::memcpy(&two_n, &e, sizeof(two_n));
+  return y * two_n;
+}
+
+#if SAUFNO_X86_DISPATCH
+__attribute__((target("avx2,fma"))) inline __m256 exp_poly_avx2(__m256 x) {
+  x = _mm256_min_ps(x, _mm256_set1_ps(kExpHi));
+  x = _mm256_max_ps(x, _mm256_set1_ps(kExpLo));
+  const __m256 n = _mm256_round_ps(
+      _mm256_mul_ps(x, _mm256_set1_ps(kExpLog2e)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_fnmadd_ps(n, _mm256_set1_ps(kExpC1), x);
+  r = _mm256_fnmadd_ps(n, _mm256_set1_ps(kExpC2), r);
+  const __m256 z = _mm256_mul_ps(r, r);
+  __m256 y = _mm256_set1_ps(kExpP0);
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(kExpP1));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(kExpP2));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(kExpP3));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(kExpP4));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(kExpP5));
+  y = _mm256_fmadd_ps(y, z, _mm256_add_ps(r, _mm256_set1_ps(1.0f)));
+  const __m256i e = _mm256_slli_epi32(
+      _mm256_add_epi32(_mm256_cvtps_epi32(
+                           _mm256_round_ps(n, _MM_FROUND_TO_NEAREST_INT |
+                                                  _MM_FROUND_NO_EXC)),
+                       _mm256_set1_epi32(127)),
+      23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(e));
+}
+
+/// One-lane mirror of exp_poly_avx2: identical op sequence on SSE+FMA
+/// single-lane intrinsics, so a fused kernel's per-element call produces
+/// the same bits as the corresponding lane of an 8-wide vexp sweep.
+__attribute__((target("avx2,fma"))) inline float exp_poly_fma_scalar(
+    float xs) {
+  __m128 x = _mm_set_ss(xs);
+  x = _mm_min_ss(x, _mm_set_ss(kExpHi));
+  x = _mm_max_ss(x, _mm_set_ss(kExpLo));
+  const __m128 n = _mm_round_ss(
+      x, _mm_mul_ss(x, _mm_set_ss(kExpLog2e)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m128 r = _mm_fnmadd_ss(n, _mm_set_ss(kExpC1), x);
+  r = _mm_fnmadd_ss(n, _mm_set_ss(kExpC2), r);
+  const __m128 z = _mm_mul_ss(r, r);
+  __m128 y = _mm_set_ss(kExpP0);
+  y = _mm_fmadd_ss(y, r, _mm_set_ss(kExpP1));
+  y = _mm_fmadd_ss(y, r, _mm_set_ss(kExpP2));
+  y = _mm_fmadd_ss(y, r, _mm_set_ss(kExpP3));
+  y = _mm_fmadd_ss(y, r, _mm_set_ss(kExpP4));
+  y = _mm_fmadd_ss(y, r, _mm_set_ss(kExpP5));
+  y = _mm_fmadd_ss(y, z, _mm_add_ss(r, _mm_set_ss(1.0f)));
+  const __m128i e = _mm_slli_epi32(
+      _mm_add_epi32(_mm_cvtps_epi32(n), _mm_set1_epi32(127)), 23);
+  return _mm_cvtss_f32(_mm_mul_ss(y, _mm_castsi128_ps(e)));
+}
+
+__attribute__((target("avx2,fma"))) inline void vexp_avx2(const float* in,
+                                                          float bias,
+                                                          float* out,
+                                                          int64_t n) {
+  const __m256 vb = _mm256_set1_ps(bias);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i,
+                     exp_poly_avx2(_mm256_sub_ps(_mm256_loadu_ps(in + i), vb)));
+  }
+  for (; i < n; ++i) out[i] = exp_poly_fma_scalar(in[i] - bias);
+}
+#endif
+
+/// out[i] = exp(in[i] - bias) over [0, n). `bias` is the softmax max-shift
+/// (pass 0 for a plain exp sweep); folding it here keeps the subtraction in
+/// the same instruction stream at both SIMD levels.
+inline void vexp(const float* in, float bias, float* out, int64_t n) {
+#if SAUFNO_X86_DISPATCH
+  if (level() == Level::kAvx2) {
+    vexp_avx2(in, bias, out, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) out[i] = exp_poly_portable(in[i] - bias);
+}
+
+/// Single-element exp, bit-identical to the corresponding vexp lane at the
+/// active SIMD level. Fused kernels MUST use this (not std::exp) wherever
+/// an unfused sibling sweeps with vexp, or fusion breaks bitwise equality.
+inline float exp1(float x) {
+#if SAUFNO_X86_DISPATCH
+  if (level() == Level::kAvx2) return exp_poly_fma_scalar(x);
+#endif
+  return exp_poly_portable(x);
 }
 
 }  // namespace simd

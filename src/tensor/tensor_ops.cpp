@@ -165,11 +165,38 @@ void mul_scalar_into(const Tensor& a, float s, Tensor& out) {
   unary_into_t(a, out, [s](float x) { return x * s; });
 }
 
+namespace {
+
+/// Abramowitz & Stegun 7.1.26 rational erf approximation, |err| <= 1.5e-7
+/// absolute — inside the golden 1e-6 gates. Built on simd::exp1 so the
+/// whole activation stack shares ONE exp implementation: a fused kernel's
+/// per-element call and a bulk vexp sweep produce the same bits.
+inline float erf_poly(float z) {
+  const float az = std::fabs(z);
+  const float t = 1.f / (1.f + 0.3275911f * az);
+  float y = 1.061405429f;
+  y = y * t - 1.453152027f;
+  y = y * t + 1.421413741f;
+  y = y * t - 0.284496736f;
+  y = y * t + 0.254829592f;
+  y = 1.f - y * t * simd::exp1(-az * az);
+  return z < 0.f ? -y : y;
+}
+
+/// Exact GELU x * Phi(x) via erf_poly. Single definition shared by gelu,
+/// gelu_into, and act_apply code 2 — the fused kernels depend on all three
+/// being bit-identical.
+inline float gelu_core(float x) {
+  return 0.5f * x * (1.f + erf_poly(x * 0.70710678f));
+}
+
+}  // namespace
+
 Tensor neg(const Tensor& a) {
   return unary(a, [](float x) { return -x; });
 }
 Tensor exp(const Tensor& a) {
-  return unary(a, [](float x) { return std::exp(x); });
+  return unary(a, [](float x) { return simd::exp1(x); });
 }
 Tensor log(const Tensor& a) {
   return unary(a, [](float x) { return std::log(x); });
@@ -187,18 +214,16 @@ Tensor relu(const Tensor& a) {
   return unary(a, [](float x) { return x > 0.f ? x : 0.f; });
 }
 Tensor sigmoid(const Tensor& a) {
-  return unary(a, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+  return unary(a, [](float x) { return 1.f / (1.f + simd::exp1(-x)); });
 }
 
 Tensor gelu(const Tensor& a) {
   // Exact GELU (the paper's sigma is GELU): x * Phi(x).
-  return unary(a, [](float x) {
-    return 0.5f * x * (1.f + std::erf(x * 0.70710678f));
-  });
+  return unary(a, [](float x) { return gelu_core(x); });
 }
 
 void exp_into(const Tensor& a, Tensor& out) {
-  unary_into_t(a, out, [](float x) { return std::exp(x); });
+  unary_into_t(a, out, [](float x) { return simd::exp1(x); });
 }
 void log_into(const Tensor& a, Tensor& out) {
   unary_into_t(a, out, [](float x) { return std::log(x); });
@@ -216,19 +241,18 @@ void relu_into(const Tensor& a, Tensor& out) {
   unary_into_t(a, out, [](float x) { return x > 0.f ? x : 0.f; });
 }
 void sigmoid_into(const Tensor& a, Tensor& out) {
-  unary_into_t(a, out, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+  unary_into_t(a, out, [](float x) { return 1.f / (1.f + simd::exp1(-x)); });
 }
 void gelu_into(const Tensor& a, Tensor& out) {
-  unary_into_t(a, out, [](float x) {
-    return 0.5f * x * (1.f + std::erf(x * 0.70710678f));
-  });
+  unary_into_t(a, out, [](float x) { return gelu_core(x); });
 }
 
 Tensor gelu_grad(const Tensor& a) {
-  // d/dx [x Phi(x)] = Phi(x) + x phi(x).
+  // d/dx [x Phi(x)] = Phi(x) + x phi(x), on the same erf/exp approximations
+  // as the forward so gradient checks see a consistent function.
   return unary(a, [](float x) {
-    const float phi_cdf = 0.5f * (1.f + std::erf(x * 0.70710678f));
-    const float phi_pdf = 0.39894228f * std::exp(-0.5f * x * x);
+    const float phi_cdf = 0.5f * (1.f + erf_poly(x * 0.70710678f));
+    const float phi_pdf = 0.39894228f * simd::exp1(-0.5f * x * x);
     return phi_cdf + x * phi_pdf;
   });
 }
@@ -245,7 +269,7 @@ float act_apply(int act, float v) {
     case 1:
       return v > 0.f ? v : 0.f;
     case 2:
-      return 0.5f * v * (1.f + std::erf(v * 0.70710678f));
+      return gelu_core(v);
     case 3:
       return std::tanh(v);
     default:
@@ -603,9 +627,11 @@ void bmm_into(const Tensor& a, const Tensor& b, Tensor& out) {
   SAUFNO_CHECK(b.shape()[1] == k, "bmm inner dims mismatch");
   SAUFNO_CHECK(out.numel() == batch * m * n,
                "bmm destination numel mismatch");
-  // Parallel over the batch; the nested gemm's own parallel_for detects it
-  // is inside a parallel region and runs inline (no oversubscription). With
-  // batch == 1 the gemm row-block parallelism takes over instead.
+  // Parallel over the batch; the nested gemm's own parallel_for decomposes
+  // onto the pool too (up to SAUFNO_MAX_NEST), so idle lanes pick up
+  // row-blocks of in-flight gemms instead of waiting. Chunk boundaries at
+  // both levels depend only on shapes, so results stay bit-identical. With
+  // batch == 1 the gemm row-block parallelism takes over entirely.
   runtime::parallel_for(0, batch, 1, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const float* pa = a.data() + (ba == 1 ? 0 : i) * m * k;
@@ -650,17 +676,14 @@ void softmax_rows_into(const Tensor& a, bool scaled, float scale,
       for (int64_t i = 0; i < n; ++i) orow[i] = row[i] * scale;
       row = orow;
     }
-    // Max and rescale run through the SIMD helpers (max is associative, and
-    // the scale is per-element, so lane order cannot change the result).
-    // The exp+sum stays scalar: libm exp keeps results identical on every
-    // CPU, and the double accumulation order is part of the determinism
-    // contract.
+    // Max, exp, and rescale run through the SIMD helpers (max is
+    // associative, exp and scale are per-element, so lane order cannot
+    // change the result). The sum stays a scalar double accumulated in row
+    // order — that order is part of the determinism contract.
     const float mx = simd::reduce_max(row, n);
+    simd::vexp(row, mx, orow, n);
     double s = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      orow[i] = std::exp(row[i] - mx);
-      s += orow[i];
-    }
+    for (int64_t i = 0; i < n; ++i) s += orow[i];
     simd::scale(orow, n, static_cast<float>(1.0 / s));
   }
   });

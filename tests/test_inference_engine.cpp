@@ -184,6 +184,46 @@ TEST(InferenceEngine, PaddedBatchBitIdenticalToUnpaddedWithNormalizer) {
   }
 }
 
+TEST(InferenceEngine, PartitionedBatchBitIdenticalToWholeBatchForward) {
+  // batch_partitions splits one batched forward into contiguous row
+  // sub-forwards run concurrently; per-sample independence (pinned above)
+  // makes that bit-identical to the whole-batch forward. Run at several
+  // thread counts so the TaskGroup actually schedules concurrently.
+  auto model = smoke_model();
+  const auto norm =
+      data::Normalizer::from_stats(298.15, 2.0, 10.0, /*n_power=*/1);
+  const auto maps = random_maps(8, 12, 99);
+
+  auto serve = [&](int64_t parts) {
+    InferenceEngine::Config cfg;
+    cfg.max_batch = 8;
+    cfg.max_wait_us = 50000;
+    cfg.pad_to_full_batch = true;  // stable batch of 8 -> stable partitions
+    cfg.batch_partitions = parts;
+    InferenceEngine engine(model, norm, cfg);
+    std::vector<std::future<Tensor>> futs;
+    for (const auto& m : maps) futs.push_back(engine.submit(m.clone()));
+    std::vector<Tensor> out;
+    for (auto& f : futs) out.push_back(f.get());
+    return out;
+  };
+  const auto whole = serve(1);
+  for (const int threads : {2, 8}) {
+    runtime::ThreadPool::instance().resize(threads);
+    const auto split = serve(4);
+    runtime::ThreadPool::instance().resize(1);
+    for (std::size_t i = 0; i < maps.size(); ++i) {
+      ASSERT_EQ(split[i].shape(), whole[i].shape());
+      EXPECT_EQ(std::memcmp(split[i].data(), whole[i].data(),
+                            sizeof(float) *
+                                static_cast<std::size_t>(split[i].numel())),
+                0)
+          << "request " << i << " at " << threads
+          << " threads: partitioning changed a row";
+    }
+  }
+}
+
 TEST(InferenceEngine, ShortLivedClientThreadsCanDropResults) {
   // Regression for the cross-thread arena hazard: results used to be
   // arena-backed, so a client thread dropping its tensor at thread exit
